@@ -1,0 +1,67 @@
+"""Ablation — grounding design choices.
+
+DESIGN.md calls out three grounding-side design choices beyond the headline
+lesion study: predicate pushdown in the optimizer, duplicate-clause merging
+in the clause store, and the lazy active closure (Appendix A.3).  This
+ablation measures each on the RC workload:
+
+* pushdown off: same results, more rows flowing through the joins;
+* duplicate merging off: more (redundant) ground clauses, same cost
+  function;
+* lazy closure on: never more clauses than the full grounding.
+"""
+
+from benchmarks.harness import default_config, emit, fresh_dataset, render_table
+from repro.core import TuffyEngine
+from repro.grounding.bottom_up import BottomUpGrounder
+from repro.grounding.lazy import active_closure
+from repro.rdbms.optimizer import OptimizerOptions
+
+
+def measure():
+    rows = []
+
+    # Predicate pushdown on/off.
+    for label, options in (
+        ("pushdown on", OptimizerOptions(enable_predicate_pushdown=True)),
+        ("pushdown off", OptimizerOptions(enable_predicate_pushdown=False)),
+    ):
+        dataset = fresh_dataset("RC")
+        result = BottomUpGrounder(optimizer_options=options).ground(
+            dataset.program.clauses(), dataset.program.build_atom_registry()
+        )
+        rows.append((label, result.ground_clause_count, round(result.seconds, 3)))
+
+    # Duplicate merging on/off.
+    for label, merge in (("merge duplicates", True), ("keep duplicates", False)):
+        dataset = fresh_dataset("RC")
+        result = BottomUpGrounder(merge_duplicates=merge).ground(
+            dataset.program.clauses(), dataset.program.build_atom_registry()
+        )
+        rows.append((label, result.ground_clause_count, round(result.seconds, 3)))
+
+    # Lazy closure.
+    dataset = fresh_dataset("RC")
+    full = BottomUpGrounder().ground(
+        dataset.program.clauses(), dataset.program.build_atom_registry()
+    )
+    closure = active_closure(full.clauses)
+    rows.append(("full grounding", len(full.clauses), round(full.seconds, 3)))
+    rows.append(("active closure", len(closure.clauses), ""))
+    return rows
+
+
+def test_ablation_grounding_choices(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "ablation_grounding",
+        render_table(
+            "Ablation — grounding design choices (RC)",
+            ["setting", "#ground clauses", "seconds"],
+            rows,
+        ),
+    )
+    by_label = {row[0]: row for row in rows}
+    assert by_label["pushdown on"][1] == by_label["pushdown off"][1]
+    assert by_label["keep duplicates"][1] >= by_label["merge duplicates"][1]
+    assert by_label["active closure"][1] <= by_label["full grounding"][1]

@@ -1,0 +1,74 @@
+"""Ablation — partitioning design choices.
+
+Two design choices from Sections 3.3-3.4 are examined:
+
+* the greedy weight-ordered partitioner (Algorithm 3) versus a random
+  balanced bisection: the greedy partitioner should cut far less clause
+  weight at the same size bound;
+* the Appendix B.8 benefit estimator versus the observed outcome of
+  partitioning: component-level partitioning on a fragmented workload is
+  predicted (and observed) beneficial, aggressive splitting of a dense
+  workload is predicted (and observed) detrimental or at best neutral.
+"""
+
+import math
+
+from benchmarks.harness import default_config, emit, fresh_dataset, render_table
+from repro.core import TuffyEngine
+from repro.mrf.components import connected_components
+from repro.partitioning.bisection import bisection_cost, random_balanced_bisection
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.tradeoff import partitioning_benefit
+from repro.utils.rng import RandomSource
+
+
+def measure():
+    rows = []
+
+    # Greedy partitioner vs random bisection on the ER component (dense).
+    probe = TuffyEngine(fresh_dataset("ER").program, default_config(max_flips=10))
+    probe.ground()
+    er_mrf = connected_components(probe.build_mrf()).largest()
+    half_size = er_mrf.size() / 2
+    greedy = GreedyPartitioner(half_size).partition(er_mrf)
+    greedy_cut = sum(abs(er_mrf.clauses[i].weight) for i in greedy.cut_clauses)
+    random_side, _ = random_balanced_bisection(er_mrf, RandomSource(0))
+    random_cut_count = bisection_cost(er_mrf, random_side)
+    random_cut_weight = sum(
+        abs(clause.weight)
+        for clause in er_mrf.clauses
+        if 0 < sum(1 for a in set(clause.atom_ids) if a in set(random_side)) < len(set(clause.atom_ids))
+    )
+    rows.append(("ER: greedy (Algorithm 3) cut weight", round(greedy_cut, 1), greedy.cut_size))
+    rows.append(("ER: random balanced bisection cut weight", round(random_cut_weight, 1), random_cut_count))
+
+    # Benefit estimator vs observed behaviour.
+    rc_probe = TuffyEngine(fresh_dataset("RC").program, default_config(max_flips=10))
+    rc_probe.ground()
+    rc_mrf = rc_probe.build_mrf()
+    rc_components = GreedyPartitioner(math.inf).partition(rc_mrf)
+    rc_estimate = partitioning_benefit(rc_mrf, rc_components, steps_per_round=10_000)
+    er_split = GreedyPartitioner(er_mrf.size() / 4).partition(er_mrf)
+    er_estimate = partitioning_benefit(
+        er_mrf, er_split, steps_per_round=10_000, positive_cost_components=1
+    )
+    rows.append(("RC: component split predicted benefit (B.8)", round(rc_estimate.benefit, 1), rc_estimate.is_beneficial))
+    rows.append(("ER: aggressive split predicted benefit (B.8)", round(er_estimate.benefit, 1), er_estimate.is_beneficial))
+    return rows, greedy_cut, random_cut_weight, rc_estimate, er_estimate
+
+
+def test_ablation_partitioning_choices(benchmark):
+    rows, greedy_cut, random_cut_weight, rc_estimate, er_estimate = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_partitioning",
+        render_table(
+            "Ablation — partitioning design choices",
+            ["quantity", "value", "detail"],
+            rows,
+        ),
+    )
+    assert greedy_cut <= random_cut_weight
+    assert rc_estimate.is_beneficial
+    assert not er_estimate.is_beneficial

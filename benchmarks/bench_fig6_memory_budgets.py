@@ -1,0 +1,93 @@
+"""Figure 6 — Tuffy under different memory budgets (further MRF splitting).
+
+When a memory budget is set below the size of the largest component, the
+greedy partitioner (Algorithm 3) splits components and the Gauss-Seidel
+scheme searches the parts.  The paper's Figure 6 shows three regimes:
+
+* RC: splitting is nearly free (sparse graph, tiny cut) and even improves
+  quality;
+* LP: a coarse split is fine, finer splits start to hurt;
+* ER: the graph is dense, every split cuts a large fraction of the clauses,
+  and convergence degrades — partitioning buys memory at the cost of
+  quality.
+
+Expected shape here: the peak search memory decreases monotonically with
+the budget on every dataset, and on ER the smallest budget cuts a much
+larger fraction of clauses than on RC (the structural cause of the paper's
+quality loss).
+"""
+
+from benchmarks.harness import default_config, emit, fresh_dataset, render_table
+from repro.core import TuffyEngine
+from repro.mrf.components import connected_components
+from repro.partitioning.greedy import GreedyPartitioner
+
+FLIP_BUDGET = 15_000
+# Budgets expressed as fractions of the dataset's largest-component size.
+BUDGET_FRACTIONS = (1.0, 0.5, 0.25)
+
+
+def run_dataset(name):
+    probe = TuffyEngine(fresh_dataset(name).program, default_config(max_flips=10))
+    probe.ground()
+    largest = connected_components(probe.build_mrf()).largest()
+    largest_size = largest.size() if largest is not None else 1
+    bytes_per_unit = 64
+
+    rows = []
+    for fraction in BUDGET_FRACTIONS:
+        budget_units = max(int(largest_size * fraction), 8)
+        budget_bytes = budget_units * bytes_per_unit
+        engine = TuffyEngine(
+            fresh_dataset(name).program,
+            default_config(
+                max_flips=FLIP_BUDGET,
+                memory_budget_bytes=budget_bytes,
+                use_partitioning=True,
+            ),
+        )
+        result = engine.run_map()
+        partitioning = GreedyPartitioner(budget_units).partition(largest)
+        cut_fraction = partitioning.cut_size / max(largest.clause_count, 1)
+        rows.append(
+            (
+                name,
+                f"{fraction:.2f} x largest",
+                round(budget_bytes / 1024.0, 1),
+                round(result.peak_memory_bytes / 1024.0, 1),
+                round(result.cost, 1),
+                round(cut_fraction, 3),
+            )
+        )
+    return rows
+
+
+def collect():
+    rows = []
+    for name in ("RC", "LP", "ER"):
+        rows.extend(run_dataset(name))
+    return rows
+
+
+def test_figure6_memory_budgets(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit(
+        "fig6_memory_budgets",
+        render_table(
+            "Figure 6 — effect of the memory budget (further MRF splitting)",
+            ["dataset", "budget", "budget (KB)", "peak search RAM (KB)", "final cost", "cut fraction of largest comp."],
+            rows,
+        ),
+    )
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row[0], []).append(row)
+    for name, dataset_rows in by_dataset.items():
+        rams = [row[3] for row in dataset_rows]
+        # Peak RAM must not increase as the budget shrinks.
+        assert all(later <= earlier + 1e-6 for earlier, later in zip(rams, rams[1:]))
+    # ER's dense graph pays a much larger cut than RC's sparse one at the
+    # smallest budget — the cause of the paper's quality degradation on ER.
+    rc_cut = by_dataset["RC"][-1][5]
+    er_cut = by_dataset["ER"][-1][5]
+    assert er_cut > rc_cut

@@ -1,0 +1,52 @@
+"""Table 1 — dataset statistics.
+
+Prints, for each of the four workloads, the statistics the paper reports in
+Table 1 (#relations, #rules, #entities, #evidence tuples, #query atoms,
+#components).  The absolute counts are smaller than the paper's (the
+generators run at laptop scale); the *shape* reproduced here is the component
+structure: LP and ER are single components, IE fragments into thousands of
+tiny components (here: one per citation), RC into hundreds (here: one per
+cluster).
+"""
+
+from benchmarks.harness import DATASETS, benchmark_dataset, default_config, emit, render_table
+from repro.core import TuffyEngine
+from repro.mrf.components import connected_components
+
+
+def collect_rows():
+    rows = []
+    for name in DATASETS:
+        dataset = benchmark_dataset(name)
+        statistics = dataset.statistics()
+        engine = TuffyEngine(dataset.program, default_config(max_flips=10))
+        engine.ground()
+        components = connected_components(engine.build_mrf()).component_count
+        rows.append(
+            (
+                name,
+                statistics.relations,
+                statistics.rules,
+                statistics.entities,
+                statistics.evidence_tuples,
+                statistics.query_atoms,
+                components,
+            )
+        )
+    return rows
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    emit(
+        "table1_dataset_stats",
+        render_table(
+            "Table 1 — dataset statistics (benchmark scale)",
+            ["dataset", "#relations", "#rules", "#entities", "#evidence", "#query atoms", "#components"],
+            rows,
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["LP"][6] == 1
+    assert by_name["ER"][6] == 1
+    assert by_name["IE"][6] > by_name["RC"][6] > 1

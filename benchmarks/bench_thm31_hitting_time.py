@@ -1,0 +1,62 @@
+"""Theorem 3.1 — empirical hitting times of component-blind WalkSAT.
+
+Theorem 3.1 predicts that on an MRF with N independent components (Example
+1), component-blind WalkSAT needs an expected number of steps that grows
+exponentially in N to reach the optimum, whereas component-aware WalkSAT
+needs only O(N) steps (at most ~4 per component).
+
+This benchmark estimates the expected hitting time empirically for a sweep
+of N and reports the growth factors.  Expected shape: the blind hitting
+time grows much faster than linearly (each doubling of N multiplies it by
+well over 2), while the per-component hitting time stays constant.
+"""
+
+from benchmarks.harness import emit, render_table
+from repro.datasets.example1 import example1_mrf, example1_optimal_cost
+from repro.inference.walksat import expected_hitting_time
+
+COMPONENT_COUNTS = (2, 4, 8, 12)
+RUNS = 8
+MAX_FLIPS = 60_000
+
+
+def measure():
+    rows = []
+    for n_components in COMPONENT_COUNTS:
+        blind = expected_hitting_time(
+            example1_mrf(n_components),
+            example1_optimal_cost(n_components),
+            runs=RUNS,
+            max_flips=MAX_FLIPS,
+            seed=7,
+        )
+        per_component = expected_hitting_time(
+            example1_mrf(1), 1.0, runs=RUNS * 4, max_flips=1_000, seed=11 + n_components
+        )
+        rows.append((n_components, blind, per_component, per_component * n_components))
+    return rows
+
+
+def test_theorem31_hitting_time_gap(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "thm31_hitting_time",
+        render_table(
+            "Theorem 3.1 — expected hitting time to the optimum (flips)",
+            ["#components N", "blind WalkSAT", "aware (per component)", "aware (total, ~4N bound)"],
+            [
+                (n, round(blind, 1), round(per_component, 2), round(total, 1))
+                for n, blind, per_component, total in rows
+            ],
+        ),
+    )
+    blind_times = [blind for _, blind, _, _ in rows]
+    # Exponential-looking growth: each step of the sweep multiplies the
+    # hitting time by clearly more than the component ratio.
+    assert blind_times[2] > 4 * blind_times[0]
+    assert blind_times[3] > blind_times[2]
+    # Component-aware search stays cheap: the per-component hitting time is
+    # bounded by a small constant (the paper argues <= 4).
+    assert all(per_component <= 10 for _, _, per_component, _ in rows)
+    # And the aware total is far below the blind total at the largest N.
+    assert rows[-1][3] < rows[-1][1]

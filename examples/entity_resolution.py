@@ -1,0 +1,108 @@
+"""Entity resolution: deduplicating citation records with an MLN.
+
+This mirrors the paper's ER workload (deduplicating Cora citations).  The
+program is built *programmatically* rather than from text, showing the
+second style of API usage: declare predicates, add rules from text snippets,
+add evidence from Python data structures.
+
+The example also demonstrates the memory-budget knob: the ER ground MRF is a
+single dense component, so with a small budget the engine further splits it
+with the greedy partitioner and runs Gauss-Seidel sweeps (Section 3.4 of the
+paper), trading some quality for a bounded footprint.
+
+Run with::
+
+    python examples/entity_resolution.py
+"""
+
+from itertools import combinations
+
+from repro.core import InferenceConfig, MLNProgram, TuffyEngine
+from repro.logic.predicates import Predicate
+from repro.utils.rng import RandomSource
+
+# Ground-truth clusters: records that refer to the same underlying paper.
+TRUE_ENTITIES = {
+    "tuffy-vldb": ["R1", "R2", "R3"],
+    "mlns-ml06": ["R4", "R5"],
+    "walksat-93": ["R6", "R7", "R8"],
+    "alchemy-man": ["R9", "R10"],
+}
+
+
+def build_program(noise_seed: int = 0) -> MLNProgram:
+    rng = RandomSource(noise_seed)
+    program = MLNProgram("entity-resolution")
+    program.declare_predicate(Predicate("simHigh", ("bib", "bib"), closed_world=True))
+    program.declare_predicate(Predicate("simMed", ("bib", "bib"), closed_world=True))
+    program.declare_predicate(Predicate("sameBib", ("bib", "bib"), closed_world=False))
+    program.add_rule_text("4.0 simHigh(b1, b2) => sameBib(b1, b2)")
+    program.add_rule_text("2.0 simMed(b1, b2) => sameBib(b1, b2)")
+    program.add_rule_text("-0.5 sameBib(b1, b2)")
+    program.add_rule_text("6.0 sameBib(b1, b2), sameBib(b2, b3) => sameBib(b1, b3)")
+
+    records = [record for cluster in TRUE_ENTITIES.values() for record in cluster]
+    program.add_constants("bib", records)
+    entity_of = {
+        record: entity for entity, cluster in TRUE_ENTITIES.items() for record in cluster
+    }
+    for first, second in combinations(records, 2):
+        if entity_of[first] == entity_of[second]:
+            # Same entity: mostly high similarity, sometimes only medium.
+            if rng.random() < 0.75:
+                program.add_evidence("simHigh", (first, second))
+            else:
+                program.add_evidence("simMed", (first, second))
+        elif rng.random() < 0.06:
+            # Cross-entity noise.
+            program.add_evidence("simMed", (first, second))
+    return program
+
+
+def evaluate(result) -> tuple[int, int, int]:
+    """Count merge decisions against the ground truth (pairs of records)."""
+    entity_of = {
+        record: entity for entity, cluster in TRUE_ENTITIES.items() for record in cluster
+    }
+    records = sorted(entity_of)
+    true_positive = false_positive = false_negative = 0
+    for first, second in combinations(records, 2):
+        same_truth = entity_of[first] == entity_of[second]
+        inferred = bool(
+            result.truth_of("sameBib", [first, second])
+            or result.truth_of("sameBib", [second, first])
+        )
+        if inferred and same_truth:
+            true_positive += 1
+        elif inferred and not same_truth:
+            false_positive += 1
+        elif not inferred and same_truth:
+            false_negative += 1
+    return true_positive, false_positive, false_negative
+
+
+def main() -> None:
+    program = build_program()
+    print("Statistics:", program.statistics().as_dict())
+
+    print("\n=== Unconstrained run (whole component in memory) ===")
+    result = TuffyEngine(program, InferenceConfig(seed=0, max_flips=60_000)).run_map()
+    tp, fp, fn = evaluate(result)
+    print(f"cost={result.cost:.1f}  merges: tp={tp} fp={fp} fn={fn}")
+    print(f"components={result.component_count}  peak RAM={result.peak_memory_bytes / 1024:.1f} KB")
+
+    print("\n=== Memory-budgeted run (Algorithm 3 + Gauss-Seidel) ===")
+    budgeted = TuffyEngine(
+        build_program(),
+        InferenceConfig(seed=0, max_flips=60_000, memory_budget_bytes=32 * 1024),
+    ).run_map()
+    tp, fp, fn = evaluate(budgeted)
+    print(f"cost={budgeted.cost:.1f}  merges: tp={tp} fp={fp} fn={fn}")
+    print(
+        f"components={budgeted.component_count}  "
+        f"peak RAM={budgeted.peak_memory_bytes / 1024:.1f} KB (budget 32 KB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

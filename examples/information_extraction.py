@@ -1,0 +1,103 @@
+"""Information extraction: segmenting citation strings into fields.
+
+This mirrors the paper's IE workload (Citeseer citation segmentation): each
+citation string is a sequence of token positions, and the task is to label
+every position with the field it belongs to (author / title / venue / year).
+The ground MRF fragments into one small component per citation, which is the
+regime where Tuffy's component-aware search and batch loading shine.
+
+The example runs both MAP inference (one best segmentation) and marginal
+inference with MC-SAT (per-position label probabilities), and reports token
+accuracy against the generator's ground truth.
+
+Run with::
+
+    python examples/information_extraction.py
+"""
+
+from repro.core import InferenceConfig, MLNProgram, TuffyEngine
+from repro.logic.predicates import Predicate
+from repro.utils.rng import RandomSource
+
+FIELDS = ["Author", "Title", "Venue", "Year"]
+SEED_WORDS = {
+    "Author": ["smith", "jones", "lee"],
+    "Title": ["learning", "inference", "networks"],
+    "Venue": ["proceedings", "journal", "conference"],
+    "Year": ["1999", "2005", "2010"],
+}
+
+
+def build_program(n_citations: int = 30, seed: int = 0):
+    rng = RandomSource(seed)
+    program = MLNProgram("information-extraction")
+    program.declare_predicate(Predicate("token", ("position", "word"), closed_world=True))
+    program.declare_predicate(Predicate("next", ("position", "position"), closed_world=True))
+    program.declare_predicate(Predicate("seedword", ("word", "label"), closed_world=True))
+    program.declare_predicate(Predicate("field", ("position", "label"), closed_world=False))
+    program.add_rule_text("0.8 token(p, w), seedword(w, l) => field(p, l)")
+    program.add_rule_text("1.0 next(p1, p2), field(p1, l) => field(p2, l)")
+    program.add_rule_text("4.0 field(p, l1), field(p, l2) => l1 = l2")
+    program.add_constants("label", FIELDS)
+    for label, words in SEED_WORDS.items():
+        for word in words:
+            program.add_evidence("seedword", (word, label))
+
+    truth = {}
+    for citation in range(1, n_citations + 1):
+        length = rng.randint(2, 4)
+        positions = [f"C{citation}_{i}" for i in range(1, length + 1)]
+        program.add_constants("position", positions)
+        citation_field = rng.pick(FIELDS)
+        for index, position in enumerate(positions):
+            # The first token of each citation carries a seed word for its
+            # field; later tokens are often uninformative and must be filled
+            # in by the chain rule.
+            field = citation_field
+            truth[position] = field
+            if index == 0 or rng.random() < 0.4:
+                word = rng.pick(SEED_WORDS[field])
+            else:
+                word = f"w{rng.randint(1, 40)}"
+            program.add_evidence("token", (position, word))
+        for first, second in zip(positions, positions[1:]):
+            program.add_evidence("next", (first, second))
+    return program, truth
+
+
+def main() -> None:
+    program, truth = build_program()
+    print("Statistics:", program.statistics().as_dict())
+
+    engine = TuffyEngine(program, InferenceConfig(seed=0, max_flips=60_000, workers=4))
+    result = engine.run_map()
+    print(f"\nMAP inference: cost={result.cost:.1f}, components={result.component_count}")
+
+    correct = 0
+    for position, field in truth.items():
+        if result.truth_of("field", [position, field]):
+            correct += 1
+    print(f"token accuracy: {correct}/{len(truth)} = {correct / len(truth):.2%}")
+
+    # Marginal inference on a smaller instance (MC-SAT is sampling based).
+    small_program, small_truth = build_program(n_citations=6, seed=1)
+    marginal_engine = TuffyEngine(
+        small_program, InferenceConfig(seed=0, mcsat_samples=60, mcsat_burn_in=10)
+    )
+    marginals = marginal_engine.run_marginal()
+    print("\nMarginal inference (MC-SAT) on 6 citations — most confident positions:")
+    atoms = marginal_engine.grounding_result.atoms
+    scored = sorted(
+        (
+            (probability, atoms.record(atom_id).atom)
+            for atom_id, probability in marginals.marginals.probabilities.items()
+        ),
+        reverse=True,
+        key=lambda pair: pair[0],
+    )
+    for probability, atom in scored[:8]:
+        print(f"  P({atom}) = {probability:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so the package installs in offline environments.
+
+The canonical metadata lives in pyproject.toml; this file exists because the
+execution environment has no `wheel` package and no network access, so pip
+falls back to the legacy `setup.py develop` code path for editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro: a reproduction of Tuffy (Niu, Ré, Doan and Shavlik, VLDB 2011).
+
+Tuffy scales MAP and marginal inference in Markov Logic Networks by pushing
+the grounding phase into an RDBMS, keeping the WalkSAT search phase in main
+memory, and partitioning the ground Markov Random Field to cut memory use
+and (often exponentially) speed up the search.
+
+The public entry points are in :mod:`repro.core`:
+
+>>> from repro.core import MLNProgram, TuffyEngine, InferenceConfig
+>>> program = MLNProgram.from_text(program_text, evidence_text)   # doctest: +SKIP
+>>> result = TuffyEngine(program, InferenceConfig(seed=0)).run_map()  # doctest: +SKIP
+
+Subpackages
+-----------
+``repro.logic``         first-order logic: terms, clauses, formulas, parser
+``repro.rdbms``         the embedded relational engine (PostgreSQL stand-in)
+``repro.grounding``     bottom-up and top-down grounding
+``repro.mrf``           the ground MRF, cost function, components
+``repro.partitioning``  Algorithm 3, bin packing, batch loading
+``repro.inference``     WalkSAT, Tuffy-mm, component-aware search, MC-SAT
+``repro.core``          the public API (program, engine, config, results)
+``repro.baselines``     the Alchemy-style baseline engine
+``repro.datasets``      synthetic LP / IE / RC / ER workload generators
+"""
+
+from repro.core import InferenceConfig, InferenceResult, MLNProgram, TuffyEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InferenceConfig",
+    "InferenceResult",
+    "MLNProgram",
+    "TuffyEngine",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Baseline systems the paper compares against.
+
+The only baseline is :class:`~repro.baselines.alchemy.AlchemyEngine`, a
+faithful-in-strategy reimplementation of how Alchemy performs MAP inference:
+top-down (nested-loop) grounding entirely in main memory, followed by a
+single WalkSAT over the whole ground MRF with no component awareness.
+"""
+
+from repro.baselines.alchemy import AlchemyEngine
+
+__all__ = ["AlchemyEngine"]

@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Three subcommands mirror how the original Tuffy binary was used:
+
+``repro-tuffy infer -i prog.mln -e evidence.db``
+    Run MAP (or, with ``--marginal``, MC-SAT marginal) inference on a
+    program and evidence file written in the Alchemy-style syntax, printing
+    the inferred atoms (or marginal probabilities).
+
+``repro-tuffy dataset RC``
+    Generate one of the built-in benchmark workloads (LP, IE, RC, ER) and
+    run inference on it, printing the run summary.
+
+``repro-tuffy stats -i prog.mln -e evidence.db``
+    Print the Table-1 style statistics of a program without running
+    inference.
+
+The CLI is a thin shell around :class:`repro.core.TuffyEngine`; everything
+it does is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import AlchemyEngine
+from repro.core import InferenceConfig, MLNProgram, TuffyEngine
+from repro.datasets import DATASET_NAMES, DatasetScale, load_dataset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tuffy",
+        description="MAP and marginal inference in Markov Logic Networks (Tuffy reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    infer = subparsers.add_parser("infer", help="run inference on a program/evidence file pair")
+    _add_program_arguments(infer)
+    _add_inference_arguments(infer)
+    infer.add_argument(
+        "--predicate",
+        default=None,
+        help="only print atoms of this predicate (default: all query predicates)",
+    )
+
+    dataset = subparsers.add_parser("dataset", help="run inference on a built-in benchmark workload")
+    dataset.add_argument("name", choices=sorted(DATASET_NAMES), help="workload name")
+    dataset.add_argument("--scale", type=float, default=1.0, help="generator scale factor")
+    _add_inference_arguments(dataset)
+    dataset.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the Alchemy-style baseline and print the comparison",
+    )
+
+    stats = subparsers.add_parser("stats", help="print dataset statistics of a program")
+    _add_program_arguments(stats)
+    return parser
+
+
+def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-i", "--program", required=True, help="path to the .mln program file")
+    parser.add_argument("-e", "--evidence", default=None, help="path to the .db evidence file")
+
+
+def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--max-flips", type=int, default=100_000, help="total WalkSAT flip budget")
+    parser.add_argument("--workers", type=int, default=1, help="parallel component searches")
+    parser.add_argument(
+        "--no-partitioning",
+        action="store_true",
+        help="disable component-aware search (the paper's Tuffy-p mode)",
+    )
+    parser.add_argument(
+        "--memory-budget-kb",
+        type=int,
+        default=None,
+        help="memory budget in KB; components larger than this are split (Algorithm 3)",
+    )
+    parser.add_argument(
+        "--marginal",
+        action="store_true",
+        help="run MC-SAT marginal inference instead of MAP",
+    )
+    parser.add_argument("--mcsat-samples", type=int, default=100, help="MC-SAT sample count")
+
+
+def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
+    return InferenceConfig(
+        seed=arguments.seed,
+        max_flips=arguments.max_flips,
+        workers=arguments.workers,
+        use_partitioning=not arguments.no_partitioning,
+        memory_budget_bytes=(
+            arguments.memory_budget_kb * 1024 if arguments.memory_budget_kb else None
+        ),
+        mcsat_samples=arguments.mcsat_samples,
+    )
+
+
+def _load_program(arguments: argparse.Namespace) -> MLNProgram:
+    with open(arguments.program, encoding="utf-8") as handle:
+        program_text = handle.read()
+    evidence_text = ""
+    if arguments.evidence:
+        with open(arguments.evidence, encoding="utf-8") as handle:
+            evidence_text = handle.read()
+    return MLNProgram.from_text(program_text, evidence_text)
+
+
+def _print_summary(result, stream) -> None:
+    for key, value in result.summary().items():
+        print(f"{key:>20}: {value}", file=stream)
+
+
+def _run_inference(program: MLNProgram, arguments: argparse.Namespace, stream) -> int:
+    engine = TuffyEngine(program, _config_from_arguments(arguments))
+    if arguments.marginal:
+        result = engine.run_marginal()
+        print("# marginal probabilities (P(atom) >= 0.01)", file=stream)
+        atoms = engine.grounding_result.atoms
+        for atom_id, probability in sorted(result.marginals.probabilities.items()):
+            if probability >= 0.01:
+                print(f"{probability:.3f}\t{atoms.record(atom_id).atom}", file=stream)
+    else:
+        result = engine.run_map()
+        predicate = getattr(arguments, "predicate", None)
+        print("# atoms inferred true", file=stream)
+        for atom in result.true_atoms(predicate):
+            print(atom, file=stream)
+    print("#", file=stream)
+    _print_summary(result, stream)
+    return 0
+
+
+def _command_infer(arguments: argparse.Namespace, stream) -> int:
+    return _run_inference(_load_program(arguments), arguments, stream)
+
+
+def _command_dataset(arguments: argparse.Namespace, stream) -> int:
+    dataset = load_dataset(arguments.name, DatasetScale(factor=arguments.scale, seed=arguments.seed))
+    print(f"# workload: {dataset.name} — {dataset.description}", file=stream)
+    status = _run_inference(dataset.program, arguments, stream)
+    if getattr(arguments, "baseline", False):
+        baseline_dataset = load_dataset(
+            arguments.name, DatasetScale(factor=arguments.scale, seed=arguments.seed)
+        )
+        baseline = AlchemyEngine(baseline_dataset.program, _config_from_arguments(arguments))
+        result = baseline.run_map()
+        print("# Alchemy-style baseline", file=stream)
+        _print_summary(result, stream)
+    return status
+
+
+def _command_stats(arguments: argparse.Namespace, stream) -> int:
+    program = _load_program(arguments)
+    for key, value in program.statistics().as_dict().items():
+        print(f"{key:>20}: {value}", file=stream)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    stream = stream or sys.stdout
+    arguments = build_parser().parse_args(argv)
+    handlers = {
+        "infer": _command_infer,
+        "dataset": _command_dataset,
+        "stats": _command_stats,
+    }
+    return handlers[arguments.command](arguments, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Inference configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.rdbms.optimizer import OptimizerOptions
+from repro.utils.clock import CostModel
+
+
+@dataclass
+class InferenceConfig:
+    """All knobs of the Tuffy pipeline.
+
+    Grounding
+    ---------
+    ``grounding_strategy`` is ``"bottom-up"`` (the Tuffy approach, default)
+    or ``"top-down"`` (the Alchemy-style nested-loop baseline);
+    ``optimizer_options`` exposes the relational planner's lesion knobs;
+    ``use_lazy_closure`` applies the Appendix A.3 active closure to the
+    ground clauses before search.
+
+    Search
+    ------
+    ``max_flips`` is the total WalkSAT budget (shared across components with
+    weighted round-robin), ``noise`` the random-flip probability,
+    ``max_tries`` the number of restarts, ``use_partitioning`` toggles
+    component-aware search (Tuffy vs Tuffy-p in the paper), and
+    ``memory_budget_bytes`` — when set — bounds partition sizes, triggering
+    Algorithm 3 plus Gauss-Seidel sweeps for components that exceed it.
+    ``workers`` sets the number of parallel component searches.
+
+    Marginal inference
+    ------------------
+    ``mcsat_samples`` / ``mcsat_burn_in`` control MC-SAT when
+    :meth:`repro.core.engine.TuffyEngine.run_marginal` is used.
+    """
+
+    seed: int = 0
+    # Grounding.
+    grounding_strategy: str = "bottom-up"
+    optimizer_options: OptimizerOptions = field(default_factory=OptimizerOptions)
+    use_lazy_closure: bool = False
+    merge_duplicate_clauses: bool = True
+    # Search.
+    max_flips: int = 100_000
+    max_tries: int = 1
+    noise: float = 0.5
+    use_partitioning: bool = True
+    memory_budget_bytes: Optional[int] = None
+    bytes_per_state_unit: int = 64
+    gauss_seidel_rounds: int = 3
+    workers: int = 1
+    target_cost: Optional[float] = None
+    deadline_seconds: Optional[float] = None
+    # Marginal inference.
+    mcsat_samples: int = 100
+    mcsat_burn_in: int = 10
+    # Cost model of the simulated clock.
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.grounding_strategy not in ("bottom-up", "top-down"):
+            raise ConfigurationError(
+                f"unknown grounding strategy {self.grounding_strategy!r}"
+            )
+        if self.max_flips <= 0:
+            raise ConfigurationError("max_flips must be positive")
+        if not 0.0 <= self.noise <= 1.0:
+            raise ConfigurationError("noise must be within [0, 1]")
+        if self.workers <= 0:
+            raise ConfigurationError("workers must be positive")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
+            raise ConfigurationError("memory_budget_bytes must be positive when set")
+        if self.gauss_seidel_rounds <= 0:
+            raise ConfigurationError("gauss_seidel_rounds must be positive")
+        if self.mcsat_samples <= 0:
+            raise ConfigurationError("mcsat_samples must be positive")

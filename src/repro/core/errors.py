@@ -1,0 +1,23 @@
+"""Exception hierarchy of the public API."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library-specific exceptions."""
+
+
+class ProgramError(ReproError):
+    """Raised for malformed MLN programs (unknown predicates, bad arities...)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid inference configurations."""
+
+
+class GroundingError(ReproError):
+    """Raised when the grounding phase cannot proceed."""
+
+
+class SearchError(ReproError):
+    """Raised when the search phase cannot proceed."""

@@ -1,0 +1,242 @@
+"""The MLN program: predicates, rules, evidence, domains and query atoms.
+
+An :class:`MLNProgram` can be built programmatically (the dataset generators
+do this) or parsed from Alchemy-style text (see
+:mod:`repro.logic.parser`).  It owns everything the grounding phase needs:
+
+* predicate declarations (closed-world evidence predicates vs open-world
+  query predicates),
+* weighted first-order rules, converted on demand to clausal form,
+* typed constant domains, accumulated from evidence and query atoms,
+* the evidence database, and
+* the set of query atoms — either listed explicitly or generated as the
+  Cartesian product of the argument domains of each open-world predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ProgramError
+from repro.grounding.atoms import AtomRegistry
+from repro.logic.clauses import ClauseSet, HARD_WEIGHT, WeightedClause
+from repro.logic.domains import DomainRegistry
+from repro.logic.formulas import Formula, to_clausal_form
+from repro.logic.parser import MLNParser, ParsedRule
+from repro.logic.predicates import GroundAtom, Predicate, PredicateRegistry, make_atom
+from repro.logic.terms import Constant
+
+
+@dataclass
+class DatasetStatistics:
+    """The quantities reported in Table 1 of the paper."""
+
+    relations: int
+    rules: int
+    entities: int
+    evidence_tuples: int
+    query_atoms: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "#relations": self.relations,
+            "#rules": self.rules,
+            "#entities": self.entities,
+            "#evidence tuples": self.evidence_tuples,
+            "#query atoms": self.query_atoms,
+        }
+
+
+@dataclass
+class EvidenceAtom:
+    """One evidence fact."""
+
+    atom: GroundAtom
+    truth: bool
+
+
+class MLNProgram:
+    """A Markov Logic Network program."""
+
+    def __init__(self, name: str = "mln") -> None:
+        self.name = name
+        self.predicates = PredicateRegistry()
+        self.domains = DomainRegistry()
+        self.rules: List[ParsedRule] = []
+        self._direct_clauses: List[WeightedClause] = []
+        self.evidence: List[EvidenceAtom] = []
+        self.query_atoms: List[GroundAtom] = []
+        self._clause_cache: Optional[ClauseSet] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_text(
+        cls,
+        program_text: str,
+        evidence_text: str = "",
+        name: str = "mln",
+    ) -> "MLNProgram":
+        """Parse a program (and optionally evidence) from Alchemy-style text."""
+        parser = MLNParser()
+        parsed = parser.parse_program(program_text)
+        program = cls(name)
+        for predicate in parsed.predicates:
+            program.declare_predicate(predicate)
+        for index, rule in enumerate(parsed.rules, start=1):
+            rule.name = rule.name or f"R{index}"
+            program.rules.append(rule)
+            program._clause_cache = None
+        if evidence_text:
+            for fact in parser.parse_evidence(evidence_text):
+                program.add_evidence(fact.predicate_name, fact.arguments, fact.truth)
+        return program
+
+    def declare_predicate(self, predicate: Predicate) -> Predicate:
+        """Register a predicate declaration."""
+        return self.predicates.declare(predicate)
+
+    def declare(self, name: str, arg_types: Sequence[str], closed_world: bool = False) -> Predicate:
+        """Shorthand for declaring a predicate from its parts."""
+        return self.declare_predicate(Predicate(name, tuple(arg_types), closed_world))
+
+    def add_rule(self, formula: Formula, weight: float, name: Optional[str] = None) -> None:
+        """Add a first-order rule as a formula with a weight."""
+        rule_name = name or f"R{len(self.rules) + len(self._direct_clauses) + 1}"
+        self.rules.append(ParsedRule(formula, weight, rule_name))
+        self._clause_cache = None
+
+    def add_hard_rule(self, formula: Formula, name: Optional[str] = None) -> None:
+        self.add_rule(formula, HARD_WEIGHT, name)
+
+    def add_rule_text(self, text: str) -> None:
+        """Add a rule written in the Alchemy-style syntax."""
+        parser = MLNParser()
+        for predicate in self.predicates:
+            parser._predicates[predicate.name] = predicate
+        rule = parser.parse_rule_text(text)
+        rule.name = f"R{len(self.rules) + len(self._direct_clauses) + 1}"
+        self.rules.append(rule)
+        self._clause_cache = None
+
+    def add_clause(self, clause: WeightedClause) -> None:
+        """Add a rule already in clausal form (used by dataset generators)."""
+        self._direct_clauses.append(clause)
+        self._clause_cache = None
+
+    def add_evidence(
+        self, predicate_name: str, arguments: Sequence[str], truth: bool = True
+    ) -> GroundAtom:
+        """Add one evidence fact, updating the typed domains."""
+        predicate = self._predicate(predicate_name)
+        self._register_constants(predicate, arguments)
+        atom = make_atom(predicate, arguments)
+        self.evidence.append(EvidenceAtom(atom, truth))
+        return atom
+
+    def add_query_atom(self, predicate_name: str, arguments: Sequence[str]) -> GroundAtom:
+        """Explicitly add one query atom (an unknown the search must decide)."""
+        predicate = self._predicate(predicate_name)
+        if predicate.closed_world:
+            raise ProgramError(
+                f"predicate {predicate_name!r} is closed-world; it cannot have query atoms"
+            )
+        self._register_constants(predicate, arguments)
+        atom = make_atom(predicate, arguments)
+        self.query_atoms.append(atom)
+        return atom
+
+    def add_constants(self, type_name: str, values: Iterable[str]) -> None:
+        """Add constants to a typed domain without adding evidence."""
+        self.domains.add_constants(type_name, values)
+
+    # ------------------------------------------------------------------
+    # Derived artifacts
+    # ------------------------------------------------------------------
+
+    def clauses(self) -> ClauseSet:
+        """The program in clausal form (cached)."""
+        if self._clause_cache is None:
+            clause_set = ClauseSet()
+            for rule in self.rules:
+                converted = to_clausal_form(
+                    rule.formula, rule.weight, rule.name, self.domains
+                )
+                clause_set.extend(converted)
+            clause_set.extend(self._direct_clauses)
+            self._clause_cache = clause_set
+        return self._clause_cache
+
+    def build_atom_registry(self, generate_query_atoms: str = "cartesian") -> AtomRegistry:
+        """Build the atom registry the grounders consume.
+
+        ``generate_query_atoms`` is ``"cartesian"`` (every open-world
+        predicate gets one atom per combination of its argument domains —
+        matching the closed finite-domain semantics of MLNs) or
+        ``"explicit"`` (only atoms added via :meth:`add_query_atom`).
+        """
+        if generate_query_atoms not in ("cartesian", "explicit"):
+            raise ProgramError(
+                f"unknown query atom generation mode {generate_query_atoms!r}"
+            )
+        registry = AtomRegistry()
+        for fact in self.evidence:
+            registry.register(fact.atom, fact.truth)
+        for atom in self.query_atoms:
+            registry.register(atom, None)
+        if generate_query_atoms == "cartesian":
+            for predicate in self.predicates.query_predicates():
+                self._register_cartesian_atoms(predicate, registry)
+        return registry
+
+    def _register_cartesian_atoms(self, predicate: Predicate, registry: AtomRegistry) -> None:
+        domains = []
+        for type_name in predicate.arg_types:
+            if type_name not in self.domains or len(self.domains[type_name]) == 0:
+                # No constants of this type are known: the predicate has no
+                # possible groundings beyond those already registered.
+                return
+            domains.append([constant.value for constant in self.domains[type_name]])
+        for values in product(*domains):
+            registry.register(make_atom(predicate, values), None)
+
+    def statistics(self) -> DatasetStatistics:
+        """Dataset statistics in the shape of the paper's Table 1."""
+        registry = self.build_atom_registry()
+        return DatasetStatistics(
+            relations=len(self.predicates),
+            rules=len(self.rules) + len(self._direct_clauses),
+            entities=self.domains.total_constants(),
+            evidence_tuples=len(self.evidence),
+            query_atoms=len(registry.query_atom_ids()),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _predicate(self, name: str) -> Predicate:
+        try:
+            return self.predicates.get(name)
+        except KeyError as error:
+            raise ProgramError(str(error)) from error
+
+    def _register_constants(self, predicate: Predicate, arguments: Sequence[str]) -> None:
+        if len(arguments) != predicate.arity:
+            raise ProgramError(
+                f"predicate {predicate.name} expects {predicate.arity} arguments, "
+                f"got {len(arguments)}"
+            )
+        for type_name, value in zip(predicate.arg_types, arguments):
+            self.domains.add_constant(type_name, Constant(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MLNProgram({self.name!r}, predicates={len(self.predicates)}, "
+            f"rules={len(self.rules) + len(self._direct_clauses)}, "
+            f"evidence={len(self.evidence)})"
+        )

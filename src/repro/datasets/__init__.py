@@ -1,0 +1,48 @@
+"""Synthetic workload generators mirroring the paper's four testbeds.
+
+The original LP / IE / RC / ER datasets (UW-CSE, Citeseer, Cora) are not
+redistributable and are far larger than a laptop-scale reproduction needs.
+Each generator here reproduces the *structural signature* that drives the
+paper's results at a configurable scale:
+
+* **LP** (Link Prediction) — a dense, single-component MRF over
+  student/adviser relationships;
+* **IE** (Information Extraction) — thousands of tiny (2-atom / 3-atom)
+  components, one per citation segment, which is where component-aware
+  search shines;
+* **RC** (Relational Classification) — the paper's running example
+  (Figure 1): paper topic classification over a citation/co-author graph
+  that fragments into hundreds of components;
+* **ER** (Entity Resolution) — a transitive-closure style program whose MRF
+  is one large dense component (partitioning cuts many clauses).
+
+Additionally :mod:`repro.datasets.example1` and :mod:`repro.datasets.example2`
+build the synthetic MRFs of the paper's Examples 1 and 2 (used for the
+Theorem 3.1 / Figure 8 experiments), and :mod:`repro.datasets.synthetic`
+generates random programs for property-based testing.
+"""
+
+from repro.datasets.base import Dataset, DatasetScale
+from repro.datasets.er import generate_er
+from repro.datasets.example1 import example1_mrf, example1_store
+from repro.datasets.example2 import example2_mrf
+from repro.datasets.ie import generate_ie
+from repro.datasets.lp import generate_lp
+from repro.datasets.rc import generate_rc
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.synthetic import random_program
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "DatasetScale",
+    "example1_mrf",
+    "example1_store",
+    "example2_mrf",
+    "generate_er",
+    "generate_ie",
+    "generate_lp",
+    "generate_rc",
+    "load_dataset",
+    "random_program",
+]

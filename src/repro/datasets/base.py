@@ -1,0 +1,46 @@
+"""Common dataset types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.program import DatasetStatistics, MLNProgram
+
+
+@dataclass
+class DatasetScale:
+    """Knobs shared by all generators.
+
+    ``factor`` scales the default entity counts multiplicatively; the
+    benchmarks use ``factor=1.0`` (small, seconds-scale runs) and the scale
+    sweep benchmark increases it.
+    """
+
+    factor: float = 1.0
+    seed: int = 0
+
+    def scaled(self, count: int) -> int:
+        return max(int(round(count * self.factor)), 1)
+
+
+@dataclass
+class Dataset:
+    """A generated workload: the program plus descriptive metadata."""
+
+    name: str
+    program: MLNProgram
+    description: str
+    expected_components: Optional[int] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def statistics(self) -> DatasetStatistics:
+        return self.program.statistics()
+
+    def statistics_row(self) -> Dict[str, object]:
+        """One row of the Table 1 reproduction."""
+        row: Dict[str, object] = {"dataset": self.name}
+        row.update(self.statistics().as_dict())
+        if self.expected_components is not None:
+            row["#components (expected shape)"] = self.expected_components
+        return row

@@ -1,0 +1,52 @@
+"""Example 1 of the paper (Section 3.3): N identical two-atom components.
+
+Each component ``i`` has atoms ``X_i`` and ``Y_i`` and three weighted ground
+clauses::
+
+    (X_i, 1)   (Y_i, 1)   (X_i v Y_i, -1)
+
+The unique optimal state of a component is ``X_i = Y_i = True`` with cost 1,
+so the optimal cost of the whole MRF is ``N``.  The paper shows that
+WalkSAT run on the whole MRF needs an expected ``Ω(2^N)`` steps to reach the
+optimum, while component-aware WalkSAT needs ``O(N)`` — the motivating case
+for Theorem 3.1 and the workload behind Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.grounding.clause_table import GroundClauseStore
+from repro.mrf.graph import MRF
+
+
+def example1_store(n_components: int) -> GroundClauseStore:
+    """The ground clauses of Example 1 with ``n_components`` components.
+
+    Atom ids: component ``i`` (0-based) owns atoms ``2i+1`` (X) and ``2i+2`` (Y).
+    """
+    if n_components <= 0:
+        raise ValueError("n_components must be positive")
+    store = GroundClauseStore(merge_duplicates=False)
+    for index in range(n_components):
+        x_atom = 2 * index + 1
+        y_atom = 2 * index + 2
+        store.add((x_atom,), 1.0, source="example1-x")
+        store.add((y_atom,), 1.0, source="example1-y")
+        store.add((x_atom, y_atom), -1.0, source="example1-xy")
+    return store
+
+
+def example1_mrf(n_components: int) -> MRF:
+    """Example 1 as an MRF ready for search."""
+    return MRF.from_store(example1_store(n_components))
+
+
+def example1_optimal_cost(n_components: int) -> float:
+    """The optimal (minimum) cost: one unavoidable violation per component."""
+    return float(n_components)
+
+
+def example1_atom_ids(component_index: int) -> Tuple[int, int]:
+    """The (X, Y) atom ids of a 0-based component index."""
+    return 2 * component_index + 1, 2 * component_index + 2

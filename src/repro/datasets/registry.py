@@ -1,0 +1,28 @@
+"""Dataset lookup by name (used by benchmarks and examples)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.datasets.base import Dataset, DatasetScale
+from repro.datasets.er import generate_er
+from repro.datasets.ie import generate_ie
+from repro.datasets.lp import generate_lp
+from repro.datasets.rc import generate_rc
+
+_GENERATORS: Dict[str, Callable[[Optional[DatasetScale]], Dataset]] = {
+    "LP": generate_lp,
+    "IE": generate_ie,
+    "RC": generate_rc,
+    "ER": generate_er,
+}
+
+DATASET_NAMES = tuple(_GENERATORS)
+
+
+def load_dataset(name: str, scale: Optional[DatasetScale] = None) -> Dataset:
+    """Generate one of the four paper workloads by name (LP, IE, RC, ER)."""
+    key = name.upper()
+    if key not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(_GENERATORS)}")
+    return _GENERATORS[key](scale)

@@ -1,0 +1,81 @@
+"""Random MLN programs for property-based testing.
+
+The generated programs are intentionally tiny (a handful of constants and
+clauses) so that exhaustive checks — bottom-up vs top-down grounding
+equivalence, cost decomposition over components, optimizer plan equivalence
+— stay fast inside hypothesis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.program import MLNProgram
+from repro.logic.clauses import WeightedClause
+from repro.logic.literals import Literal
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Variable
+from repro.utils.rng import RandomSource
+
+
+def random_program(
+    seed: int = 0,
+    n_predicates: int = 3,
+    domain_size: int = 4,
+    n_clauses: int = 4,
+    max_literals: int = 3,
+    evidence_fraction: float = 0.3,
+    allow_negative_weights: bool = True,
+) -> MLNProgram:
+    """Generate a random, small, open-world MLN program.
+
+    All predicates are open-world (query predicates) over a single type
+    ``obj``, so the generated programs exercise the grounders without the
+    closed-world restrictions; evidence is a random subset of atoms with
+    random truth values.
+    """
+    rng = RandomSource(seed)
+    program = MLNProgram(f"synthetic-{seed}")
+    constants = [f"C{i}" for i in range(domain_size)]
+    program.add_constants("obj", constants)
+
+    predicates: List[Predicate] = []
+    for index in range(n_predicates):
+        arity = rng.randint(1, 2)
+        predicate = Predicate(f"p{index}", tuple(["obj"] * arity), closed_world=False)
+        program.declare_predicate(predicate)
+        predicates.append(predicate)
+
+    variables = [Variable(name) for name in ("x", "y", "z")]
+    for clause_index in range(n_clauses):
+        literal_count = rng.randint(1, max_literals)
+        literals = []
+        for _ in range(literal_count):
+            predicate = rng.pick(predicates)
+            arguments = []
+            for _position in range(predicate.arity):
+                if rng.random() < 0.75:
+                    arguments.append(rng.pick(variables[: rng.randint(1, len(variables))]))
+                else:
+                    arguments.append(Constant(rng.pick(constants)))
+            literals.append(Literal(predicate, tuple(arguments), positive=rng.coin(0.6)))
+        weight = round(rng.random() * 4 + 0.5, 2)
+        if allow_negative_weights and rng.random() < 0.2:
+            weight = -weight
+        program.add_clause(
+            WeightedClause(tuple(literals), weight, name=f"S{clause_index}")
+        )
+
+    # Random evidence over a subset of all possible atoms.
+    for predicate in predicates:
+        atoms = _all_atoms(predicate, constants)
+        for arguments in atoms:
+            if rng.random() < evidence_fraction:
+                program.add_evidence(predicate.name, arguments, truth=rng.coin(0.5))
+    return program
+
+
+def _all_atoms(predicate: Predicate, constants: List[str]) -> List[tuple]:
+    if predicate.arity == 1:
+        return [(constant,) for constant in constants]
+    return [(first, second) for first in constants for second in constants]

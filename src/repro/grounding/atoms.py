@@ -1,0 +1,128 @@
+"""The atom registry: ground atoms, their ids and their evidence truth values.
+
+Every ground atom (a possible instantiation of a predicate) receives a
+globally unique positive integer id.  Ids are positive so that a *signed*
+atom id can encode a ground literal: ``+aid`` for a positive literal,
+``-aid`` for a negated one — the same convention the paper's clause table
+uses for its ``lits`` array.
+
+An atom carries a three-valued truth attribute:
+
+* ``True`` / ``False`` — fixed by the evidence;
+* ``None`` — unknown; these are the random variables the search flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.logic.predicates import GroundAtom, Predicate
+
+
+@dataclass
+class AtomRecord:
+    """One registered atom: its id, identity and evidence truth value."""
+
+    atom_id: int
+    atom: GroundAtom
+    truth: Optional[bool]
+
+    @property
+    def is_evidence(self) -> bool:
+        return self.truth is not None
+
+    @property
+    def is_query(self) -> bool:
+        return self.truth is None
+
+
+class AtomRegistry:
+    """Assigns dense ids to ground atoms and records evidence truth values."""
+
+    def __init__(self) -> None:
+        self._records: List[AtomRecord] = []
+        self._by_key: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, atom: GroundAtom, truth: Optional[bool] = None) -> int:
+        """Register an atom (idempotently) and return its id.
+
+        Registering an already-known atom with a non-``None`` truth value
+        updates the stored truth value; conflicting evidence (True vs False
+        for the same atom) raises ``ValueError``.
+        """
+        key = (atom.predicate.name, atom.argument_values())
+        atom_id = self._by_key.get(key)
+        if atom_id is None:
+            atom_id = len(self._records) + 1
+            self._records.append(AtomRecord(atom_id, atom, truth))
+            self._by_key[key] = atom_id
+            return atom_id
+        record = self._records[atom_id - 1]
+        if truth is not None:
+            if record.truth is not None and record.truth != truth:
+                raise ValueError(f"conflicting evidence for atom {atom}")
+            record.truth = truth
+        return atom_id
+
+    def register_evidence(self, atom: GroundAtom, truth: bool) -> int:
+        return self.register(atom, truth)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, predicate_name: str, arguments: Sequence[str]) -> Optional[int]:
+        """Return the id of an atom, or ``None`` if it was never registered."""
+        return self._by_key.get((predicate_name, tuple(arguments)))
+
+    def record(self, atom_id: int) -> AtomRecord:
+        if not 1 <= atom_id <= len(self._records):
+            raise KeyError(f"unknown atom id {atom_id}")
+        return self._records[atom_id - 1]
+
+    def truth(self, atom_id: int) -> Optional[bool]:
+        return self.record(atom_id).truth
+
+    def atom(self, atom_id: int) -> GroundAtom:
+        return self.record(atom_id).atom
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AtomRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def query_atom_ids(self) -> List[int]:
+        """Ids of unknown (non-evidence) atoms — the search variables."""
+        return [record.atom_id for record in self._records if record.is_query]
+
+    def evidence_atom_ids(self) -> List[int]:
+        return [record.atom_id for record in self._records if record.is_evidence]
+
+    def count_by_predicate(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            name = record.atom.predicate.name
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def records_for_predicate(self, predicate: Predicate) -> List[AtomRecord]:
+        return [
+            record
+            for record in self._records
+            if record.atom.predicate.name == predicate.name
+        ]
+
+    def register_all(
+        self, atoms: Iterable[Tuple[GroundAtom, Optional[bool]]]
+    ) -> List[int]:
+        return [self.register(atom, truth) for atom, truth in atoms]

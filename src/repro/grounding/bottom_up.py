@@ -1,0 +1,198 @@
+"""Bottom-up (RDBMS-based) grounding — the paper's Section 3.1.
+
+The grounder materialises one atom table per predicate in the embedded
+relational engine, compiles every first-order clause into a conjunctive
+query (Algorithm 2) and lets the engine's optimizer choose join order and
+join algorithms.  The query results are turned into ground clauses with the
+evidence-pruning rules of Appendix A.3 applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.grounding.atoms import AtomRegistry
+from repro.grounding.clause_table import GroundClauseStore
+from repro.grounding.compiler import (
+    ClauseCompilation,
+    GroundingCompiler,
+    argument_column,
+    predicate_table_name,
+)
+from repro.grounding.pruning import LiteralOutcome, literal_outcome
+from repro.grounding.result import ClauseGroundingStats, GroundingResult
+from repro.logic.clauses import WeightedClause
+from repro.logic.predicates import Predicate
+from repro.rdbms.database import Database
+from repro.rdbms.optimizer import OptimizerOptions
+from repro.rdbms.schema import TableSchema
+from repro.rdbms.types import ColumnType
+from repro.utils.memory import MemoryModel
+from repro.utils.timer import Stopwatch
+
+
+def predicate_table_schema(predicate: Predicate) -> TableSchema:
+    """Schema of the atom table for a predicate: aid, arguments, truth."""
+    columns = [("aid", ColumnType.INTEGER)]
+    columns.extend(
+        (argument_column(position), ColumnType.TEXT) for position in range(predicate.arity)
+    )
+    columns.append(("truth", ColumnType.TRUTH))
+    return TableSchema.of(*columns)
+
+
+@dataclass
+class BottomUpGrounder:
+    """Grounds MLN clauses by running relational queries in the engine.
+
+    Parameters
+    ----------
+    database:
+        The engine instance to use; a fresh one is created when omitted.
+    optimizer_options:
+        Planner knobs (see :class:`~repro.rdbms.optimizer.OptimizerOptions`);
+        the lesion-study benchmark passes the restricted settings here.
+    merge_duplicates:
+        Merge identical ground clauses by summing weights (the default, and
+        what Tuffy does).
+    persist_clause_table:
+        Also write the resulting clause table into the database, mirroring
+        Tuffy's ``C(cid, lits, weight)`` table.
+    memory_model:
+        Optional analytic memory model; the bottom-up grounder charges only
+        the size of the *result* (ground clauses), because intermediate
+        join state lives inside the RDBMS, not in the inference process —
+        this is the asymmetry behind the paper's Table 4.
+    """
+
+    database: Optional[Database] = None
+    optimizer_options: Optional[OptimizerOptions] = None
+    merge_duplicates: bool = True
+    persist_clause_table: bool = True
+    memory_model: Optional[MemoryModel] = None
+
+    def __post_init__(self) -> None:
+        if self.database is None:
+            self.database = Database()
+        self._compiler = GroundingCompiler()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def ground(
+        self,
+        clauses: Iterable[WeightedClause],
+        atoms: AtomRegistry,
+    ) -> GroundingResult:
+        """Ground all clauses against the given atom registry."""
+        clauses = list(clauses)
+        total = Stopwatch()
+        with total.measure():
+            self._load_atom_tables(clauses, atoms)
+            store = GroundClauseStore(merge_duplicates=self.merge_duplicates)
+            per_clause: List[ClauseGroundingStats] = []
+            for clause in clauses:
+                per_clause.append(self._ground_clause(clause, atoms, store))
+            if self.persist_clause_table:
+                store.store_in_database(self.database)
+        if self.memory_model is not None:
+            self.memory_model.charge_clauses(
+                len(store), store.total_literals(), category="clause_table"
+            )
+            self.memory_model.charge_atoms(len(atoms), category="atoms")
+        result = GroundingResult(
+            atoms=atoms,
+            clauses=store,
+            seconds=total.total,
+            per_clause=per_clause,
+            intermediate_tuples=0,
+            strategy="bottom-up",
+        )
+        return result
+
+    def compiled_sql(self, clauses: Iterable[WeightedClause]) -> Dict[str, str]:
+        """The SQL text for each clause (for documentation and tests)."""
+        statements: Dict[str, str] = {}
+        for clause in clauses:
+            compilation = self._compiler.compile(clause)
+            if compilation.sql is not None:
+                statements[clause.name or str(clause)] = compilation.sql
+        return statements
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _load_atom_tables(
+        self, clauses: Sequence[WeightedClause], atoms: AtomRegistry
+    ) -> None:
+        predicates: Dict[str, Predicate] = {}
+        for clause in clauses:
+            for predicate in clause.predicates():
+                predicates[predicate.name] = predicate
+        for predicate in predicates.values():
+            table_name = predicate_table_name(predicate)
+            schema = predicate_table_schema(predicate)
+            if self.database.has_table(table_name):
+                self.database.table(table_name).truncate()
+            else:
+                self.database.create_table(table_name, schema)
+            rows = [
+                (record.atom_id, *record.atom.argument_values(), record.truth)
+                for record in atoms.records_for_predicate(predicate)
+            ]
+            self.database.bulk_load(table_name, rows)
+
+    def _ground_clause(
+        self,
+        clause: WeightedClause,
+        atoms: AtomRegistry,
+        store: GroundClauseStore,
+    ) -> ClauseGroundingStats:
+        stopwatch = Stopwatch()
+        produced = 0
+        with stopwatch.measure():
+            compilation = self._compiler.compile(clause)
+            if compilation.query is None:
+                return ClauseGroundingStats(
+                    clause_name=clause.name or str(clause),
+                    ground_clauses=0,
+                    pruned_bindings=0,
+                    seconds=stopwatch.total,
+                    sql=None,
+                )
+            result = self.database.execute(compilation.query, self.optimizer_options)
+            aid_positions = [
+                result.schema.position(literal.aid_output) for literal in compilation.literals
+            ]
+            truth_positions = [
+                result.schema.position(literal.truth_output) for literal in compilation.literals
+            ]
+            signs = [literal.literal.positive for literal in compilation.literals]
+            for row in result.rows:
+                literals: List[int] = []
+                satisfied = False
+                for aid_position, truth_position, positive in zip(
+                    aid_positions, truth_positions, signs
+                ):
+                    outcome = literal_outcome(row[truth_position], positive)
+                    if outcome is LiteralOutcome.SATISFIES:
+                        satisfied = True
+                        break
+                    if outcome is LiteralOutcome.UNKNOWN:
+                        atom_id = row[aid_position]
+                        literals.append(atom_id if positive else -atom_id)
+                if satisfied:
+                    store.record_satisfied_by_evidence()
+                    continue
+                store.add(literals, clause.weight, clause.name)
+                produced += 1
+        return ClauseGroundingStats(
+            clause_name=clause.name or str(clause),
+            ground_clauses=produced,
+            pruned_bindings=0,
+            seconds=stopwatch.total,
+            sql=compilation.sql,
+        )

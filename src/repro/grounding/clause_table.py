@@ -1,0 +1,223 @@
+"""Ground clauses and the clause store (the paper's table ``C(cid, lits, weight)``).
+
+A ground clause is a weighted disjunction over *signed atom ids*: ``+aid``
+means the clause contains the atom positively, ``-aid`` negatively.  Only
+atoms whose truth value is unknown appear; literals already decided by the
+evidence are resolved at grounding time (a satisfied literal removes the
+whole clause, an unsatisfied one is dropped from the disjunction).
+
+Duplicate ground clauses over the same literal set are merged by summing
+their weights, which is what both Alchemy and Tuffy do, and which keeps the
+search cost function identical while shrinking the clause table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdbms.database import Database
+from repro.rdbms.schema import TableSchema
+from repro.rdbms.types import ColumnType
+
+CLAUSE_TABLE_NAME = "ground_clauses"
+
+
+@dataclass
+class GroundClause:
+    """A single ground clause.
+
+    ``literals`` is a tuple of non-zero signed atom ids; ``weight`` may be
+    negative (the clause is violated when *satisfied*) or infinite (hard).
+    ``source`` names the first-order rule this clause was instantiated from.
+    """
+
+    clause_id: int
+    literals: Tuple[int, ...]
+    weight: float
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if any(literal == 0 for literal in self.literals):
+            raise ValueError("literal ids must be non-zero signed integers")
+
+    @property
+    def is_hard(self) -> bool:
+        return math.isinf(self.weight)
+
+    @property
+    def atom_ids(self) -> Tuple[int, ...]:
+        return tuple(abs(literal) for literal in self.literals)
+
+    def is_satisfied(self, assignment: Sequence[bool]) -> bool:
+        """Whether the clause is satisfied under a 1-indexed truth assignment.
+
+        ``assignment`` is indexable by atom id (index 0 is unused).
+        """
+        for literal in self.literals:
+            value = assignment[abs(literal)]
+            if (literal > 0 and value) or (literal < 0 and not value):
+                return True
+        return False
+
+    def is_violated(self, assignment: Sequence[bool]) -> bool:
+        """Violation in the paper's sense: w>0 and unsatisfied, or w<0 and satisfied."""
+        satisfied = self.is_satisfied(assignment)
+        if self.weight >= 0:
+            return not satisfied
+        return satisfied
+
+    def violation_cost(self, assignment: Sequence[bool]) -> float:
+        return abs(self.weight) if self.is_violated(assignment) else 0.0
+
+    def canonical_key(self) -> Tuple[int, ...]:
+        """A key identifying clauses with the same literal set."""
+        return tuple(sorted(set(self.literals)))
+
+
+class GroundClauseStore:
+    """An append-only collection of ground clauses with duplicate merging."""
+
+    def __init__(self, merge_duplicates: bool = True) -> None:
+        self.merge_duplicates = merge_duplicates
+        self._clauses: List[GroundClause] = []
+        self._by_key: Dict[Tuple[int, ...], int] = {}
+        self.evidence_violation_cost = 0.0
+        self.satisfied_by_evidence = 0
+        self.tautologies = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(
+        self,
+        literals: Sequence[int],
+        weight: float,
+        source: Optional[str] = None,
+    ) -> Optional[GroundClause]:
+        """Add a ground clause, merging with an existing identical one.
+
+        Returns the stored clause, or ``None`` when the clause was empty
+        (fully decided by evidence) and only affected the constant cost.
+        """
+        # Repeated identical literals in a disjunction are redundant; dropping
+        # them keeps the cost function identical and makes the stored clause
+        # independent of the order groundings were produced in.
+        literals = tuple(dict.fromkeys(literals))
+        if not literals:
+            # An empty clause cannot be satisfied by any assignment: if its
+            # weight is positive it contributes a constant violation cost.
+            if weight > 0 and not math.isinf(weight):
+                self.evidence_violation_cost += weight
+            return None
+        atom_ids = {abs(literal) for literal in literals}
+        if len(atom_ids) < len(set(literals)):
+            # The clause contains both an atom and its negation: it is a
+            # tautology, satisfied in every world, and carries no information.
+            self.tautologies += 1
+            return None
+        if self.merge_duplicates and not math.isinf(weight):
+            key = tuple(sorted(set(literals)))
+            existing_index = self._by_key.get(key)
+            if existing_index is not None:
+                existing = self._clauses[existing_index]
+                if not existing.is_hard:
+                    merged = GroundClause(
+                        existing.clause_id,
+                        existing.literals,
+                        existing.weight + weight,
+                        existing.source,
+                    )
+                    self._clauses[existing_index] = merged
+                    return merged
+        clause = GroundClause(len(self._clauses) + 1, literals, weight, source)
+        self._clauses.append(clause)
+        if self.merge_duplicates and not math.isinf(weight):
+            self._by_key[clause.canonical_key()] = len(self._clauses) - 1
+        return clause
+
+    def record_satisfied_by_evidence(self) -> None:
+        self.satisfied_by_evidence += 1
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[GroundClause]:
+        return iter(self._clauses)
+
+    def __getitem__(self, index: int) -> GroundClause:
+        return self._clauses[index]
+
+    def clauses(self) -> List[GroundClause]:
+        return list(self._clauses)
+
+    def atom_ids(self) -> List[int]:
+        """All distinct atom ids referenced by any clause, sorted."""
+        seen = set()
+        for clause in self._clauses:
+            seen.update(clause.atom_ids)
+        return sorted(seen)
+
+    def total_literals(self) -> int:
+        return sum(len(clause.literals) for clause in self._clauses)
+
+    def hard_clause_count(self) -> int:
+        return sum(1 for clause in self._clauses if clause.is_hard)
+
+    # ------------------------------------------------------------------
+    # RDBMS persistence
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def table_schema() -> TableSchema:
+        """Schema of the clause table ``C(cid, lits, weight)`` (paper §3.1)."""
+        return TableSchema.of(
+            ("cid", ColumnType.INTEGER),
+            ("lits", ColumnType.TEXT),
+            ("weight", ColumnType.REAL),
+            ("source", ColumnType.TEXT),
+        )
+
+    def store_in_database(self, database: Database, table_name: str = CLAUSE_TABLE_NAME) -> None:
+        """Materialise the clause store into an RDBMS table."""
+        if not database.has_table(table_name):
+            database.create_table(table_name, self.table_schema())
+        else:
+            database.table(table_name).truncate()
+        rows = [
+            (
+                clause.clause_id,
+                " ".join(str(literal) for literal in clause.literals),
+                1e300 if clause.is_hard else clause.weight,
+                clause.source or "",
+            )
+            for clause in self._clauses
+        ]
+        database.bulk_load(table_name, rows)
+
+    @classmethod
+    def load_from_database(
+        cls, database: Database, table_name: str = CLAUSE_TABLE_NAME
+    ) -> "GroundClauseStore":
+        """Re-read a clause store previously written with :meth:`store_in_database`."""
+        store = cls(merge_duplicates=False)
+        table = database.table(table_name)
+        cid_pos = table.schema.position("cid")
+        lits_pos = table.schema.position("lits")
+        weight_pos = table.schema.position("weight")
+        source_pos = table.schema.position("source")
+        for row in table.scan(charge_io=True):
+            literals = tuple(int(token) for token in row[lits_pos].split())
+            weight = row[weight_pos]
+            if weight >= 1e300:
+                weight = math.inf
+            store._clauses.append(
+                GroundClause(row[cid_pos], literals, weight, row[source_pos] or None)
+            )
+        return store

@@ -1,0 +1,96 @@
+"""Lazy inference / active closure (the paper's Appendix A.3).
+
+Alchemy's lazy inference assumes that most atoms stay false throughout the
+search.  A ground clause is *active* if it can be violated by flipping only
+*active* atoms (an atom is active once its value can change).  Starting from
+the clauses violated by the all-false assignment, the closure alternates
+"activate the atoms of active clauses" and "activate the clauses that can be
+violated using only active atoms" until a fixed point is reached.
+
+Tuffy implements the same closure; this module applies it to an
+already-materialised :class:`~repro.grounding.clause_table.GroundClauseStore`
+and returns the active subset, which is what the search phase then keeps in
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set
+
+from repro.grounding.clause_table import GroundClause, GroundClauseStore
+
+
+@dataclass
+class ActiveClosure:
+    """The result of the closure: active clauses and active atoms."""
+
+    clauses: List[GroundClause]
+    atoms: FrozenSet[int]
+    iterations: int
+
+    def as_store(self, merge_duplicates: bool = False) -> GroundClauseStore:
+        """Repackage the active clauses as a store for downstream stages."""
+        store = GroundClauseStore(merge_duplicates=merge_duplicates)
+        for clause in self.clauses:
+            store.add(clause.literals, clause.weight, clause.source)
+        return store
+
+
+def _violated_when_all_false(clause: GroundClause) -> bool:
+    """Violation status of a clause under the all-false assignment."""
+    satisfied = any(literal < 0 for literal in clause.literals)
+    if clause.weight >= 0:
+        return not satisfied
+    return satisfied
+
+
+def _can_be_violated(clause: GroundClause, active_atoms: Set[int]) -> bool:
+    """Whether flipping only active atoms (others false) can violate the clause.
+
+    * For ``weight >= 0`` the clause must be *unsatisfiable* by the inactive
+      atoms alone: any negative literal over an inactive (hence false) atom
+      permanently satisfies it, so it can never be violated.
+    * For ``weight < 0`` the clause is violated when *satisfied*; it can be
+      satisfied either by a negative literal over an inactive atom or by any
+      literal over an active atom.
+    """
+    if clause.weight >= 0:
+        return all(
+            literal > 0 or abs(literal) in active_atoms for literal in clause.literals
+        )
+    for literal in clause.literals:
+        if literal < 0 and abs(literal) not in active_atoms:
+            return True
+        if abs(literal) in active_atoms:
+            return True
+    return False
+
+
+def active_closure(store: GroundClauseStore, max_iterations: int = 100) -> ActiveClosure:
+    """Compute the active closure of a ground clause store."""
+    active_atoms: Set[int] = set()
+    active_clause_ids: Set[int] = set()
+    clauses = store.clauses()
+
+    # Seed: clauses violated when every query atom is false.
+    for clause in clauses:
+        if _violated_when_all_false(clause):
+            active_clause_ids.add(clause.clause_id)
+            active_atoms.update(clause.atom_ids)
+
+    iterations = 0
+    changed = True
+    while changed and iterations < max_iterations:
+        changed = False
+        iterations += 1
+        for clause in clauses:
+            if clause.clause_id in active_clause_ids:
+                continue
+            if _can_be_violated(clause, active_atoms):
+                active_clause_ids.add(clause.clause_id)
+                active_atoms.update(clause.atom_ids)
+                changed = True
+
+    active = [clause for clause in clauses if clause.clause_id in active_clause_ids]
+    return ActiveClosure(active, frozenset(active_atoms), iterations)

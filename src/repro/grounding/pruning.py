@@ -1,0 +1,38 @@
+"""Shared evidence-pruning helpers used by both grounders.
+
+The rules implemented here are the ones described in Appendix A.3 of the
+paper: a ground clause that the evidence already satisfies can be discarded,
+and a literal whose atom the evidence has already decided (but which does
+not satisfy the clause) can be dropped from the clause.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+
+class LiteralOutcome(Enum):
+    """What the evidence says about one literal of a candidate ground clause."""
+
+    UNKNOWN = "unknown"          # the atom is a query atom: keep the literal
+    SATISFIES = "satisfies"      # the literal is true in the evidence: prune the clause
+    DROPPED = "dropped"          # the literal is false in the evidence: drop it
+
+
+def literal_outcome(truth: Optional[bool], positive: bool) -> LiteralOutcome:
+    """Classify a literal given its atom's evidence truth value."""
+    if truth is None:
+        return LiteralOutcome.UNKNOWN
+    literal_is_true = truth if positive else not truth
+    return LiteralOutcome.SATISFIES if literal_is_true else LiteralOutcome.DROPPED
+
+
+def equality_satisfies_clause(left_value: str, right_value: str, positive: bool) -> bool:
+    """Whether a ground (in)equality constraint satisfies its clause.
+
+    A positive constraint (``a = b``) satisfies the clause when the values
+    are equal; a negative one (``a != b``) when they differ.
+    """
+    equal = left_value == right_value
+    return equal if positive else not equal

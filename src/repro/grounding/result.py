@@ -1,0 +1,57 @@
+"""The output of a grounding run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.grounding.atoms import AtomRegistry
+from repro.grounding.clause_table import GroundClauseStore
+
+
+@dataclass
+class ClauseGroundingStats:
+    """Per first-order-clause grounding statistics."""
+
+    clause_name: str
+    ground_clauses: int
+    pruned_bindings: int
+    seconds: float
+    sql: Optional[str] = None
+
+
+@dataclass
+class GroundingResult:
+    """Everything the search phase needs, plus grounding diagnostics."""
+
+    atoms: AtomRegistry
+    clauses: GroundClauseStore
+    seconds: float = 0.0
+    per_clause: List[ClauseGroundingStats] = field(default_factory=list)
+    intermediate_tuples: int = 0
+    strategy: str = "bottom-up"
+
+    @property
+    def ground_clause_count(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def atom_count(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def query_atom_count(self) -> int:
+        return len(self.atoms.query_atom_ids())
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary used by reports and benchmarks."""
+        return {
+            "strategy": self.strategy,
+            "seconds": self.seconds,
+            "atoms": self.atom_count,
+            "query_atoms": self.query_atom_count,
+            "ground_clauses": self.ground_clause_count,
+            "literals": self.clauses.total_literals(),
+            "hard_clauses": self.clauses.hard_clause_count(),
+            "intermediate_tuples": self.intermediate_tuples,
+        }

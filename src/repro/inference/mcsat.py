@@ -1,0 +1,139 @@
+"""MC-SAT marginal inference (paper, Appendix A.5).
+
+MC-SAT is a slice sampler over possible worlds: at every step it selects a
+random subset ``M`` of the ground clauses that the current world satisfies
+(a clause with weight ``w > 0`` is selected with probability
+``1 - exp(-w)``; hard clauses are always selected), then draws the next
+world near-uniformly from the assignments satisfying every clause in ``M``
+using SampleSAT.  Averaging atom truth values across samples estimates the
+marginal probabilities.
+
+Negative-weight ground clauses are handled by selecting them, when currently
+*unsatisfied*, as constraints requiring the clause to stay unsatisfied — the
+clause's negation, a conjunction of unit literals, is added to ``M``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.grounding.clause_table import GroundClause
+from repro.inference.samplesat import SampleSAT, SampleSATOptions
+from repro.mrf.cost import clause_satisfied
+from repro.mrf.graph import MRF
+from repro.utils.rng import RandomSource
+
+
+@dataclass
+class MarginalResult:
+    """Estimated marginal probabilities of atoms being true."""
+
+    probabilities: Dict[int, float]
+    samples: int
+    burn_in: int
+
+    def probability(self, atom_id: int) -> float:
+        return self.probabilities.get(atom_id, 0.0)
+
+    def most_likely(self, threshold: float = 0.5) -> Dict[int, bool]:
+        """Threshold the marginals into a hard assignment."""
+        return {atom_id: p >= threshold for atom_id, p in self.probabilities.items()}
+
+
+@dataclass
+class MCSatOptions:
+    """Tuning parameters for MC-SAT."""
+
+    samples: int = 100
+    burn_in: int = 10
+    samplesat: SampleSATOptions = field(default_factory=SampleSATOptions)
+
+    def __post_init__(self) -> None:
+        if self.samples <= 0:
+            raise ValueError("samples must be positive")
+        if self.burn_in < 0:
+            raise ValueError("burn_in cannot be negative")
+
+
+class MCSat:
+    """The MC-SAT sampler."""
+
+    def __init__(
+        self,
+        options: Optional[MCSatOptions] = None,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self.options = options or MCSatOptions()
+        self.rng = rng or RandomSource(0)
+
+    def run(self, mrf: MRF, initial_assignment: Optional[Mapping[int, bool]] = None) -> MarginalResult:
+        """Estimate marginal probabilities of every atom in the MRF."""
+        options = self.options
+        sampler = SampleSAT(options.samplesat, self.rng.spawn(97))
+        atom_ids = list(mrf.atom_ids)
+
+        # Initial state: satisfy the hard clauses (the sampler treats them as
+        # constraints) starting from all-false.
+        hard = [clause for clause in mrf.clauses if clause.is_hard]
+        current = sampler.sample(hard, atom_ids, initial_assignment)
+
+        true_counts: Dict[int, int] = {atom_id: 0 for atom_id in atom_ids}
+        kept_samples = 0
+        total_iterations = options.samples + options.burn_in
+        for iteration in range(total_iterations):
+            constraints = self._select_clauses(mrf.clauses, current)
+            # The ideal MC-SAT step draws uniformly from the assignments
+            # satisfying M, independently of the current state; starting
+            # SampleSAT from a fresh random state approximates that and
+            # mixes far better than warm-starting from the current world.
+            current = sampler.sample(constraints, atom_ids, None)
+            if iteration >= options.burn_in:
+                kept_samples += 1
+                for atom_id in atom_ids:
+                    if current.get(atom_id, False):
+                        true_counts[atom_id] += 1
+
+        probabilities = {
+            atom_id: true_counts[atom_id] / kept_samples if kept_samples else 0.0
+            for atom_id in atom_ids
+        }
+        return MarginalResult(probabilities, kept_samples, options.burn_in)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _select_clauses(
+        self, clauses: Sequence[GroundClause], assignment: Mapping[int, bool]
+    ) -> List[GroundClause]:
+        """The random clause subset M for one MC-SAT step."""
+        selected: List[GroundClause] = []
+        next_id = 1
+        for clause in clauses:
+            satisfied = clause_satisfied(clause, assignment)
+            if clause.is_hard and clause.weight > 0:
+                selected.append(GroundClause(next_id, clause.literals, 1.0, clause.source))
+                next_id += 1
+                continue
+            if clause.weight > 0 and satisfied:
+                if self.rng.random() < 1.0 - math.exp(-clause.weight):
+                    selected.append(
+                        GroundClause(next_id, clause.literals, 1.0, clause.source)
+                    )
+                    next_id += 1
+            elif clause.weight < 0 and not satisfied:
+                keep_probability = 1.0 - math.exp(-abs(clause.weight))
+                if math.isinf(clause.weight):
+                    keep_probability = 1.0
+                if self.rng.random() < keep_probability:
+                    # Require the clause to remain unsatisfied: every literal
+                    # must stay false, i.e. add the negation of each literal
+                    # as a unit constraint.
+                    for literal in clause.literals:
+                        selected.append(
+                            GroundClause(next_id, (-literal,), 1.0, clause.source)
+                        )
+                        next_id += 1
+        return selected

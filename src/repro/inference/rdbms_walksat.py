@@ -1,0 +1,261 @@
+"""RDBMS-backed WalkSAT — the paper's Tuffy-mm variant (Appendix B.2).
+
+When the ground MRF does not fit in main memory, Tuffy falls back to running
+the search *inside* the RDBMS.  The paper reports that this is three to five
+orders of magnitude slower per flip (Table 3), because every step performs
+random accesses to on-disk clause and atom data, each paying page-I/O and
+MVCC overhead.
+
+This implementation reproduces that architecture against the embedded
+engine: the clause table and the atom assignment table live in the storage
+manager, and each WalkSAT step
+
+* scans the clause table to find the violated clauses (sequential page
+  reads charged to the simulated clock),
+* evaluates candidate flips by re-reading the affected clauses (random page
+  reads), and
+* writes the flipped atom back (a random page write).
+
+Correctness is identical to the in-memory search (same algorithm, same
+RNG); only the charged cost differs, which is exactly the comparison the
+paper makes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.grounding.clause_table import GroundClauseStore
+from repro.inference.tracing import TimeCostTrace
+from repro.inference.walksat import WalkSATOptions, WalkSATResult
+from repro.mrf.graph import MRF
+from repro.rdbms.database import Database
+from repro.rdbms.schema import TableSchema
+from repro.rdbms.types import ColumnType
+from repro.utils.clock import SimulatedClock, WallClock
+from repro.utils.rng import RandomSource
+
+ATOM_TABLE = "search_atoms"
+CLAUSE_TABLE = "search_clauses"
+
+
+@dataclass
+class _StoredClause:
+    """Location and content of one clause row in the storage manager."""
+
+    page: int
+    slot: int
+    literals: Tuple[int, ...]
+    weight: float
+    is_hard: bool
+
+
+class RDBMSWalkSAT:
+    """WalkSAT whose working state lives in the relational storage layer."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        options: Optional[WalkSATOptions] = None,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self.database = database or Database()
+        self.options = options or WalkSATOptions(max_flips=1_000, trace_label="tuffy-mm")
+        self.rng = rng or RandomSource(0)
+        self.clock: SimulatedClock = self.database.clock
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        mrf: MRF,
+        initial_assignment: Optional[Mapping[int, bool]] = None,
+    ) -> WalkSATResult:
+        wall = WallClock()
+        atom_locations, clause_rows = self._load_tables(mrf)
+        assignment = {atom_id: False for atom_id in mrf.atom_ids}
+        if initial_assignment:
+            for atom_id, value in initial_assignment.items():
+                if atom_id in assignment:
+                    assignment[atom_id] = bool(value)
+
+        hard_penalty = max(
+            10.0 * sum(abs(c.weight) for c in mrf.clauses if not c.is_hard), 10.0
+        )
+        trace = TimeCostTrace(self.options.trace_label)
+        best_cost = math.inf
+        best_assignment = dict(assignment)
+        flips = 0
+        options = self.options
+
+        for _try in range(options.max_tries):
+            if options.random_restarts and initial_assignment is None:
+                for atom_id in assignment:
+                    assignment[atom_id] = self.rng.coin()
+            for _flip in range(options.max_flips):
+                if options.deadline_seconds is not None and self.clock.now() >= options.deadline_seconds:
+                    break
+                violated, cost = self._scan_violations(clause_rows, assignment, hard_penalty)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_assignment = dict(assignment)
+                    trace.record(self.clock.now(), best_cost, flips)
+                if options.target_cost is not None and best_cost <= options.target_cost:
+                    break
+                if not violated:
+                    break
+                clause = self.rng.pick(violated)
+                atom_id = self._choose_atom(
+                    clause, clause_rows, assignment, hard_penalty
+                )
+                assignment[atom_id] = not assignment[atom_id]
+                self._write_atom(atom_locations[atom_id], atom_id, assignment[atom_id])
+                flips += 1
+                self.clock.charge("rdbms_flip_overhead")
+            if options.target_cost is not None and best_cost <= options.target_cost:
+                break
+
+        # Account for the final state as well.
+        _, final_cost = self._scan_violations(clause_rows, assignment, hard_penalty)
+        if final_cost < best_cost:
+            best_cost = final_cost
+            best_assignment = dict(assignment)
+            trace.record(self.clock.now(), best_cost, flips)
+
+        return WalkSATResult(
+            best_assignment=best_assignment,
+            best_cost=best_cost,
+            flips=flips,
+            tries=1,
+            seconds=wall.elapsed(),
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Storage interaction
+    # ------------------------------------------------------------------
+
+    def _load_tables(
+        self, mrf: MRF
+    ) -> Tuple[Dict[int, Tuple[int, int]], List[_StoredClause]]:
+        """Materialise the atom and clause tables in the storage manager."""
+        atom_schema = TableSchema.of(("aid", ColumnType.INTEGER), ("value", ColumnType.BOOLEAN))
+        clause_schema = GroundClauseStore.table_schema()
+        for name, schema in ((ATOM_TABLE, atom_schema), (CLAUSE_TABLE, clause_schema)):
+            if self.database.has_table(name):
+                self.database.table(name).truncate()
+            else:
+                self.database.create_table(name, schema)
+
+        storage = self.database.storage
+        atom_locations: Dict[int, Tuple[int, int]] = {}
+        atom_table = self.database.table(ATOM_TABLE)
+        for atom_id in mrf.atom_ids:
+            row = atom_table.schema.validate_row((atom_id, False))
+            atom_table.rows.append(row)
+            atom_locations[atom_id] = storage.append_row(ATOM_TABLE, row)
+
+        clause_rows: List[_StoredClause] = []
+        clause_table = self.database.table(CLAUSE_TABLE)
+        for clause in mrf.clauses:
+            weight = 1e300 if clause.is_hard else clause.weight
+            row = clause_table.schema.validate_row(
+                (
+                    clause.clause_id,
+                    " ".join(str(literal) for literal in clause.literals),
+                    weight,
+                    clause.source or "",
+                )
+            )
+            clause_table.rows.append(row)
+            page, slot = storage.append_row(CLAUSE_TABLE, row)
+            clause_rows.append(
+                _StoredClause(page, slot, clause.literals, clause.weight, clause.is_hard)
+            )
+        return atom_locations, clause_rows
+
+    def _scan_violations(
+        self,
+        clause_rows: List[_StoredClause],
+        assignment: Dict[int, bool],
+        hard_penalty: float,
+    ) -> Tuple[List[_StoredClause], float]:
+        """One pass over the on-disk clause table (sequential page reads)."""
+        pages = {clause.page for clause in clause_rows}
+        self.clock.charge("sequential_page_read", count=len(pages))
+        violated: List[_StoredClause] = []
+        cost = 0.0
+        for clause in clause_rows:
+            satisfied = any(
+                assignment.get(abs(literal), False) == (literal > 0)
+                for literal in clause.literals
+            )
+            is_violated = satisfied if clause.weight < 0 else not satisfied
+            if is_violated:
+                violated.append(clause)
+                cost += hard_penalty if clause.is_hard else abs(clause.weight)
+        return violated, cost
+
+    def _choose_atom(
+        self,
+        clause: _StoredClause,
+        clause_rows: List[_StoredClause],
+        assignment: Dict[int, bool],
+        hard_penalty: float,
+    ) -> int:
+        atom_ids = sorted({abs(literal) for literal in clause.literals})
+        if len(atom_ids) == 1:
+            return atom_ids[0]
+        if self.rng.random() <= self.options.noise:
+            return self.rng.pick(atom_ids)
+        best_atom = atom_ids[0]
+        best_delta = self._delta_cost(best_atom, clause_rows, assignment, hard_penalty)
+        for atom_id in atom_ids[1:]:
+            delta = self._delta_cost(atom_id, clause_rows, assignment, hard_penalty)
+            if delta < best_delta:
+                best_delta = delta
+                best_atom = atom_id
+        return best_atom
+
+    def _delta_cost(
+        self,
+        atom_id: int,
+        clause_rows: List[_StoredClause],
+        assignment: Dict[int, bool],
+        hard_penalty: float,
+    ) -> float:
+        """Cost delta of flipping one atom; re-reads the clauses that mention it."""
+        delta = 0.0
+        touched_pages = set()
+        for clause in clause_rows:
+            if atom_id not in {abs(literal) for literal in clause.literals}:
+                continue
+            touched_pages.add(clause.page)
+            weight = hard_penalty if clause.is_hard else abs(clause.weight)
+            before = self._violated(clause, assignment)
+            assignment[atom_id] = not assignment[atom_id]
+            after = self._violated(clause, assignment)
+            assignment[atom_id] = not assignment[atom_id]
+            if before and not after:
+                delta -= weight
+            elif not before and after:
+                delta += weight
+        # Random reads of the pages containing the affected clauses.
+        self.clock.charge("page_read", count=len(touched_pages))
+        return delta
+
+    @staticmethod
+    def _violated(clause: _StoredClause, assignment: Dict[int, bool]) -> bool:
+        satisfied = any(
+            assignment.get(abs(literal), False) == (literal > 0)
+            for literal in clause.literals
+        )
+        return satisfied if clause.weight < 0 else not satisfied
+
+    def _write_atom(self, location: Tuple[int, int], atom_id: int, value: bool) -> None:
+        page, slot = location
+        self.database.storage.write_row(ATOM_TABLE, page, slot, (atom_id, value))

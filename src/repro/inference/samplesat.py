@@ -1,0 +1,120 @@
+"""SampleSAT: near-uniform sampling of satisfying assignments.
+
+MC-SAT (Appendix A.5 of the paper) requires, at every step, a sample drawn
+near-uniformly from the assignments satisfying a chosen subset of clauses.
+SampleSAT (Wei, Erenrich and Selman, 2004) achieves this by mixing WalkSAT
+moves (which drive towards satisfaction) with simulated-annealing moves
+(which give the chain its near-uniform stationary behaviour).
+
+Two details matter for ergodicity of the enclosing MC-SAT chain:
+
+* the sampler keeps moving for a number of *mixing steps* after it first
+  satisfies the constraints, so atoms that the constraints do not pin down
+  get re-randomised rather than frozen at their previous values, and
+* it returns the most recent *satisfying* assignment it visited (falling
+  back to the current state only if it never satisfied everything).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.grounding.clause_table import GroundClause
+from repro.inference.state import SearchState
+from repro.mrf.graph import MRF
+from repro.utils.rng import RandomSource
+
+
+@dataclass
+class SampleSATOptions:
+    """Tuning parameters for SampleSAT."""
+
+    max_flips: int = 3_000
+    mixing_steps: int = 200
+    walksat_probability: float = 0.5
+    temperature: float = 0.5
+    noise: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.walksat_probability <= 1.0:
+            raise ValueError("walksat_probability must be within [0, 1]")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.max_flips <= 0:
+            raise ValueError("max_flips must be positive")
+        if self.mixing_steps < 0:
+            raise ValueError("mixing_steps cannot be negative")
+
+
+class SampleSAT:
+    """Samples an assignment satisfying (as many as possible of) the clauses."""
+
+    def __init__(
+        self,
+        options: Optional[SampleSATOptions] = None,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self.options = options or SampleSATOptions()
+        self.rng = rng or RandomSource(0)
+
+    def sample(
+        self,
+        clauses: Sequence[GroundClause],
+        atom_ids: Sequence[int],
+        initial_assignment: Optional[Mapping[int, bool]] = None,
+    ) -> Dict[int, bool]:
+        """Return an assignment satisfying the clauses (best-effort).
+
+        All clauses are treated as *constraints*: their weights are ignored
+        and the sampler simply tries to satisfy every one of them, starting
+        from ``initial_assignment`` (or a random state).
+        """
+        constraints = [
+            GroundClause(index + 1, clause.literals, 1.0, clause.source)
+            for index, clause in enumerate(clauses)
+        ]
+        mrf = MRF.from_clauses(constraints, extra_atoms=atom_ids)
+        state = SearchState(mrf, initial_assignment)
+        if initial_assignment is None:
+            state.randomize(self.rng)
+        options = self.options
+
+        latest_satisfying: Optional[Dict[int, bool]] = None
+        steps_while_satisfied = 0
+        for _step in range(options.max_flips):
+            if not state.has_violations():
+                latest_satisfying = state.assignment_dict()
+                steps_while_satisfied += 1
+                if steps_while_satisfied > options.mixing_steps:
+                    break
+                self._annealing_move(state)
+                continue
+            steps_while_satisfied = 0
+            if self.rng.random() < options.walksat_probability:
+                self._walksat_move(state)
+            else:
+                self._annealing_move(state)
+        if latest_satisfying is not None:
+            return latest_satisfying
+        return state.assignment_dict()
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+
+    def _walksat_move(self, state: SearchState) -> None:
+        clause_index = state.sample_violated_clause(self.rng)
+        positions = state.clause_atom_positions(clause_index)
+        if self.rng.random() <= self.options.noise:
+            position = self.rng.pick(positions)
+        else:
+            position = min(positions, key=state.delta_cost)
+        state.flip(position)
+
+    def _annealing_move(self, state: SearchState) -> None:
+        position = self.rng.randint(0, len(state.atom_ids) - 1)
+        delta = state.delta_cost(position)
+        if delta <= 0 or self.rng.random() < math.exp(-delta / self.options.temperature):
+            state.flip(position)

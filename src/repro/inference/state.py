@@ -1,0 +1,238 @@
+"""Incremental search state for WalkSAT-style local search.
+
+WalkSAT needs, at every step: a uniformly random violated clause, the cost
+change each candidate flip would cause, and an O(degree) update when an atom
+is flipped.  :class:`SearchState` maintains
+
+* the current truth assignment (dense arrays indexed by atom position),
+* the number of satisfied literal occurrences per clause,
+* the set of currently violated clauses (list + position map, so sampling,
+  insertion and removal are all O(1)),
+* the current soft cost, with hard clauses mapped to a large finite penalty
+  so the search can still rank flips that repair hard violations.
+
+This is the in-memory half of the hybrid architecture (paper, Section 3.2);
+the RDBMS-backed variant wraps the same bookkeeping but charges simulated
+I/O per access (see :mod:`repro.inference.rdbms_walksat`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.grounding.clause_table import GroundClause
+from repro.mrf.graph import MRF
+from repro.utils.rng import RandomSource
+
+
+class SearchState:
+    """Mutable WalkSAT bookkeeping over one MRF."""
+
+    def __init__(
+        self,
+        mrf: MRF,
+        initial_assignment: Optional[Mapping[int, bool]] = None,
+        hard_penalty: Optional[float] = None,
+    ) -> None:
+        self.mrf = mrf
+        self.atom_ids: List[int] = list(mrf.atom_ids)
+        self._position: Dict[int, int] = {
+            atom_id: index for index, atom_id in enumerate(self.atom_ids)
+        }
+        clause_count = len(mrf.clauses)
+
+        soft_total = sum(abs(c.weight) for c in mrf.clauses if not c.is_hard)
+        self.hard_penalty = (
+            hard_penalty if hard_penalty is not None else max(10.0 * soft_total, 10.0)
+        )
+
+        # Effective |weight| used for cost bookkeeping (hard -> large penalty).
+        self._abs_weight: List[float] = [
+            self.hard_penalty if clause.is_hard else abs(clause.weight)
+            for clause in mrf.clauses
+        ]
+        # A clause with negative weight is violated when satisfied.
+        self._negated: List[bool] = [clause.weight < 0 for clause in mrf.clauses]
+
+        # Literal occurrences per clause as (atom position, positive) pairs.
+        self._clause_literals: List[List[Tuple[int, bool]]] = []
+        for clause in mrf.clauses:
+            literals = [
+                (self._position[abs(literal)], literal > 0) for literal in clause.literals
+            ]
+            self._clause_literals.append(literals)
+
+        # Adjacency: atom position -> list of (clause index, positive) pairs.
+        self._adjacency: List[List[Tuple[int, bool]]] = [[] for _ in self.atom_ids]
+        for clause_index, literals in enumerate(self._clause_literals):
+            for atom_position, positive in literals:
+                self._adjacency[atom_position].append((clause_index, positive))
+
+        self.assignment: List[bool] = [False] * len(self.atom_ids)
+        if initial_assignment:
+            for atom_id, value in initial_assignment.items():
+                position = self._position.get(atom_id)
+                if position is not None:
+                    self.assignment[position] = bool(value)
+
+        self._sat_count: List[int] = [0] * clause_count
+        self._violated_list: List[int] = []
+        self._violated_position: Dict[int, int] = {}
+        self.cost = 0.0
+        self.flips = 0
+        self._initialise_counts()
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+
+    def _initialise_counts(self) -> None:
+        self._sat_count = [0] * len(self._clause_literals)
+        self._violated_list.clear()
+        self._violated_position.clear()
+        self.cost = 0.0
+        for clause_index, literals in enumerate(self._clause_literals):
+            count = 0
+            for atom_position, positive in literals:
+                value = self.assignment[atom_position]
+                if value == positive:
+                    count += 1
+            self._sat_count[clause_index] = count
+            if self._is_violated(clause_index):
+                self._add_violated(clause_index)
+                self.cost += self._abs_weight[clause_index]
+
+    def reset(self, assignment: Optional[Mapping[int, bool]] = None) -> None:
+        """Reset the assignment (default all-false) and recompute bookkeeping."""
+        self.assignment = [False] * len(self.atom_ids)
+        if assignment:
+            for atom_id, value in assignment.items():
+                position = self._position.get(atom_id)
+                if position is not None:
+                    self.assignment[position] = bool(value)
+        self._initialise_counts()
+
+    def randomize(self, rng: RandomSource) -> None:
+        """Draw a uniformly random assignment (WalkSAT's per-try restart)."""
+        self.assignment = [rng.coin() for _ in self.atom_ids]
+        self._initialise_counts()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _is_violated(self, clause_index: int) -> bool:
+        satisfied = self._sat_count[clause_index] > 0
+        return satisfied if self._negated[clause_index] else not satisfied
+
+    def violated_count(self) -> int:
+        return len(self._violated_list)
+
+    def has_violations(self) -> bool:
+        return bool(self._violated_list)
+
+    def sample_violated_clause(self, rng: RandomSource) -> int:
+        """A uniformly random violated clause index."""
+        if not self._violated_list:
+            raise ValueError("no violated clauses to sample")
+        return rng.pick(self._violated_list)
+
+    def clause_atom_positions(self, clause_index: int) -> List[int]:
+        """Distinct atom positions appearing in a clause."""
+        seen: List[int] = []
+        for atom_position, _positive in self._clause_literals[clause_index]:
+            if atom_position not in seen:
+                seen.append(atom_position)
+        return seen
+
+    def atom_id_at(self, position: int) -> int:
+        return self.atom_ids[position]
+
+    def value_of(self, atom_id: int) -> bool:
+        return self.assignment[self._position[atom_id]]
+
+    def assignment_dict(self) -> Dict[int, bool]:
+        return {atom_id: self.assignment[i] for i, atom_id in enumerate(self.atom_ids)}
+
+    def true_cost(self) -> float:
+        """Cost with hard violations counted at infinity (reporting form)."""
+        total = 0.0
+        for clause_index, clause in enumerate(self.mrf.clauses):
+            if self._is_violated(clause_index):
+                if clause.is_hard:
+                    return math.inf
+                total += abs(clause.weight)
+        return total
+
+    def soft_cost(self) -> float:
+        """Cost using the finite hard penalty (the search's internal metric)."""
+        return self.cost
+
+    # ------------------------------------------------------------------
+    # Flips
+    # ------------------------------------------------------------------
+
+    def delta_cost(self, atom_position: int) -> float:
+        """Cost change if the atom at this position were flipped."""
+        value = self.assignment[atom_position]
+        delta = 0.0
+        for clause_index, positive in self._adjacency[atom_position]:
+            was_violated = self._is_violated(clause_index)
+            currently_true = value == positive
+            new_count = self._sat_count[clause_index] + (-1 if currently_true else 1)
+            satisfied = new_count > 0
+            now_violated = satisfied if self._negated[clause_index] else not satisfied
+            if was_violated and not now_violated:
+                delta -= self._abs_weight[clause_index]
+            elif not was_violated and now_violated:
+                delta += self._abs_weight[clause_index]
+        return delta
+
+    def flip(self, atom_position: int) -> float:
+        """Flip an atom, updating all bookkeeping; returns the cost delta."""
+        value = self.assignment[atom_position]
+        self.assignment[atom_position] = not value
+        delta = 0.0
+        for clause_index, positive in self._adjacency[atom_position]:
+            was_violated = self._is_violated(clause_index)
+            currently_true = value == positive
+            self._sat_count[clause_index] += -1 if currently_true else 1
+            now_violated = self._is_violated(clause_index)
+            if was_violated and not now_violated:
+                self._remove_violated(clause_index)
+                delta -= self._abs_weight[clause_index]
+            elif not was_violated and now_violated:
+                self._add_violated(clause_index)
+                delta += self._abs_weight[clause_index]
+        self.cost += delta
+        self.flips += 1
+        return delta
+
+    def flip_atom_id(self, atom_id: int) -> float:
+        return self.flip(self._position[atom_id])
+
+    # ------------------------------------------------------------------
+    # Violated-set maintenance
+    # ------------------------------------------------------------------
+
+    def _add_violated(self, clause_index: int) -> None:
+        if clause_index in self._violated_position:
+            return
+        self._violated_position[clause_index] = len(self._violated_list)
+        self._violated_list.append(clause_index)
+
+    def _remove_violated(self, clause_index: int) -> None:
+        position = self._violated_position.pop(clause_index, None)
+        if position is None:
+            return
+        last = self._violated_list.pop()
+        if position < len(self._violated_list):
+            self._violated_list[position] = last
+            self._violated_position[last] = position
+
+    def violated_clause_indices(self) -> List[int]:
+        return list(self._violated_list)
+
+    def clause(self, clause_index: int) -> GroundClause:
+        return self.mrf.clauses[clause_index]

@@ -1,0 +1,222 @@
+"""WalkSAT (Algorithm 1 of the paper) for MAP inference.
+
+The algorithm repeatedly picks a random violated clause and "fixes" it by
+flipping one of its atoms: with probability ``noise`` a random atom of the
+clause, otherwise the atom whose flip decreases the total cost the most.
+The best assignment seen across all tries is returned.
+
+Stopping conditions: a flip budget (``max_flips`` per try, ``max_tries``
+restarts), an optional cost target, an optional deadline on the supplied
+clock, or reaching zero violated clauses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.inference.state import SearchState
+from repro.inference.tracing import TimeCostTrace
+from repro.mrf.graph import MRF
+from repro.utils.clock import SimulatedClock, WallClock
+from repro.utils.rng import RandomSource
+
+
+@dataclass
+class WalkSATOptions:
+    """Tuning parameters for WalkSAT.
+
+    ``noise`` is the probability of a random (rather than greedy) flip; the
+    paper's Algorithm 1 uses 0.5.  ``flip_cost_event`` is the simulated-clock
+    event charged per flip (``"memory_flip"`` for the in-memory search).
+    """
+
+    max_flips: int = 100_000
+    max_tries: int = 1
+    noise: float = 0.5
+    target_cost: Optional[float] = None
+    deadline_seconds: Optional[float] = None
+    random_restarts: bool = True
+    flip_cost_event: str = "memory_flip"
+    trace_label: str = "walksat"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.noise <= 1.0:
+            raise ValueError("noise must be within [0, 1]")
+        if self.max_flips <= 0 or self.max_tries <= 0:
+            raise ValueError("max_flips and max_tries must be positive")
+
+
+@dataclass
+class WalkSATResult:
+    """The outcome of a WalkSAT run."""
+
+    best_assignment: Dict[int, bool]
+    best_cost: float
+    flips: int
+    tries: int
+    seconds: float
+    trace: TimeCostTrace = field(default_factory=TimeCostTrace)
+    reached_target: bool = False
+    hitting_time: Optional[int] = None
+
+    @property
+    def flips_per_second(self) -> float:
+        return self.flips / self.seconds if self.seconds > 0 else 0.0
+
+
+class WalkSAT:
+    """The in-memory WalkSAT search used by Tuffy's hybrid architecture."""
+
+    def __init__(
+        self,
+        options: Optional[WalkSATOptions] = None,
+        rng: Optional[RandomSource] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.options = options or WalkSATOptions()
+        self.rng = rng or RandomSource(0)
+        self.clock = clock or SimulatedClock()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        mrf: MRF,
+        initial_assignment: Optional[Mapping[int, bool]] = None,
+    ) -> WalkSATResult:
+        """Search the MRF for a low-cost assignment."""
+        state = SearchState(mrf, initial_assignment)
+        return self.run_on_state(state, initial_assignment)
+
+    def run_on_state(
+        self,
+        state: SearchState,
+        initial_assignment: Optional[Mapping[int, bool]] = None,
+    ) -> WalkSATResult:
+        """Search using an existing state (lets callers reuse bookkeeping)."""
+        options = self.options
+        wall = WallClock()
+        trace = TimeCostTrace(options.trace_label)
+        best_cost = math.inf
+        best_assignment: Dict[int, bool] = state.assignment_dict()
+        total_flips = 0
+        tries = 0
+        reached_target = False
+        hitting_time: Optional[int] = None
+
+        for attempt in range(options.max_tries):
+            tries += 1
+            if attempt == 0:
+                if initial_assignment is None and options.random_restarts:
+                    state.randomize(self.rng)
+                else:
+                    state.reset(initial_assignment)
+            elif options.random_restarts:
+                state.randomize(self.rng)
+            else:
+                state.reset(initial_assignment)
+
+            if state.cost < best_cost:
+                best_cost = state.cost
+                best_assignment = state.assignment_dict()
+                trace.record(self.clock.now(), best_cost, total_flips)
+
+            for _flip in range(options.max_flips):
+                if not state.has_violations():
+                    break
+                if self._deadline_exceeded(options):
+                    break
+                clause_index = state.sample_violated_clause(self.rng)
+                atom_position = self._choose_atom(state, clause_index)
+                state.flip(atom_position)
+                total_flips += 1
+                self.clock.charge(options.flip_cost_event)
+                if state.cost < best_cost:
+                    best_cost = state.cost
+                    best_assignment = state.assignment_dict()
+                    trace.record(self.clock.now(), best_cost, total_flips)
+                    if (
+                        hitting_time is None
+                        and options.target_cost is not None
+                        and best_cost <= options.target_cost
+                    ):
+                        hitting_time = total_flips
+                if options.target_cost is not None and best_cost <= options.target_cost:
+                    reached_target = True
+                    break
+            if reached_target or self._deadline_exceeded(options):
+                break
+            if not state.has_violations():
+                break
+
+        return WalkSATResult(
+            best_assignment=best_assignment,
+            best_cost=best_cost,
+            flips=total_flips,
+            tries=tries,
+            seconds=wall.elapsed(),
+            trace=trace,
+            reached_target=reached_target,
+            hitting_time=hitting_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _choose_atom(self, state: SearchState, clause_index: int) -> int:
+        """Pick the atom of a violated clause to flip (random vs greedy)."""
+        positions = state.clause_atom_positions(clause_index)
+        if len(positions) == 1:
+            return positions[0]
+        if self.rng.random() <= self.options.noise:
+            return self.rng.pick(positions)
+        best_position = positions[0]
+        best_delta = state.delta_cost(best_position)
+        for position in positions[1:]:
+            delta = state.delta_cost(position)
+            if delta < best_delta:
+                best_delta = delta
+                best_position = position
+        return best_position
+
+    def _deadline_exceeded(self, options: WalkSATOptions) -> bool:
+        if options.deadline_seconds is None:
+            return False
+        return self.clock.now() >= options.deadline_seconds
+
+
+def expected_hitting_time(
+    mrf: MRF,
+    target_cost: float,
+    runs: int,
+    max_flips: int,
+    seed: int = 0,
+    noise: float = 0.5,
+) -> float:
+    """Empirical mean number of flips WalkSAT needs to reach a target cost.
+
+    Used by the Theorem 3.1 experiments (Example 1 / Figure 8): runs that do
+    not reach the target within ``max_flips`` contribute ``max_flips`` flips,
+    so the estimate is a lower bound on the true expectation.
+    """
+    total = 0.0
+    for run in range(runs):
+        options = WalkSATOptions(
+            max_flips=max_flips,
+            max_tries=1,
+            noise=noise,
+            target_cost=target_cost,
+        )
+        result = WalkSAT(options, RandomSource(seed + run)).run(mrf)
+        if result.hitting_time is not None:
+            total += result.hitting_time
+        elif result.reached_target:
+            total += 0.0  # the random initial state was already optimal
+        else:
+            total += max_flips
+    return total / max(runs, 1)

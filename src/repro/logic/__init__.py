@@ -1,0 +1,60 @@
+"""First-order logic layer for Markov Logic Networks.
+
+This package provides the symbolic vocabulary of an MLN program:
+
+* :mod:`repro.logic.terms` — constants and variables,
+* :mod:`repro.logic.predicates` — predicate declarations (the schema),
+* :mod:`repro.logic.literals` — positive/negative applied predicates,
+* :mod:`repro.logic.clauses` — weighted clauses in clausal form,
+* :mod:`repro.logic.formulas` — a small formula AST with conversion to
+  clausal form (implication elimination, negation pushing, distribution),
+* :mod:`repro.logic.domains` — typed constant domains,
+* :mod:`repro.logic.parser` — an Alchemy-style text syntax for MLN programs
+  and evidence databases.
+
+The grounding and inference layers only consume :class:`WeightedClause`
+objects; the formula AST and parser exist so users can express programs the
+way the paper's Figure 1 does.
+"""
+
+from repro.logic.clauses import HARD_WEIGHT, ClauseSet, WeightedClause
+from repro.logic.domains import Domain, DomainRegistry
+from repro.logic.formulas import (
+    Conjunction,
+    Disjunction,
+    Exists,
+    Formula,
+    Implication,
+    Negation,
+    PredicateFormula,
+    to_clausal_form,
+)
+from repro.logic.literals import Literal
+from repro.logic.parser import MLNParser, MLNSyntaxError, parse_evidence, parse_program
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Term, Variable
+
+__all__ = [
+    "HARD_WEIGHT",
+    "ClauseSet",
+    "Conjunction",
+    "Constant",
+    "Disjunction",
+    "Domain",
+    "DomainRegistry",
+    "Exists",
+    "Formula",
+    "Implication",
+    "Literal",
+    "MLNParser",
+    "MLNSyntaxError",
+    "Negation",
+    "Predicate",
+    "PredicateFormula",
+    "Term",
+    "Variable",
+    "WeightedClause",
+    "parse_evidence",
+    "parse_program",
+    "to_clausal_form",
+]

@@ -1,0 +1,159 @@
+"""Weighted clauses in clausal form.
+
+An MLN program, after conversion from the user-facing formula syntax, is a
+set of weighted clauses.  Each clause is a disjunction of literals plus a
+weight; hard rules carry an infinite weight (``HARD_WEIGHT``).  A negative
+weight means the *negation* of the clause is likely to hold (paper, Appendix
+A.1), which the cost function in :mod:`repro.mrf.cost` accounts for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.logic.literals import Literal
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Variable
+
+HARD_WEIGHT = math.inf
+
+
+@dataclass(frozen=True)
+class WeightedClause:
+    """A weighted disjunction of literals.
+
+    ``name`` is an optional identifier (``F1`` ... ``F5`` in the paper's
+    Figure 1) used in reports; ``weight`` may be ``math.inf`` for hard rules.
+    Equality constraints between terms produced by formula conversion (e.g.
+    ``c1 = c2`` in F1) are carried in ``equalities`` as triples
+    ``(left, right, positive)``: a positive triple satisfies the clause when
+    the two terms are equal, a negative one when they differ.  Grounding
+    resolves these constraints against concrete bindings.
+    """
+
+    literals: Tuple[Literal, ...]
+    weight: float
+    name: Optional[str] = None
+    equalities: Tuple[Tuple[object, object, bool], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.literals and not self.equalities:
+            raise ValueError("a clause must contain at least one literal")
+
+    @property
+    def is_hard(self) -> bool:
+        return math.isinf(self.weight)
+
+    @property
+    def is_ground(self) -> bool:
+        return all(literal.is_ground for literal in self.literals)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """All distinct variables, in first-appearance order."""
+        seen: List[Variable] = []
+        for literal in self.literals:
+            for variable in literal.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        for left, right, _positive in self.equalities:
+            for term in (left, right):
+                if isinstance(term, Variable) and term not in seen:
+                    seen.append(term)
+        return tuple(seen)
+
+    def predicates(self) -> Tuple[Predicate, ...]:
+        """Distinct predicates referenced by this clause."""
+        seen: List[Predicate] = []
+        for literal in self.literals:
+            if literal.predicate not in seen:
+                seen.append(literal.predicate)
+        return tuple(seen)
+
+    def substitute(self, binding: Dict[Variable, Constant]) -> "WeightedClause":
+        """Apply a variable binding to every literal."""
+        new_equalities = []
+        for left, right, positive in self.equalities:
+            new_left = binding.get(left, left) if isinstance(left, Variable) else left
+            new_right = binding.get(right, right) if isinstance(right, Variable) else right
+            new_equalities.append((new_left, new_right, positive))
+        return WeightedClause(
+            tuple(literal.substitute(binding) for literal in self.literals),
+            self.weight,
+            self.name,
+            tuple(new_equalities),
+        )
+
+    def __str__(self) -> str:
+        parts = [str(literal) for literal in self.literals]
+        parts.extend(
+            f"{left} {'=' if positive else '!='} {right}"
+            for left, right, positive in self.equalities
+        )
+        weight = "inf" if self.is_hard else f"{self.weight:g}"
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{weight}: " + " v ".join(parts)
+
+    def signature(self) -> Tuple:
+        """A hashable canonical form used for duplicate detection in tests."""
+        literal_keys = tuple(
+            sorted(
+                (
+                    literal.predicate.name,
+                    tuple(str(argument) for argument in literal.arguments),
+                    literal.positive,
+                )
+                for literal in self.literals
+            )
+        )
+        return (literal_keys, self.weight)
+
+
+class ClauseSet:
+    """An ordered collection of weighted clauses with convenience queries."""
+
+    def __init__(self, clauses: Iterable[WeightedClause] = ()) -> None:
+        self._clauses: List[WeightedClause] = list(clauses)
+
+    def add(self, clause: WeightedClause) -> None:
+        self._clauses.append(clause)
+
+    def extend(self, clauses: Iterable[WeightedClause]) -> None:
+        self._clauses.extend(clauses)
+
+    def __iter__(self) -> Iterator[WeightedClause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __getitem__(self, index: int) -> WeightedClause:
+        return self._clauses[index]
+
+    def hard_clauses(self) -> List[WeightedClause]:
+        return [clause for clause in self._clauses if clause.is_hard]
+
+    def soft_clauses(self) -> List[WeightedClause]:
+        return [clause for clause in self._clauses if not clause.is_hard]
+
+    def total_weight(self) -> float:
+        """Sum of absolute soft weights (hard clauses excluded)."""
+        return sum(abs(clause.weight) for clause in self.soft_clauses())
+
+    def referencing(self, predicate_name: str) -> List[WeightedClause]:
+        """Clauses that mention the named predicate."""
+        return [
+            clause
+            for clause in self._clauses
+            if any(literal.predicate.name == predicate_name for literal in clause.literals)
+        ]
+
+
+def make_clause(
+    literals: Sequence[Literal],
+    weight: float,
+    name: Optional[str] = None,
+) -> WeightedClause:
+    """Convenience constructor used heavily in tests and dataset generators."""
+    return WeightedClause(tuple(literals), weight, name)

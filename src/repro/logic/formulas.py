@@ -1,0 +1,369 @@
+"""Formula AST and conversion to clausal form.
+
+Users (and the parser) express MLN rules the way the paper's Figure 1 does:
+implications over predicate applications, possibly with equality constraints
+(``c1 = c2``) and existential quantifiers in the consequent.  The grounding
+and search layers, however, consume only weighted *clauses* (disjunctions of
+literals).  This module provides:
+
+* a small formula AST (:class:`PredicateFormula`, :class:`Negation`,
+  :class:`Conjunction`, :class:`Disjunction`, :class:`Implication`,
+  :class:`Equality`, :class:`Exists`), and
+* :func:`to_clausal_form`, which eliminates implications, pushes negations
+  inward, distributes disjunction over conjunction and expands existential
+  quantifiers over the (finite) domains — producing one or more
+  :class:`~repro.logic.clauses.WeightedClause` objects per input formula.
+
+Weights of formulas that convert to several clauses are divided equally
+between the clauses, which is the convention Alchemy uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.clauses import WeightedClause
+from repro.logic.domains import DomainRegistry
+from repro.logic.literals import Literal
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Term, Variable
+
+
+class Formula:
+    """Base class for formula AST nodes."""
+
+    def variables(self) -> Tuple[Variable, ...]:
+        raise NotImplementedError
+
+    def __or__(self, other: "Formula") -> "Disjunction":
+        return Disjunction((self, other))
+
+    def __and__(self, other: "Formula") -> "Conjunction":
+        return Conjunction((self, other))
+
+    def __rshift__(self, other: "Formula") -> "Implication":
+        """``premise >> conclusion`` builds an implication."""
+        return Implication(self, other)
+
+    def __invert__(self) -> "Negation":
+        return Negation(self)
+
+
+def _merge_variables(parts: Sequence[Formula]) -> Tuple[Variable, ...]:
+    seen: List[Variable] = []
+    for part in parts:
+        for variable in part.variables():
+            if variable not in seen:
+                seen.append(variable)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class PredicateFormula(Formula):
+    """An atomic formula: a predicate applied to terms."""
+
+    predicate: Predicate
+    arguments: Tuple[Term, ...]
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: List[Variable] = []
+        for argument in self.arguments:
+            if isinstance(argument, Variable) and argument not in seen:
+                seen.append(argument)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(argument) for argument in self.arguments)
+        return f"{self.predicate.name}({args})"
+
+
+@dataclass(frozen=True)
+class Equality(Formula):
+    """An equality constraint between two terms (``c1 = c2``)."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: List[Variable] = []
+        for term in (self.left, self.right):
+            if isinstance(term, Variable) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Negation(Formula):
+    operand: Formula
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class Conjunction(Formula):
+    operands: Tuple[Formula, ...]
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return _merge_variables(self.operands)
+
+    def __str__(self) -> str:
+        return " ^ ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Disjunction(Formula):
+    operands: Tuple[Formula, ...]
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return _merge_variables(self.operands)
+
+    def __str__(self) -> str:
+        return " v ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Implication(Formula):
+    premise: Formula
+    conclusion: Formula
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return _merge_variables((self.premise, self.conclusion))
+
+    def __str__(self) -> str:
+        return f"({self.premise}) => ({self.conclusion})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one variable, e.g. ``EXIST x wrote(x, p)``."""
+
+    variable: Variable
+    body: Formula
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(v for v in self.body.variables() if v != self.variable)
+
+    def __str__(self) -> str:
+        return f"EXIST {self.variable} ({self.body})"
+
+
+class FormulaConversionError(ValueError):
+    """Raised when a formula cannot be converted to clausal form."""
+
+
+# --------------------------------------------------------------------------
+# Conversion to clausal form
+# --------------------------------------------------------------------------
+
+
+def _eliminate_implications(formula: Formula) -> Formula:
+    if isinstance(formula, Implication):
+        return Disjunction(
+            (
+                Negation(_eliminate_implications(formula.premise)),
+                _eliminate_implications(formula.conclusion),
+            )
+        )
+    if isinstance(formula, Negation):
+        return Negation(_eliminate_implications(formula.operand))
+    if isinstance(formula, Conjunction):
+        return Conjunction(tuple(_eliminate_implications(op) for op in formula.operands))
+    if isinstance(formula, Disjunction):
+        return Disjunction(tuple(_eliminate_implications(op) for op in formula.operands))
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, _eliminate_implications(formula.body))
+    return formula
+
+
+def _push_negations(formula: Formula, negated: bool = False) -> Formula:
+    if isinstance(formula, Negation):
+        return _push_negations(formula.operand, not negated)
+    if isinstance(formula, Conjunction):
+        operands = tuple(_push_negations(op, negated) for op in formula.operands)
+        return Disjunction(operands) if negated else Conjunction(operands)
+    if isinstance(formula, Disjunction):
+        operands = tuple(_push_negations(op, negated) for op in formula.operands)
+        return Conjunction(operands) if negated else Disjunction(operands)
+    if isinstance(formula, Exists):
+        if negated:
+            # ¬∃x φ ≡ ∀x ¬φ; universal variables are implicit in MLN clauses.
+            return _push_negations(formula.body, True)
+        return Exists(formula.variable, _push_negations(formula.body, False))
+    if isinstance(formula, (PredicateFormula, Equality)):
+        return Negation(formula) if negated else formula
+    raise FormulaConversionError(f"unsupported formula node: {formula!r}")
+
+
+def _expand_existentials(
+    formula: Formula, domains: Optional[DomainRegistry]
+) -> Formula:
+    """Replace ``EXIST x φ`` with a finite disjunction over x's domain.
+
+    The variable's type is inferred from the first predicate argument
+    position it occupies inside the body.  This mirrors how Tuffy grounds
+    existential rules (the paper uses PostgreSQL array aggregation; with a
+    fixed finite domain the expansion is equivalent).
+    """
+    if isinstance(formula, Exists):
+        if domains is None:
+            raise FormulaConversionError(
+                "existential quantifier requires a DomainRegistry for expansion"
+            )
+        body = _expand_existentials(formula.body, domains)
+        type_name = _infer_variable_type(body, formula.variable)
+        if type_name is None or type_name not in domains:
+            raise FormulaConversionError(
+                f"cannot determine a finite domain for existential variable "
+                f"{formula.variable}"
+            )
+        constants = domains[type_name].constants()
+        if not constants:
+            raise FormulaConversionError(
+                f"domain {type_name!r} is empty; cannot expand existential"
+            )
+        expansions = tuple(
+            _substitute_formula(body, {formula.variable: constant})
+            for constant in constants
+        )
+        if len(expansions) == 1:
+            return expansions[0]
+        return Disjunction(expansions)
+    if isinstance(formula, Negation):
+        return Negation(_expand_existentials(formula.operand, domains))
+    if isinstance(formula, Conjunction):
+        return Conjunction(tuple(_expand_existentials(op, domains) for op in formula.operands))
+    if isinstance(formula, Disjunction):
+        return Disjunction(tuple(_expand_existentials(op, domains) for op in formula.operands))
+    return formula
+
+
+def _infer_variable_type(formula: Formula, variable: Variable) -> Optional[str]:
+    if isinstance(formula, PredicateFormula):
+        for position, argument in enumerate(formula.arguments):
+            if argument == variable:
+                return formula.predicate.arg_types[position]
+        return None
+    if isinstance(formula, (Negation,)):
+        return _infer_variable_type(formula.operand, variable)
+    if isinstance(formula, (Conjunction, Disjunction)):
+        for operand in formula.operands:
+            found = _infer_variable_type(operand, variable)
+            if found is not None:
+                return found
+        return None
+    if isinstance(formula, Exists):
+        return _infer_variable_type(formula.body, variable)
+    return None
+
+
+def _substitute_formula(formula: Formula, binding: Dict[Variable, Constant]) -> Formula:
+    if isinstance(formula, PredicateFormula):
+        return PredicateFormula(
+            formula.predicate,
+            tuple(binding.get(a, a) if isinstance(a, Variable) else a for a in formula.arguments),
+        )
+    if isinstance(formula, Equality):
+        left = binding.get(formula.left, formula.left) if isinstance(formula.left, Variable) else formula.left
+        right = binding.get(formula.right, formula.right) if isinstance(formula.right, Variable) else formula.right
+        return Equality(left, right)
+    if isinstance(formula, Negation):
+        return Negation(_substitute_formula(formula.operand, binding))
+    if isinstance(formula, Conjunction):
+        return Conjunction(tuple(_substitute_formula(op, binding) for op in formula.operands))
+    if isinstance(formula, Disjunction):
+        return Disjunction(tuple(_substitute_formula(op, binding) for op in formula.operands))
+    if isinstance(formula, Exists):
+        inner = {k: v for k, v in binding.items() if k != formula.variable}
+        return Exists(formula.variable, _substitute_formula(formula.body, inner))
+    raise FormulaConversionError(f"unsupported formula node: {formula!r}")
+
+
+def _distribute(formula: Formula) -> List[List[Formula]]:
+    """Return CNF as a list of clauses, each a list of atomic formulas.
+
+    Atomic formulas at this stage are ``PredicateFormula``, ``Equality`` or
+    a ``Negation`` directly wrapping one of those (negation-normal form is
+    assumed to have been established already).
+    """
+    if isinstance(formula, Conjunction):
+        clauses: List[List[Formula]] = []
+        for operand in formula.operands:
+            clauses.extend(_distribute(operand))
+        return clauses
+    if isinstance(formula, Disjunction):
+        product: List[List[Formula]] = [[]]
+        for operand in formula.operands:
+            operand_clauses = _distribute(operand)
+            product = [
+                existing + addition
+                for existing in product
+                for addition in operand_clauses
+            ]
+        return product
+    return [[formula]]
+
+
+def _atomic_to_literal_or_equality(
+    atomic: Formula,
+) -> Tuple[Optional[Literal], Optional[Tuple[object, object, bool]]]:
+    """Classify an atomic CNF entry as a literal or an (in)equality triple."""
+    negated = False
+    node = atomic
+    if isinstance(node, Negation):
+        negated = True
+        node = node.operand
+    if isinstance(node, PredicateFormula):
+        return Literal(node.predicate, node.arguments, not negated), None
+    if isinstance(node, Equality):
+        return None, (node.left, node.right, not negated)
+    raise FormulaConversionError(f"unexpected atomic formula {atomic!r}")
+
+
+def to_clausal_form(
+    formula: Formula,
+    weight: float,
+    name: Optional[str] = None,
+    domains: Optional[DomainRegistry] = None,
+) -> List[WeightedClause]:
+    """Convert a weighted formula to a list of weighted clauses.
+
+    The weight is split equally among the resulting clauses (Alchemy's
+    convention).  Hard weights stay infinite for every resulting clause.
+    Equality atoms are carried on the clause as ``(left, right, positive)``
+    triples; grounding resolves them against each concrete binding (a
+    satisfied equality prunes the ground clause, an unsatisfied one simply
+    drops out of the disjunction).
+    """
+    stripped = _eliminate_implications(formula)
+    stripped = _expand_existentials(stripped, domains)
+    normalized = _push_negations(stripped)
+    cnf = _distribute(normalized)
+    if not cnf:
+        raise FormulaConversionError("formula produced an empty CNF")
+    per_clause_weight = weight
+    if not math.isinf(weight) and len(cnf) > 1:
+        per_clause_weight = weight / len(cnf)
+    clauses: List[WeightedClause] = []
+    for index, disjuncts in enumerate(cnf):
+        literals: List[Literal] = []
+        equalities: List[Tuple[object, object, bool]] = []
+        for atomic in disjuncts:
+            literal, equality = _atomic_to_literal_or_equality(atomic)
+            if literal is not None:
+                literals.append(literal)
+            elif equality is not None:
+                equalities.append(equality)
+        clause_name = name if len(cnf) == 1 or name is None else f"{name}.{index}"
+        clauses.append(
+            WeightedClause(tuple(literals), per_clause_weight, clause_name, tuple(equalities))
+        )
+    return clauses

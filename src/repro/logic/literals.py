@@ -1,0 +1,64 @@
+"""Literals: possibly negated applications of a predicate to terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.logic.predicates import GroundAtom, Predicate
+from repro.logic.terms import Constant, Term, Variable, substitute
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An applied predicate with a sign, e.g. ``!cat(p, c1)``.
+
+    ``positive`` is ``True`` for an un-negated literal.  Arguments can mix
+    variables and constants; a literal with no variables is *ground*.
+    """
+
+    predicate: Predicate
+    arguments: Tuple[Term, ...]
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.predicate.arity:
+            raise ValueError(
+                f"literal of {self.predicate.name} expects {self.predicate.arity} "
+                f"arguments, got {len(self.arguments)}"
+            )
+
+    def __str__(self) -> str:
+        sign = "" if self.positive else "!"
+        args = ", ".join(str(argument) for argument in self.arguments)
+        return f"{sign}{self.predicate.name}({args})"
+
+    @property
+    def is_ground(self) -> bool:
+        return all(isinstance(argument, Constant) for argument in self.arguments)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Variables appearing in this literal, in argument order, unique."""
+        seen: list[Variable] = []
+        for argument in self.arguments:
+            if isinstance(argument, Variable) and argument not in seen:
+                seen.append(argument)
+        return tuple(seen)
+
+    def negate(self) -> "Literal":
+        return Literal(self.predicate, self.arguments, not self.positive)
+
+    def substitute(self, binding: Dict[Variable, Constant]) -> "Literal":
+        """Apply a variable binding, returning a new literal."""
+        return Literal(
+            self.predicate,
+            tuple(substitute(argument, binding) for argument in self.arguments),
+            self.positive,
+        )
+
+    def to_atom(self) -> GroundAtom:
+        """Convert a ground literal to its underlying atom (dropping the sign)."""
+        if not self.is_ground:
+            raise ValueError(f"literal {self} is not ground")
+        constants = tuple(argument for argument in self.arguments if isinstance(argument, Constant))
+        return GroundAtom(self.predicate, constants)

@@ -1,0 +1,116 @@
+"""Predicate declarations.
+
+A predicate declaration is the MLN analogue of a table schema: a name plus a
+tuple of argument type names.  Predicates are also flagged as *closed world*
+(pure evidence: anything not listed in the evidence is false, like ``refers``
+or ``wrote`` in the paper's Figure 1) or *open world* (query predicates whose
+unknown atoms the inference must fill in, like ``cat``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.logic.terms import Constant
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A predicate declaration, e.g. ``cat(paper, category)``."""
+
+    name: str
+    arg_types: Tuple[str, ...]
+    closed_world: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    def __str__(self) -> str:
+        args = ", ".join(self.arg_types)
+        return f"{self.name}({args})"
+
+    def table_name(self) -> str:
+        """Name of the RDBMS relation backing this predicate."""
+        return f"pred_{self.name.lower()}"
+
+    def with_closed_world(self, closed: bool) -> "Predicate":
+        """Return a copy with the closed-world flag set."""
+        return Predicate(self.name, self.arg_types, closed)
+
+
+@dataclass
+class PredicateRegistry:
+    """The set of predicate declarations of a program, keyed by name."""
+
+    _predicates: Dict[str, Predicate] = field(default_factory=dict)
+
+    def declare(self, predicate: Predicate) -> Predicate:
+        existing = self._predicates.get(predicate.name)
+        if existing is not None:
+            if existing.arg_types != predicate.arg_types:
+                raise ValueError(
+                    f"predicate {predicate.name!r} redeclared with different "
+                    f"argument types {predicate.arg_types} vs {existing.arg_types}"
+                )
+            return existing
+        self._predicates[predicate.name] = predicate
+        return predicate
+
+    def get(self, name: str) -> Predicate:
+        try:
+            return self._predicates[name]
+        except KeyError as error:
+            raise KeyError(f"unknown predicate {name!r}") from error
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._predicates
+
+    def __iter__(self):
+        return iter(self._predicates.values())
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def names(self) -> List[str]:
+        return list(self._predicates)
+
+    def query_predicates(self) -> List[Predicate]:
+        """Predicates whose atoms inference must fill in (open world)."""
+        return [p for p in self._predicates.values() if not p.closed_world]
+
+    def evidence_predicates(self) -> List[Predicate]:
+        """Closed-world predicates fully determined by the evidence."""
+        return [p for p in self._predicates.values() if p.closed_world]
+
+
+@dataclass(frozen=True)
+class GroundAtom:
+    """A fully instantiated predicate, e.g. ``cat('P2', 'DB')``.
+
+    Ground atoms are the random variables of the Markov Random Field.  They
+    are frozen/hashable so they can serve as keys in the atom registry.
+    """
+
+    predicate: Predicate
+    arguments: Tuple[Constant, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.predicate.arity:
+            raise ValueError(
+                f"atom of {self.predicate.name} expects {self.predicate.arity} "
+                f"arguments, got {len(self.arguments)}"
+            )
+
+    def __str__(self) -> str:
+        args = ", ".join(str(argument) for argument in self.arguments)
+        return f"{self.predicate.name}({args})"
+
+    def argument_values(self) -> Tuple[str, ...]:
+        return tuple(argument.value for argument in self.arguments)
+
+
+def make_atom(predicate: Predicate, values: Iterable[str]) -> GroundAtom:
+    """Build a ground atom from raw string argument values."""
+    return GroundAtom(predicate, tuple(Constant(value) for value in values))

@@ -1,0 +1,80 @@
+"""Terms: constants and variables.
+
+MLN formulas are function-free first-order formulas, so the only terms are
+constants (domain elements such as ``'P1'`` or ``'Joe'``) and variables
+(``p``, ``c1``).  Both are immutable and hashable so they can be used as
+dictionary keys during grounding and substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A domain constant, e.g. ``'P1'`` or ``'DB'``.
+
+    ``value`` is kept as a string; typed domains map these strings to dense
+    integer ids when building relational tables.
+    """
+
+    value: str
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A universally (or existentially) quantified logical variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+
+Term = Union[Constant, Variable]
+
+
+def term_from_token(token: str) -> Term:
+    """Interpret a textual token as a term, following Alchemy conventions.
+
+    Tokens that are quoted, start with an upper-case letter or are numeric
+    are treated as constants; everything else is a variable.  (Alchemy uses
+    the same convention: lower-case identifiers are variables.)
+    """
+    stripped = token.strip()
+    if not stripped:
+        raise ValueError("empty term token")
+    if stripped[0] in "\"'" and stripped[-1] in "\"'" and len(stripped) >= 2:
+        return Constant(stripped[1:-1])
+    if stripped[0].isupper() or stripped[0].isdigit():
+        return Constant(stripped)
+    return Variable(stripped)
+
+
+def substitute(term: Term, binding: dict[Variable, Constant]) -> Term:
+    """Apply a variable binding to a term.
+
+    Unbound variables are returned unchanged, which lets callers apply
+    partial substitutions during existential-quantifier handling.
+    """
+    if isinstance(term, Variable):
+        return binding.get(term, term)
+    return term
+
+
+def is_ground(term: Term) -> bool:
+    """True when the term contains no variables (i.e. it is a constant)."""
+    return isinstance(term, Constant)

@@ -1,0 +1,23 @@
+"""The ground Markov Random Field (MRF).
+
+The grounding phase outputs a weighted SAT problem; viewed as a hypergraph
+whose nodes are atoms and whose hyperedges are ground clauses, this is the
+Markov Random Field of the MLN (paper, Appendix A.2).  This package provides
+the graph structure, the cost function the search minimises, union-find based
+connected-component detection (paper, Section 3.3) and persistence of the
+component assignment back into the relational engine.
+"""
+
+from repro.mrf.components import ComponentDecomposition, connected_components
+from repro.mrf.cost import assignment_cost, violated_clauses
+from repro.mrf.graph import MRF
+from repro.mrf.union_find import UnionFind
+
+__all__ = [
+    "ComponentDecomposition",
+    "MRF",
+    "UnionFind",
+    "assignment_cost",
+    "connected_components",
+    "violated_clauses",
+]

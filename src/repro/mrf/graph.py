@@ -1,0 +1,115 @@
+"""The MRF graph structure consumed by the search phase."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.grounding.clause_table import GroundClause, GroundClauseStore
+
+
+@dataclass
+class MRF:
+    """A ground MRF: atoms (nodes) and weighted ground clauses (hyperedges).
+
+    ``atom_ids`` is the set of query-atom ids appearing in the clauses (plus
+    any isolated atoms explicitly added).  Adjacency from atom to the clauses
+    that mention it is precomputed because WalkSAT needs it on every flip.
+    """
+
+    clauses: List[GroundClause] = field(default_factory=list)
+    atom_ids: List[int] = field(default_factory=list)
+    _adjacency: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_store(
+        cls, store: GroundClauseStore, extra_atoms: Iterable[int] = ()
+    ) -> "MRF":
+        clauses = store.clauses()
+        atom_ids = set(store.atom_ids())
+        atom_ids.update(extra_atoms)
+        mrf = cls(clauses=clauses, atom_ids=sorted(atom_ids))
+        mrf._build_adjacency()
+        return mrf
+
+    @classmethod
+    def from_clauses(
+        cls, clauses: Sequence[GroundClause], extra_atoms: Iterable[int] = ()
+    ) -> "MRF":
+        atom_ids: Set[int] = set()
+        for clause in clauses:
+            atom_ids.update(clause.atom_ids)
+        atom_ids.update(extra_atoms)
+        mrf = cls(clauses=list(clauses), atom_ids=sorted(atom_ids))
+        mrf._build_adjacency()
+        return mrf
+
+    def _build_adjacency(self) -> None:
+        self._adjacency = {atom_id: [] for atom_id in self.atom_ids}
+        for index, clause in enumerate(self.clauses):
+            for atom_id in set(clause.atom_ids):
+                self._adjacency.setdefault(atom_id, []).append(index)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def atom_count(self) -> int:
+        return len(self.atom_ids)
+
+    @property
+    def clause_count(self) -> int:
+        return len(self.clauses)
+
+    def total_literals(self) -> int:
+        return sum(len(clause.literals) for clause in self.clauses)
+
+    def size(self) -> int:
+        """The size measure used by the partitioner (atoms + literals)."""
+        return self.atom_count + self.total_literals()
+
+    def clauses_of_atom(self, atom_id: int) -> List[int]:
+        """Indices (into ``clauses``) of the clauses mentioning an atom."""
+        return self._adjacency.get(atom_id, [])
+
+    def degree(self, atom_id: int) -> int:
+        return len(self._adjacency.get(atom_id, ()))
+
+    def total_soft_weight(self) -> float:
+        return sum(abs(clause.weight) for clause in self.clauses if not clause.is_hard)
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, atom_subset: Iterable[int]) -> "MRF":
+        """The induced sub-MRF: clauses all of whose atoms are in the subset."""
+        subset = set(atom_subset)
+        clauses = [
+            clause
+            for clause in self.clauses
+            if all(atom_id in subset for atom_id in clause.atom_ids)
+        ]
+        return MRF.from_clauses(clauses, extra_atoms=subset)
+
+    def cut_clauses(self, atom_subset: Iterable[int]) -> List[GroundClause]:
+        """Clauses spanning the subset boundary (some atoms in, some out)."""
+        subset = set(atom_subset)
+        result = []
+        for clause in self.clauses:
+            inside = sum(1 for atom_id in clause.atom_ids if atom_id in subset)
+            if 0 < inside < len(set(clause.atom_ids)):
+                result.append(clause)
+        return result
+
+    def neighbors(self, atom_id: int) -> FrozenSet[int]:
+        """Atoms sharing at least one clause with the given atom."""
+        neighbors: Set[int] = set()
+        for clause_index in self._adjacency.get(atom_id, ()):
+            neighbors.update(self.clauses[clause_index].atom_ids)
+        neighbors.discard(atom_id)
+        return frozenset(neighbors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MRF(atoms={self.atom_count}, clauses={self.clause_count})"

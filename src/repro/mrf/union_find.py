@@ -1,0 +1,73 @@
+"""Union-find (disjoint set union) with path compression and union by size.
+
+The paper detects MRF components by maintaining "an in-memory union-find
+structure over the nodes" while scanning the clause table once; this is that
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable elements."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register an element as its own singleton set (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the representative of the element's set (path compression)."""
+        if element not in self._parent:
+            raise KeyError(f"unknown element {element!r}")
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> Hashable:
+        """Merge the sets containing the two elements; returns the new root."""
+        self.add(left)
+        self.add(right)
+        left_root = self.find(left)
+        right_root = self.find(right)
+        if left_root == right_root:
+            return left_root
+        if self._size[left_root] < self._size[right_root]:
+            left_root, right_root = right_root, left_root
+        self._parent[right_root] = left_root
+        self._size[left_root] += self._size[right_root]
+        return left_root
+
+    def connected(self, left: Hashable, right: Hashable) -> bool:
+        return self.find(left) == self.find(right)
+
+    def component_size(self, element: Hashable) -> int:
+        return self._size[self.find(element)]
+
+    def groups(self) -> Dict[Hashable, List[Hashable]]:
+        """All sets, keyed by their representative."""
+        result: Dict[Hashable, List[Hashable]] = {}
+        for element in self._parent:
+            result.setdefault(self.find(element), []).append(element)
+        return result
+
+    def component_count(self) -> int:
+        return sum(1 for element, parent in self._parent.items() if self.find(element) == element)

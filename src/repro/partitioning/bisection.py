@@ -1,0 +1,75 @@
+"""Balanced bisection of the MRF hypergraph (paper, Section 3.4 / Theorem 3.2).
+
+The paper defines the *cost* of a balanced bisection ``(V1, V2)`` as the
+number of hyperedges (clauses) touching both sides and proves that finding a
+minimum-cost balanced bisection of an MLN-generated MRF is NP-hard (by
+reduction from graph minimum bisection).  The library therefore does not try
+to solve it exactly; this module provides the cost function itself, a random
+balanced bisection baseline and a simple local-improvement heuristic, which
+the ablation benchmarks compare against Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.mrf.graph import MRF
+from repro.utils.rng import RandomSource
+
+
+def bisection_cost(mrf: MRF, side_one: Iterable[int]) -> int:
+    """Number of clauses with atoms on both sides of the bisection."""
+    inside: Set[int] = set(side_one)
+    cost = 0
+    for clause in mrf.clauses:
+        atom_ids = set(clause.atom_ids)
+        in_count = sum(1 for atom_id in atom_ids if atom_id in inside)
+        if 0 < in_count < len(atom_ids):
+            cost += 1
+    return cost
+
+
+def random_balanced_bisection(
+    mrf: MRF, rng: RandomSource
+) -> Tuple[List[int], List[int]]:
+    """A uniformly random split of the atoms into two equal-size halves."""
+    atoms = list(mrf.atom_ids)
+    rng.shuffle(atoms)
+    half = len(atoms) // 2
+    return sorted(atoms[:half]), sorted(atoms[half:])
+
+
+def greedy_improve_bisection(
+    mrf: MRF,
+    side_one: Sequence[int],
+    side_two: Sequence[int],
+    max_swaps: int = 1000,
+) -> Tuple[List[int], List[int], int]:
+    """Pairwise-swap local search over a balanced bisection.
+
+    Repeatedly finds the single swap of one atom from each side that most
+    reduces the cut cost, stopping when no swap improves it (or after
+    ``max_swaps`` swaps).  Returns the improved sides and the final cost.
+    This is a deliberately simple baseline: the point of Theorem 3.2 is that
+    optimal bisection is intractable, so Tuffy uses the streaming greedy
+    partitioner instead.
+    """
+    one = list(side_one)
+    two = list(side_two)
+    best_cost = bisection_cost(mrf, one)
+    for _swap in range(max_swaps):
+        best_pair = None
+        best_new_cost = best_cost
+        for i, atom_a in enumerate(one):
+            for j, atom_b in enumerate(two):
+                candidate = one[:i] + one[i + 1 :] + [atom_b]
+                cost = bisection_cost(mrf, candidate)
+                if cost < best_new_cost:
+                    best_new_cost = cost
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        one[i], two[j] = two[j], one[i]
+        best_cost = best_new_cost
+    return sorted(one), sorted(two), best_cost

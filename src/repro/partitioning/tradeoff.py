@@ -1,0 +1,77 @@
+"""The partitioning benefit estimator of Appendix B.8.
+
+The paper gives a rough formula for deciding whether a candidate
+partitioning helps or hurts::
+
+    W = 2^(N/3) - T * |#cut clauses| / |E|
+
+where ``N`` is the estimated number of components whose lowest cost is
+positive (the ones that benefit from the Theorem 3.1 speed-up), ``T`` is the
+number of WalkSAT steps in one Gauss-Seidel round, and ``|E|`` is the total
+number of clauses.  Positive ``W`` means the partitioning is expected to be
+beneficial.  The paper notes the formula is conservative; it is exposed here
+so the ablation bench can compare its verdicts with observed outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mrf.graph import MRF
+from repro.partitioning.greedy import Partitioning
+
+
+@dataclass
+class TradeoffEstimate:
+    """The estimator's inputs and verdict."""
+
+    speedup_term: float
+    slowdown_term: float
+    benefit: float
+    positive_components: int
+    cut_clauses: int
+    total_clauses: int
+
+    @property
+    def is_beneficial(self) -> bool:
+        return self.benefit > 0
+
+
+def partitioning_benefit(
+    mrf: MRF,
+    partitioning: Partitioning,
+    steps_per_round: int,
+    positive_cost_components: int | None = None,
+    cap_exponent: float = 60.0,
+) -> TradeoffEstimate:
+    """Evaluate the Appendix B.8 formula for a candidate partitioning.
+
+    ``positive_cost_components`` defaults to the number of partitions, which
+    matches the paper's usage when every component has a positive lowest
+    cost; callers with better knowledge (e.g. from a previous search) can
+    pass the true count.  The exponential term is capped to keep the result
+    finite for large N.
+    """
+    if steps_per_round <= 0:
+        raise ValueError("steps_per_round must be positive")
+    total_clauses = mrf.clause_count
+    cut = partitioning.cut_size
+    positive = (
+        positive_cost_components
+        if positive_cost_components is not None
+        else partitioning.partition_count
+    )
+    exponent = min(positive / 3.0, cap_exponent)
+    speedup = 2.0 ** exponent
+    slowdown = 0.0
+    if total_clauses > 0:
+        slowdown = steps_per_round * (cut / total_clauses)
+    return TradeoffEstimate(
+        speedup_term=speedup,
+        slowdown_term=slowdown,
+        benefit=speedup - slowdown,
+        positive_components=positive,
+        cut_clauses=cut,
+        total_clauses=total_clauses,
+    )

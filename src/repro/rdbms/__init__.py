@@ -1,0 +1,62 @@
+"""A small in-Python relational engine.
+
+The paper's Tuffy system delegates the grounding phase of MLN inference to
+PostgreSQL so it can benefit from the relational optimizer (join algorithm
+selection, join ordering, predicate pushdown).  This package is the offline
+substitute for PostgreSQL: it provides
+
+* a catalog of typed tables (:mod:`schema`, :mod:`table`, :mod:`catalog`),
+* a page-based storage manager with a buffer pool and I/O accounting
+  (:mod:`storage`) used both for realistic scan costs and for the
+  RDBMS-backed search variant (Tuffy-mm),
+* expression trees for filters and join conditions (:mod:`expressions`),
+* physical iterator operators — sequential scan, filter, project,
+  nested-loop / hash / sort-merge join, distinct, sort, aggregate
+  (:mod:`operators`),
+* table statistics and cardinality estimation (:mod:`stats`),
+* a query optimizer with the lesion-study knobs from Table 6 of the paper
+  (:mod:`optimizer`), and
+* a :class:`~repro.rdbms.database.Database` facade tying it all together.
+
+The engine is deliberately scoped to what MLN grounding needs: conjunctive
+select-project-join queries with equality predicates, constant filters and
+duplicate elimination.  It does not aim to be a general SQL system.
+"""
+
+from repro.rdbms.catalog import Catalog
+from repro.rdbms.database import Database
+from repro.rdbms.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Const,
+    Expression,
+    Not,
+    Or,
+)
+from repro.rdbms.optimizer import ConjunctiveQuery, Optimizer, OptimizerOptions
+from repro.rdbms.schema import Column, TableSchema
+from repro.rdbms.storage import BufferPool, StorageManager
+from repro.rdbms.table import Table
+from repro.rdbms.types import ColumnType
+
+__all__ = [
+    "And",
+    "BufferPool",
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "ColumnType",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Const",
+    "Database",
+    "Expression",
+    "Not",
+    "Optimizer",
+    "OptimizerOptions",
+    "Or",
+    "StorageManager",
+    "Table",
+    "TableSchema",
+]

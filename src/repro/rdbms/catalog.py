@@ -1,0 +1,56 @@
+"""The catalog: the set of named tables in a database."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.rdbms.schema import TableSchema
+from repro.rdbms.storage import StorageManager
+from repro.rdbms.table import Table
+
+
+class CatalogError(KeyError):
+    """Raised when a table is missing or duplicated."""
+
+
+class Catalog:
+    """Name -> :class:`Table` mapping with create/drop semantics."""
+
+    def __init__(self, storage: Optional[StorageManager] = None) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._storage = storage
+
+    def create_table(self, name: str, schema: TableSchema, replace: bool = False) -> Table:
+        if name in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema, storage=self._storage)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+        if self._storage is not None:
+            self._storage.drop_table(name)
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        return self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def tables(self) -> Dict[str, Table]:
+        """A live name -> table mapping (shared with the optimizer)."""
+        return self._tables

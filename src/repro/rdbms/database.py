@@ -1,0 +1,129 @@
+"""The Database facade: catalog + storage + optimizer + executor.
+
+This is the object the grounding layer talks to, playing the role PostgreSQL
+plays for Tuffy.  It intentionally exposes a narrow interface: create and
+bulk-load tables, build indexes, run conjunctive queries (optionally dumping
+the result into another table), and report I/O statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rdbms.catalog import Catalog
+from repro.rdbms.executor import Executor, QueryResult
+from repro.rdbms.indexes import HashIndex, IndexCatalog, SortedIndex
+from repro.rdbms.optimizer import ConjunctiveQuery, Optimizer, OptimizerOptions, PlannedQuery
+from repro.rdbms.schema import TableSchema
+from repro.rdbms.sql import render_select
+from repro.rdbms.stats import StatisticsCatalog, TableStatistics
+from repro.rdbms.storage import BufferPool, IOStatistics, StorageManager
+from repro.rdbms.table import Table
+from repro.utils.clock import SimulatedClock
+
+
+class Database:
+    """An embedded relational database instance."""
+
+    def __init__(
+        self,
+        page_size: int = 128,
+        buffer_pool_pages: int = 4096,
+        clock: Optional[SimulatedClock] = None,
+        optimizer_options: Optional[OptimizerOptions] = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.buffer_pool = BufferPool(buffer_pool_pages, clock=self.clock)
+        self.storage = StorageManager(page_size=page_size, buffer_pool=self.buffer_pool)
+        self.catalog = Catalog(storage=self.storage)
+        self.statistics = StatisticsCatalog()
+        self.indexes = IndexCatalog()
+        self.optimizer = Optimizer(
+            self.catalog.tables(), self.statistics, optimizer_options or OptimizerOptions()
+        )
+        self.executor = Executor()
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: TableSchema, replace: bool = False) -> Table:
+        return self.catalog.create_table(name, schema, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.statistics.invalidate(name)
+        self.indexes.drop_table_indexes(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self.catalog
+
+    def bulk_load(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-load rows into a table and refresh its statistics."""
+        table = self.catalog.table(name)
+        count = table.bulk_load(rows)
+        self.statistics.analyze(table)
+        return count
+
+    def analyze(self, name: str) -> TableStatistics:
+        return self.statistics.analyze(self.catalog.table(name))
+
+    def build_hash_index(self, table_name: str, columns: Sequence[str]) -> HashIndex:
+        return self.indexes.build_hash_index(self.catalog.table(table_name), columns)
+
+    def build_sorted_index(self, table_name: str, column: str) -> SortedIndex:
+        return self.indexes.build_sorted_index(self.catalog.table(table_name), column)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def plan(
+        self, query: ConjunctiveQuery, options: Optional[OptimizerOptions] = None
+    ) -> PlannedQuery:
+        return self.optimizer.plan(query, options)
+
+    def execute(
+        self, query: ConjunctiveQuery, options: Optional[OptimizerOptions] = None
+    ) -> QueryResult:
+        planned = self.optimizer.plan(query, options)
+        return self.executor.execute(planned)
+
+    def execute_into(
+        self,
+        query: ConjunctiveQuery,
+        target_table: str,
+        options: Optional[OptimizerOptions] = None,
+        truncate: bool = False,
+    ) -> QueryResult:
+        planned = self.optimizer.plan(query, options)
+        target = self.catalog.table(target_table)
+        return self.executor.execute_into(planned, target, truncate=truncate)
+
+    def explain(
+        self, query: ConjunctiveQuery, options: Optional[OptimizerOptions] = None
+    ) -> str:
+        return self.optimizer.plan(query, options).explain()
+
+    def to_sql(self, query: ConjunctiveQuery) -> str:
+        """The SQL text Tuffy would have sent to PostgreSQL for this query."""
+        return render_select(query)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def io_statistics(self) -> IOStatistics:
+        return self.storage.stats
+
+    def reset_io_statistics(self) -> None:
+        self.storage.stats.reset()
+
+    def table_sizes(self) -> Dict[str, int]:
+        return {table.name: len(table) for table in self.catalog}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database(tables={self.catalog.table_names()})"

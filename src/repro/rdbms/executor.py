@@ -1,0 +1,65 @@
+"""Query execution: drain a physical plan into rows or a new table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.rdbms.operators import PhysicalOperator
+from repro.rdbms.optimizer import PlannedQuery
+from repro.rdbms.schema import TableSchema
+from repro.rdbms.table import Table
+from repro.utils.timer import Stopwatch
+
+
+@dataclass
+class QueryResult:
+    """The materialised output of a query execution."""
+
+    schema: TableSchema
+    rows: List[Tuple[Any, ...]]
+    elapsed_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        position = self.schema.position(name)
+        return [row[position] for row in self.rows]
+
+    def as_dicts(self) -> List[dict]:
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+
+class Executor:
+    """Pulls every row out of a plan, timing the execution."""
+
+    def execute(self, plan: PhysicalOperator | PlannedQuery) -> QueryResult:
+        root = plan.root if isinstance(plan, PlannedQuery) else plan
+        stopwatch = Stopwatch()
+        with stopwatch.measure():
+            rows = root.rows()
+        return QueryResult(root.output_schema, rows, stopwatch.total)
+
+    def execute_into(
+        self,
+        plan: PhysicalOperator | PlannedQuery,
+        target: Table,
+        truncate: bool = False,
+    ) -> QueryResult:
+        """Execute a plan and bulk-load the result into an existing table.
+
+        The target table's schema must have the same number of columns as the
+        plan output; values are coerced to the target column types, which is
+        how the grounding pipeline writes ground clauses into the clause
+        table.
+        """
+        result = self.execute(plan)
+        if truncate:
+            target.truncate()
+        target.bulk_load(result.rows)
+        return result

@@ -1,0 +1,241 @@
+"""Expression trees for filters and join conditions.
+
+Expressions are evaluated against a row and a schema (column names resolve to
+positions at bind time for speed).  The grounding compiler only produces
+comparisons, conjunctions and negations, but the full set here keeps the
+engine usable as a standalone component and exercised by its own tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.rdbms.schema import TableSchema
+from repro.rdbms.types import format_value
+
+BoundEvaluator = Callable[[Tuple[Any, ...]], Any]
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        """Return a fast row -> value evaluator for the given schema."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> List[str]:
+        """Names of the columns the expression reads."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        """Render the expression as SQL text (documentation/debugging)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A literal constant."""
+
+    value: Any
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        value = self.value
+        return lambda row: value
+
+    def referenced_columns(self) -> List[str]:
+        return []
+
+    def to_sql(self) -> str:
+        return format_value(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column by (possibly alias-qualified) name."""
+
+    name: str
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        position = schema.position(self.name)
+        return lambda row: row[position]
+
+    def referenced_columns(self) -> List[str]:
+        return [self.name]
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+# Null-safe comparisons treat NULL as an ordinary (distinct) value, which is
+# what the grounding pruning predicates need: ``truth IS DISTINCT FROM TRUE``
+# keeps rows whose truth value is FALSE *or* NULL (unknown).
+_NULL_SAFE_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "is_distinct_from": lambda a, b: a != b,
+    "is_not_distinct_from": lambda a, b: a == b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison between two sub-expressions.
+
+    Comparisons involving NULL evaluate to ``False``, except the null-safe
+    operators ``is_distinct_from`` / ``is_not_distinct_from`` (SQL's ``IS
+    [NOT] DISTINCT FROM``) and the dedicated ``IS NULL`` forms provided by
+    :class:`IsNull`.
+    """
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARATORS and self.operator not in _NULL_SAFE_COMPARATORS:
+            raise ValueError(f"unsupported comparison operator {self.operator!r}")
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        if self.operator in _NULL_SAFE_COMPARATORS:
+            compare_null_safe = _NULL_SAFE_COMPARATORS[self.operator]
+            return lambda row: compare_null_safe(left(row), right(row))
+        compare = _COMPARATORS[self.operator]
+
+        def evaluate(row: Tuple[Any, ...]) -> bool:
+            left_value = left(row)
+            right_value = right(row)
+            if left_value is None or right_value is None:
+                return False
+            return compare(left_value, right_value)
+
+        return evaluate
+
+    def referenced_columns(self) -> List[str]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        operator = {
+            "!=": "<>",
+            "is_distinct_from": "IS DISTINCT FROM",
+            "is_not_distinct_from": "IS NOT DISTINCT FROM",
+        }.get(self.operator, self.operator)
+        return f"{self.left.to_sql()} {operator} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS NULL`` (or ``IS NOT NULL`` when ``negated``)."""
+
+    operand: Expression
+    negated: bool = False
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        operand = self.operand.bind(schema)
+        negated = self.negated
+        return lambda row: (operand(row) is not None) if negated else (operand(row) is None)
+
+    def referenced_columns(self) -> List[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.to_sql()} {suffix}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of any number of sub-expressions (true when empty)."""
+
+    operands: Tuple[Expression, ...]
+
+    @classmethod
+    def of(cls, *operands: Expression) -> "And":
+        return cls(tuple(operands))
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        bound = [operand.bind(schema) for operand in self.operands]
+        return lambda row: all(evaluate(row) for evaluate in bound)
+
+    def referenced_columns(self) -> List[str]:
+        names: List[str] = []
+        for operand in self.operands:
+            names.extend(operand.referenced_columns())
+        return names
+
+    def to_sql(self) -> str:
+        if not self.operands:
+            return "TRUE"
+        return " AND ".join(f"({operand.to_sql()})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of any number of sub-expressions (false when empty)."""
+
+    operands: Tuple[Expression, ...]
+
+    @classmethod
+    def of(cls, *operands: Expression) -> "Or":
+        return cls(tuple(operands))
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        bound = [operand.bind(schema) for operand in self.operands]
+        return lambda row: any(evaluate(row) for evaluate in bound)
+
+    def referenced_columns(self) -> List[str]:
+        names: List[str] = []
+        for operand in self.operands:
+            names.extend(operand.referenced_columns())
+        return names
+
+    def to_sql(self) -> str:
+        if not self.operands:
+            return "FALSE"
+        return " OR ".join(f"({operand.to_sql()})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation."""
+
+    operand: Expression
+
+    def bind(self, schema: TableSchema) -> BoundEvaluator:
+        operand = self.operand.bind(schema)
+        return lambda row: not operand(row)
+
+    def referenced_columns(self) -> List[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.operand.to_sql()})"
+
+
+def conjunction(expressions: Sequence[Expression]) -> Expression:
+    """Combine expressions with AND, simplifying the 0- and 1-element cases."""
+    expressions = [expression for expression in expressions if expression is not None]
+    if not expressions:
+        return And(())
+    if len(expressions) == 1:
+        return expressions[0]
+    return And(tuple(expressions))
+
+
+def column_equals(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column = constant`` filters."""
+    return Comparison("=", ColumnRef(column), Const(value))
+
+
+def columns_equal(left: str, right: str) -> Comparison:
+    """Shorthand for ``left = right`` join conditions."""
+    return Comparison("=", ColumnRef(left), ColumnRef(right))

@@ -1,0 +1,122 @@
+"""Secondary indexes: hash and sorted (B-tree-like) indexes over columns.
+
+Indexes map key values to row positions in the owning table.  The optimizer
+can use a hash index to turn the inner side of a join into index lookups; the
+sorted index supports range scans.  Indexes are maintained eagerly: they are
+built once over a loaded table (the grounding workload is bulk-load then
+read-only, matching the paper's usage of PostgreSQL).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdbms.table import Table
+
+
+@dataclass
+class HashIndex:
+    """An equality index: key tuple -> list of row positions."""
+
+    table: Table
+    columns: Tuple[str, ...]
+    _buckets: Dict[Tuple[Any, ...], List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        positions = [self.table.schema.position(column) for column in self.columns]
+        for row_index, row in enumerate(self.table.rows):
+            key = tuple(row[position] for position in positions)
+            self._buckets.setdefault(key, []).append(row_index)
+
+    def lookup(self, key: Sequence[Any]) -> List[int]:
+        """Row positions whose indexed columns equal the key (possibly empty)."""
+        return list(self._buckets.get(tuple(key), ()))
+
+    def lookup_rows(self, key: Sequence[Any]) -> List[Tuple[Any, ...]]:
+        return [self.table.rows[index] for index in self.lookup(key)]
+
+    def __contains__(self, key: Sequence[Any]) -> bool:
+        return tuple(key) in self._buckets
+
+    def key_count(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+@dataclass
+class SortedIndex:
+    """A sorted index supporting point and range lookups on one column."""
+
+    table: Table
+    column: str
+    _keys: List[Any] = field(default_factory=list)
+    _positions: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        position = self.table.schema.position(self.column)
+        entries = sorted(
+            (row[position], index)
+            for index, row in enumerate(self.table.rows)
+            if row[position] is not None
+        )
+        self._keys = [key for key, _ in entries]
+        self._positions = [index for _, index in entries]
+
+    def lookup(self, key: Any) -> List[int]:
+        """Row positions with exactly this key."""
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        return self._positions[left:right]
+
+    def range(self, low: Optional[Any] = None, high: Optional[Any] = None) -> Iterator[int]:
+        """Row positions with keys in ``[low, high]`` (either bound optional)."""
+        left = 0 if low is None else bisect.bisect_left(self._keys, low)
+        right = len(self._keys) if high is None else bisect.bisect_right(self._keys, high)
+        yield from self._positions[left:right]
+
+    def min_key(self) -> Optional[Any]:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Optional[Any]:
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+@dataclass
+class IndexCatalog:
+    """All indexes built on the tables of one database."""
+
+    _hash_indexes: Dict[Tuple[str, Tuple[str, ...]], HashIndex] = field(default_factory=dict)
+    _sorted_indexes: Dict[Tuple[str, str], SortedIndex] = field(default_factory=dict)
+
+    def build_hash_index(self, table: Table, columns: Sequence[str]) -> HashIndex:
+        key = (table.name, tuple(columns))
+        if key not in self._hash_indexes:
+            self._hash_indexes[key] = HashIndex(table, tuple(columns))
+        return self._hash_indexes[key]
+
+    def build_sorted_index(self, table: Table, column: str) -> SortedIndex:
+        key = (table.name, column)
+        if key not in self._sorted_indexes:
+            self._sorted_indexes[key] = SortedIndex(table, column)
+        return self._sorted_indexes[key]
+
+    def hash_index(self, table_name: str, columns: Sequence[str]) -> Optional[HashIndex]:
+        return self._hash_indexes.get((table_name, tuple(columns)))
+
+    def sorted_index(self, table_name: str, column: str) -> Optional[SortedIndex]:
+        return self._sorted_indexes.get((table_name, column))
+
+    def drop_table_indexes(self, table_name: str) -> None:
+        self._hash_indexes = {
+            key: value for key, value in self._hash_indexes.items() if key[0] != table_name
+        }
+        self._sorted_indexes = {
+            key: value for key, value in self._sorted_indexes.items() if key[0] != table_name
+        }

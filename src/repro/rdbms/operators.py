@@ -1,0 +1,463 @@
+"""Physical query operators (iterator model).
+
+Every operator exposes ``output_schema`` (a
+:class:`~repro.rdbms.schema.TableSchema` whose column names are alias
+qualified, e.g. ``t0.aid``) and is iterable, yielding plain tuples.  The
+executor simply drains the root operator.
+
+The three join algorithms — nested-loop, hash and sort-merge — are all
+implemented because the paper's lesion study (Table 6) shows that the choice
+of join algorithm is the single biggest factor in Tuffy's grounding speed;
+the optimizer picks among them subject to the lesion knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdbms.expressions import Expression
+from repro.rdbms.schema import Column, TableSchema
+from repro.rdbms.table import Table
+
+
+class PhysicalOperator:
+    """Base class for physical operators."""
+
+    output_schema: TableSchema
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        raise NotImplementedError
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """Materialise the full output (convenience for tests and executor)."""
+        return list(iter(self))
+
+    def explain(self, indent: int = 0) -> str:
+        """A one-operator-per-line textual plan, like ``EXPLAIN``."""
+        raise NotImplementedError
+
+
+def _qualified_schema(table: Table, alias: str) -> TableSchema:
+    return TableSchema(
+        tuple(
+            Column(f"{alias}.{column.name}", column.column_type)
+            for column in table.schema.columns
+        )
+    )
+
+
+class TableScan(PhysicalOperator):
+    """Sequential scan of a base table under an alias."""
+
+    def __init__(self, table: Table, alias: str, charge_io: bool = False) -> None:
+        self.table = table
+        self.alias = alias
+        self.charge_io = charge_io
+        self.output_schema = _qualified_schema(table, alias)
+        self.rows_scanned = 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        for row in self.table.scan(charge_io=self.charge_io):
+            self.rows_scanned += 1
+            yield row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return f"{pad}SeqScan {self.table.name} AS {self.alias} (rows={len(self.table)})"
+
+
+class Filter(PhysicalOperator):
+    """Keeps only rows satisfying an expression."""
+
+    def __init__(self, child: PhysicalOperator, expression: Expression) -> None:
+        self.child = child
+        self.expression = expression
+        self.output_schema = child.output_schema
+        self._evaluator = expression.bind(child.output_schema)
+        self.rows_out = 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        evaluate = self._evaluator
+        for row in self.child:
+            if evaluate(row):
+                self.rows_out += 1
+                yield row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return (
+            f"{pad}Filter ({self.expression.to_sql()})\n"
+            + self.child.explain(indent + 1)
+        )
+
+
+class Project(PhysicalOperator):
+    """Projects (and optionally renames) a subset of columns."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        columns: Sequence[str],
+        output_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.child = child
+        self.columns = list(columns)
+        names = list(output_names) if output_names is not None else self.columns
+        if len(names) != len(self.columns):
+            raise ValueError("output_names must match columns in length")
+        self._positions = [child.output_schema.position(column) for column in self.columns]
+        source_columns = [child.output_schema.column(column) for column in self.columns]
+        self.output_schema = TableSchema(
+            tuple(
+                Column(name, source.column_type)
+                for name, source in zip(names, source_columns)
+            )
+        )
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        positions = self._positions
+        for row in self.child:
+            yield tuple(row[position] for position in positions)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return (
+            f"{pad}Project [{', '.join(self.columns)}]\n"
+            + self.child.explain(indent + 1)
+        )
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """The naive join: for each outer row, scan the (materialised) inner side."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        condition: Optional[Expression] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.output_schema = left.output_schema.concat(right.output_schema)
+        self._evaluator = condition.bind(self.output_schema) if condition is not None else None
+        self.comparisons = 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        inner_rows = self.right.rows()
+        evaluate = self._evaluator
+        for outer in self.left:
+            for inner in inner_rows:
+                self.comparisons += 1
+                combined = outer + inner
+                if evaluate is None or evaluate(combined):
+                    yield combined
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        condition = self.condition.to_sql() if self.condition is not None else "TRUE"
+        return (
+            f"{pad}NestedLoopJoin ON {condition}\n"
+            + self.left.explain(indent + 1)
+            + "\n"
+            + self.right.explain(indent + 1)
+        )
+
+
+class HashJoin(PhysicalOperator):
+    """Equality hash join, building on the right side.
+
+    ``left_keys`` / ``right_keys`` are column names in the respective child
+    schemas; ``residual`` is an optional extra condition evaluated on the
+    concatenated row (for non-equality parts of the join predicate).
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("hash join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+        self.output_schema = left.output_schema.concat(right.output_schema)
+        self._left_positions = [left.output_schema.position(key) for key in self.left_keys]
+        self._right_positions = [right.output_schema.position(key) for key in self.right_keys]
+        self._residual_evaluator = (
+            residual.bind(self.output_schema) if residual is not None else None
+        )
+        self.build_rows = 0
+        self.probe_rows = 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        buckets: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        for row in self.right:
+            key = tuple(row[position] for position in self._right_positions)
+            if any(part is None for part in key):
+                continue
+            buckets.setdefault(key, []).append(row)
+            self.build_rows += 1
+        evaluate = self._residual_evaluator
+        for row in self.left:
+            self.probe_rows += 1
+            key = tuple(row[position] for position in self._left_positions)
+            if any(part is None for part in key):
+                continue
+            for match in buckets.get(key, ()):
+                combined = row + match
+                if evaluate is None or evaluate(combined):
+                    yield combined
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        keys = ", ".join(
+            f"{left} = {right}" for left, right in zip(self.left_keys, self.right_keys)
+        )
+        return (
+            f"{pad}HashJoin ON {keys}\n"
+            + self.left.explain(indent + 1)
+            + "\n"
+            + self.right.explain(indent + 1)
+        )
+
+
+class SortMergeJoin(PhysicalOperator):
+    """Equality join by sorting both inputs on the join keys and merging."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        residual: Optional[Expression] = None,
+    ) -> None:
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("sort-merge join requires matching, non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.residual = residual
+        self.output_schema = left.output_schema.concat(right.output_schema)
+        self._left_positions = [left.output_schema.position(key) for key in self.left_keys]
+        self._right_positions = [right.output_schema.position(key) for key in self.right_keys]
+        self._residual_evaluator = (
+            residual.bind(self.output_schema) if residual is not None else None
+        )
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        def sort_key(positions: List[int]) -> Callable[[Tuple[Any, ...]], Tuple[Any, ...]]:
+            return lambda row: tuple(row[position] for position in positions)
+
+        left_rows = [
+            row
+            for row in self.left.rows()
+            if all(row[position] is not None for position in self._left_positions)
+        ]
+        right_rows = [
+            row
+            for row in self.right.rows()
+            if all(row[position] is not None for position in self._right_positions)
+        ]
+        left_rows.sort(key=sort_key(self._left_positions))
+        right_rows.sort(key=sort_key(self._right_positions))
+        evaluate = self._residual_evaluator
+
+        left_index = 0
+        right_index = 0
+        while left_index < len(left_rows) and right_index < len(right_rows):
+            left_key = tuple(left_rows[left_index][p] for p in self._left_positions)
+            right_key = tuple(right_rows[right_index][p] for p in self._right_positions)
+            if left_key < right_key:
+                left_index += 1
+                continue
+            if left_key > right_key:
+                right_index += 1
+                continue
+            # Collect the runs of equal keys on both sides and emit the product.
+            left_end = left_index
+            while (
+                left_end < len(left_rows)
+                and tuple(left_rows[left_end][p] for p in self._left_positions) == left_key
+            ):
+                left_end += 1
+            right_end = right_index
+            while (
+                right_end < len(right_rows)
+                and tuple(right_rows[right_end][p] for p in self._right_positions) == right_key
+            ):
+                right_end += 1
+            for i in range(left_index, left_end):
+                for j in range(right_index, right_end):
+                    combined = left_rows[i] + right_rows[j]
+                    if evaluate is None or evaluate(combined):
+                        yield combined
+            left_index = left_end
+            right_index = right_end
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        keys = ", ".join(
+            f"{left} = {right}" for left, right in zip(self.left_keys, self.right_keys)
+        )
+        return (
+            f"{pad}SortMergeJoin ON {keys}\n"
+            + self.left.explain(indent + 1)
+            + "\n"
+            + self.right.explain(indent + 1)
+        )
+
+
+class Distinct(PhysicalOperator):
+    """Removes duplicate rows (hash based, preserves first occurrence order)."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self.child = child
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        seen: set = set()
+        for row in self.child:
+            if row in seen:
+                continue
+            seen.add(row)
+            yield row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return f"{pad}Distinct\n" + self.child.explain(indent + 1)
+
+
+class Sort(PhysicalOperator):
+    """Sorts the child output on the given columns (ascending)."""
+
+    def __init__(self, child: PhysicalOperator, columns: Sequence[str]) -> None:
+        self.child = child
+        self.columns = list(columns)
+        self.output_schema = child.output_schema
+        self._positions = [child.output_schema.position(column) for column in self.columns]
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        rows = self.child.rows()
+        rows.sort(key=lambda row: tuple(row[position] for position in self._positions))
+        return iter(rows)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return f"{pad}Sort [{', '.join(self.columns)}]\n" + self.child.explain(indent + 1)
+
+
+class Limit(PhysicalOperator):
+    """Stops after the first N rows."""
+
+    def __init__(self, child: PhysicalOperator, count: int) -> None:
+        if count < 0:
+            raise ValueError("limit must be non-negative")
+        self.child = child
+        self.count = count
+        self.output_schema = child.output_schema
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        produced = 0
+        for row in self.child:
+            if produced >= self.count:
+                return
+            produced += 1
+            yield row
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return f"{pad}Limit {self.count}\n" + self.child.explain(indent + 1)
+
+
+_AGGREGATES: Dict[str, Callable[[List[Any]], Any]] = {
+    "count": lambda values: len(values),
+    "sum": lambda values: sum(values),
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+    "collect": lambda values: tuple(values),
+}
+
+
+class Aggregate(PhysicalOperator):
+    """Group-by aggregation.
+
+    ``aggregates`` is a list of ``(function, input_column, output_name)``
+    triples; supported functions are count, sum, min, max and collect
+    (PostgreSQL's ``array_agg``, which the paper's grounding uses for
+    existential quantifiers).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_by: Sequence[str],
+        aggregates: Sequence[Tuple[str, str, str]],
+    ) -> None:
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        for function, _, _ in self.aggregates:
+            if function not in _AGGREGATES:
+                raise ValueError(f"unsupported aggregate function {function!r}")
+        self._group_positions = [child.output_schema.position(c) for c in self.group_by]
+        self._aggregate_positions = [
+            child.output_schema.position(input_column)
+            for _, input_column, _ in self.aggregates
+        ]
+        columns = [child.output_schema.column(c) for c in self.group_by]
+        from repro.rdbms.types import ColumnType
+
+        output_columns = [Column(column.name, column.column_type) for column in columns]
+        output_columns.extend(
+            Column(output_name, ColumnType.TEXT) for _, _, output_name in self.aggregates
+        )
+        self.output_schema = TableSchema(tuple(output_columns))
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in self.child:
+            key = tuple(row[position] for position in self._group_positions)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        for key in order:
+            rows = groups[key]
+            outputs: List[Any] = list(key)
+            for (function, _, _), position in zip(self.aggregates, self._aggregate_positions):
+                values = [row[position] for row in rows if row[position] is not None]
+                outputs.append(_AGGREGATES[function](values))
+            yield tuple(outputs)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        spec = ", ".join(f"{fn}({col}) AS {name}" for fn, col, name in self.aggregates)
+        return (
+            f"{pad}Aggregate GROUP BY [{', '.join(self.group_by)}] [{spec}]\n"
+            + self.child.explain(indent + 1)
+        )
+
+
+class Materialize(PhysicalOperator):
+    """Wraps precomputed rows as an operator (used by the executor and tests)."""
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Tuple[Any, ...]]) -> None:
+        self.output_schema = schema
+        self._rows = list(rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return f"{pad}Materialize (rows={len(self._rows)})"

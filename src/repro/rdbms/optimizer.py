@@ -1,0 +1,414 @@
+"""Conjunctive queries and the query optimizer.
+
+Grounding an MLN clause is a conjunctive select-project-join query over the
+per-predicate atom tables (paper, Section 3.1 and Appendix B.1).  This module
+defines:
+
+* :class:`ConjunctiveQuery` — the logical form of such a query: base
+  relations with aliases, equality join conditions, constant filters,
+  column-to-column comparisons, a projection list and a distinct flag;
+* :class:`OptimizerOptions` — the knobs exercised by the paper's lesion
+  study (Table 6): allowed join algorithms, whether to respect the declared
+  join order and whether to push constant filters below joins;
+* :class:`Optimizer` — turns a conjunctive query into a tree of physical
+  operators using System-R style cardinality estimates and a greedy join
+  ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.rdbms.expressions import (
+    ColumnRef,
+    Comparison,
+    Const,
+    Expression,
+    conjunction,
+)
+from repro.rdbms.operators import (
+    Distinct,
+    Filter,
+    HashJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    SortMergeJoin,
+    TableScan,
+)
+from repro.rdbms.stats import (
+    StatisticsCatalog,
+    estimate_filter_selectivity,
+    estimate_join_cardinality,
+)
+from repro.rdbms.table import Table
+
+
+class QueryError(ValueError):
+    """Raised for malformed conjunctive queries."""
+
+
+@dataclass(frozen=True)
+class QueryRelation:
+    """A base relation used by a query, under an alias."""
+
+    alias: str
+    table_name: str
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equality between two alias-qualified columns (``t0.a = t1.b``)."""
+
+    left: str
+    right: str
+
+    def aliases(self) -> Tuple[str, str]:
+        return self.left.split(".", 1)[0], self.right.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class ConstantFilter:
+    """A comparison between an alias-qualified column and a constant."""
+
+    column: str
+    operator: str
+    value: Any
+
+    @property
+    def alias(self) -> str:
+        return self.column.split(".", 1)[0]
+
+    def to_expression(self) -> Expression:
+        return Comparison(self.operator, ColumnRef(self.column), Const(self.value))
+
+
+@dataclass(frozen=True)
+class ColumnComparison:
+    """A non-join comparison between two columns (e.g. ``t0.c != t1.c``)."""
+
+    left: str
+    operator: str
+    right: str
+
+    def aliases(self) -> Tuple[str, str]:
+        return self.left.split(".", 1)[0], self.right.split(".", 1)[0]
+
+    def to_expression(self) -> Expression:
+        return Comparison(self.operator, ColumnRef(self.left), ColumnRef(self.right))
+
+
+@dataclass
+class ConjunctiveQuery:
+    """A select-project-join query in logical form."""
+
+    relations: List[QueryRelation] = field(default_factory=list)
+    join_conditions: List[JoinCondition] = field(default_factory=list)
+    constant_filters: List[ConstantFilter] = field(default_factory=list)
+    column_comparisons: List[ColumnComparison] = field(default_factory=list)
+    projection: List[Tuple[str, str]] = field(default_factory=list)
+    distinct: bool = False
+
+    def add_relation(self, alias: str, table_name: str) -> None:
+        if any(relation.alias == alias for relation in self.relations):
+            raise QueryError(f"duplicate alias {alias!r}")
+        self.relations.append(QueryRelation(alias, table_name))
+
+    def add_join(self, left: str, right: str) -> None:
+        self.join_conditions.append(JoinCondition(left, right))
+
+    def add_constant_filter(self, column: str, operator: str, value: Any) -> None:
+        self.constant_filters.append(ConstantFilter(column, operator, value))
+
+    def add_column_comparison(self, left: str, operator: str, right: str) -> None:
+        self.column_comparisons.append(ColumnComparison(left, operator, right))
+
+    def add_output(self, column: str, name: Optional[str] = None) -> None:
+        self.projection.append((column, name or column))
+
+    def aliases(self) -> List[str]:
+        return [relation.alias for relation in self.relations]
+
+    def validate(self) -> None:
+        if not self.relations:
+            raise QueryError("query references no relations")
+        aliases = set(self.aliases())
+        for condition in self.join_conditions:
+            for alias in condition.aliases():
+                if alias not in aliases:
+                    raise QueryError(f"join condition references unknown alias {alias!r}")
+        for constant_filter in self.constant_filters:
+            if constant_filter.alias not in aliases:
+                raise QueryError(
+                    f"filter references unknown alias {constant_filter.alias!r}"
+                )
+        for comparison in self.column_comparisons:
+            for alias in comparison.aliases():
+                if alias not in aliases:
+                    raise QueryError(f"comparison references unknown alias {alias!r}")
+        if not self.projection:
+            raise QueryError("query has an empty projection list")
+
+
+@dataclass
+class OptimizerOptions:
+    """Planner knobs; defaults correspond to the "full optimizer" setting.
+
+    The three lesion settings from Table 6 of the paper map to:
+
+    * full optimizer — the defaults;
+    * fixed join order — ``respect_declared_order=True``;
+    * fixed join algorithm — ``enable_hash_join=False`` and
+      ``enable_sort_merge_join=False`` (nested loop only).
+    """
+
+    enable_hash_join: bool = True
+    enable_sort_merge_join: bool = True
+    enable_predicate_pushdown: bool = True
+    respect_declared_order: bool = False
+    charge_io: bool = False
+
+    @classmethod
+    def full_optimizer(cls) -> "OptimizerOptions":
+        return cls()
+
+    @classmethod
+    def fixed_join_order(cls) -> "OptimizerOptions":
+        return cls(respect_declared_order=True)
+
+    @classmethod
+    def nested_loop_only(cls) -> "OptimizerOptions":
+        return cls(enable_hash_join=False, enable_sort_merge_join=False)
+
+
+@dataclass
+class PlannedQuery:
+    """The optimizer's output: a physical plan plus planning metadata."""
+
+    root: PhysicalOperator
+    join_order: List[str]
+    estimated_cost: float
+    estimated_rows: float
+
+    def explain(self) -> str:
+        return self.root.explain()
+
+
+class Optimizer:
+    """Plans conjunctive queries against a set of named tables."""
+
+    def __init__(
+        self,
+        tables: Dict[str, Table],
+        statistics: Optional[StatisticsCatalog] = None,
+        options: Optional[OptimizerOptions] = None,
+    ) -> None:
+        self._tables = tables
+        self._statistics = statistics or StatisticsCatalog()
+        self.options = options or OptimizerOptions()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def plan(self, query: ConjunctiveQuery, options: Optional[OptimizerOptions] = None) -> PlannedQuery:
+        """Produce a physical plan for a validated conjunctive query."""
+        query.validate()
+        options = options or self.options
+        scans = self._build_scans(query, options)
+        cardinalities = self._estimate_base_cardinalities(query, options)
+        order = self._join_order(query, cardinalities, options)
+        plan, cost, rows = self._build_join_tree(query, scans, cardinalities, order, options)
+        plan = self._apply_residual_filters(query, plan, options)
+        plan = self._apply_projection(query, plan)
+        if query.distinct:
+            plan = Distinct(plan)
+        return PlannedQuery(plan, order, cost, rows)
+
+    # ------------------------------------------------------------------
+    # Planning stages
+    # ------------------------------------------------------------------
+
+    def _table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise QueryError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def _build_scans(
+        self, query: ConjunctiveQuery, options: OptimizerOptions
+    ) -> Dict[str, PhysicalOperator]:
+        scans: Dict[str, PhysicalOperator] = {}
+        for relation in query.relations:
+            table = self._table(relation.table_name)
+            operator: PhysicalOperator = TableScan(
+                table, relation.alias, charge_io=options.charge_io
+            )
+            if options.enable_predicate_pushdown:
+                filters = [
+                    constant_filter.to_expression()
+                    for constant_filter in query.constant_filters
+                    if constant_filter.alias == relation.alias
+                ]
+                if filters:
+                    operator = Filter(operator, conjunction(filters))
+            scans[relation.alias] = operator
+        return scans
+
+    def _estimate_base_cardinalities(
+        self, query: ConjunctiveQuery, options: OptimizerOptions
+    ) -> Dict[str, float]:
+        cardinalities: Dict[str, float] = {}
+        for relation in query.relations:
+            table = self._table(relation.table_name)
+            statistics = self._statistics.get_or_analyze(table)
+            rows = float(max(statistics.row_count, 1))
+            if options.enable_predicate_pushdown:
+                equality_columns = [
+                    constant_filter.column.split(".", 1)[1]
+                    for constant_filter in query.constant_filters
+                    if constant_filter.alias == relation.alias
+                    and constant_filter.operator == "="
+                ]
+                rows *= estimate_filter_selectivity(statistics, equality_columns)
+            cardinalities[relation.alias] = max(rows, 1.0)
+        return cardinalities
+
+    def _join_order(
+        self,
+        query: ConjunctiveQuery,
+        cardinalities: Dict[str, float],
+        options: OptimizerOptions,
+    ) -> List[str]:
+        aliases = query.aliases()
+        if options.respect_declared_order or len(aliases) <= 1:
+            return list(aliases)
+        connectivity = self._connectivity(query)
+        # Ties in estimated cardinality are broken by alias name so plans are
+        # deterministic across processes (set iteration order is not).
+        remaining = sorted(aliases)
+        order = [min(remaining, key=lambda alias: (cardinalities[alias], alias))]
+        remaining.remove(order[0])
+        while remaining:
+            joined = set(order)
+            connected = [
+                alias
+                for alias in remaining
+                if connectivity.get(alias, set()) & joined
+            ]
+            candidates = connected if connected else list(remaining)
+            next_alias = min(candidates, key=lambda alias: (cardinalities[alias], alias))
+            order.append(next_alias)
+            remaining.remove(next_alias)
+        return order
+
+    def _connectivity(self, query: ConjunctiveQuery) -> Dict[str, Set[str]]:
+        connectivity: Dict[str, Set[str]] = {alias: set() for alias in query.aliases()}
+        for condition in query.join_conditions:
+            left, right = condition.aliases()
+            if left != right:
+                connectivity[left].add(right)
+                connectivity[right].add(left)
+        return connectivity
+
+    def _build_join_tree(
+        self,
+        query: ConjunctiveQuery,
+        scans: Dict[str, PhysicalOperator],
+        cardinalities: Dict[str, float],
+        order: List[str],
+        options: OptimizerOptions,
+    ) -> Tuple[PhysicalOperator, float, float]:
+        plan = scans[order[0]]
+        joined: List[str] = [order[0]]
+        estimated_rows = cardinalities[order[0]]
+        estimated_cost = estimated_rows
+        for alias in order[1:]:
+            right = scans[alias]
+            equalities = self._equalities_between(query, joined, alias)
+            left_keys = [left for left, _ in equalities]
+            right_keys = [right_column for _, right_column in equalities]
+            if left_keys and options.enable_hash_join:
+                plan = HashJoin(plan, right, left_keys, right_keys)
+                estimated_cost += estimated_rows + cardinalities[alias]
+            elif left_keys and options.enable_sort_merge_join:
+                plan = SortMergeJoin(plan, right, left_keys, right_keys)
+                estimated_cost += (
+                    estimated_rows + cardinalities[alias] + estimated_rows + cardinalities[alias]
+                )
+            else:
+                condition = self._join_expression(equalities)
+                plan = NestedLoopJoin(plan, right, condition)
+                estimated_cost += estimated_rows * cardinalities[alias]
+            estimated_rows = self._estimate_join_rows(
+                query, joined, alias, estimated_rows, cardinalities[alias], equalities
+            )
+            joined.append(alias)
+        return plan, estimated_cost, estimated_rows
+
+    def _equalities_between(
+        self, query: ConjunctiveQuery, joined: Sequence[str], alias: str
+    ) -> List[Tuple[str, str]]:
+        joined_set = set(joined)
+        pairs: List[Tuple[str, str]] = []
+        for condition in query.join_conditions:
+            left_alias, right_alias = condition.aliases()
+            if left_alias in joined_set and right_alias == alias:
+                pairs.append((condition.left, condition.right))
+            elif right_alias in joined_set and left_alias == alias:
+                pairs.append((condition.right, condition.left))
+        return pairs
+
+    def _join_expression(self, equalities: Sequence[Tuple[str, str]]) -> Optional[Expression]:
+        if not equalities:
+            return None
+        return conjunction(
+            [Comparison("=", ColumnRef(left), ColumnRef(right)) for left, right in equalities]
+        )
+
+    def _estimate_join_rows(
+        self,
+        query: ConjunctiveQuery,
+        joined: Sequence[str],
+        alias: str,
+        left_rows: float,
+        right_rows: float,
+        equalities: Sequence[Tuple[str, str]],
+    ) -> float:
+        if not equalities:
+            return left_rows * right_rows
+        rows = left_rows * right_rows
+        for left_column, right_column in equalities:
+            left_distinct = self._distinct_estimate(query, left_column)
+            right_distinct = self._distinct_estimate(query, right_column)
+            rows = estimate_join_cardinality(rows, 1.0, left_distinct, right_distinct)
+        return max(rows, 1.0)
+
+    def _distinct_estimate(self, query: ConjunctiveQuery, qualified_column: str) -> int:
+        alias, column = qualified_column.split(".", 1)
+        for relation in query.relations:
+            if relation.alias == alias:
+                table = self._table(relation.table_name)
+                statistics = self._statistics.get_or_analyze(table)
+                return max(statistics.column(column).distinct_values, 1)
+        return 1
+
+    def _apply_residual_filters(
+        self, query: ConjunctiveQuery, plan: PhysicalOperator, options: OptimizerOptions
+    ) -> PhysicalOperator:
+        residuals: List[Expression] = []
+        if not options.enable_predicate_pushdown:
+            residuals.extend(
+                constant_filter.to_expression() for constant_filter in query.constant_filters
+            )
+        residuals.extend(comparison.to_expression() for comparison in query.column_comparisons)
+        if residuals:
+            return Filter(plan, conjunction(residuals))
+        return plan
+
+    def _apply_projection(
+        self, query: ConjunctiveQuery, plan: PhysicalOperator
+    ) -> PhysicalOperator:
+        columns = [column for column, _ in query.projection]
+        names = [name for _, name in query.projection]
+        return Project(plan, columns, names)

@@ -1,0 +1,97 @@
+"""Table schemas: named, typed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rdbms.types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column: a name and a type."""
+
+    name: str
+    column_type: ColumnType
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.column_type.sql_name()}"
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or rows that do not match a schema."""
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of columns with fast name lookup."""
+
+    columns: Tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        object.__setattr__(
+            self, "_positions", {column.name: index for index, column in enumerate(self.columns)}
+        )
+
+    @classmethod
+    def of(cls, *specs: Tuple[str, ColumnType]) -> "TableSchema":
+        """Build a schema from ``(name, type)`` pairs."""
+        return cls(tuple(Column(name, column_type) for name, column_type in specs))
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def position(self, name: str) -> int:
+        """Index of a column by name; raises ``SchemaError`` if missing."""
+        positions: Dict[str, int] = getattr(self, "_positions")
+        if name not in positions:
+            raise SchemaError(f"no column named {name!r} in {self.column_names}")
+        return positions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in getattr(self, "_positions")
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    def validate_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Coerce and validate a row against the schema, returning a tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.columns)} columns"
+            )
+        return tuple(
+            column.column_type.coerce(value) for column, value in zip(self.columns, row)
+        )
+
+    def project(self, names: Iterable[str]) -> "TableSchema":
+        """A new schema containing only the named columns, in the given order."""
+        return TableSchema(tuple(self.column(name) for name in names))
+
+    def rename_prefixed(self, prefix: str) -> "TableSchema":
+        """A copy with every column name prefixed (used for join outputs)."""
+        return TableSchema(
+            tuple(Column(f"{prefix}.{column.name}", column.column_type) for column in self.columns)
+        )
+
+    def concat(self, other: "TableSchema") -> "TableSchema":
+        """Concatenate two schemas (join output schema)."""
+        return TableSchema(self.columns + other.columns)
+
+    def to_sql(self, table_name: str) -> str:
+        """Render a ``CREATE TABLE`` statement for documentation purposes."""
+        body = ",\n  ".join(str(column) for column in self.columns)
+        return f"CREATE TABLE {table_name} (\n  {body}\n);"
+
+
+def row_dict(schema: TableSchema, row: Sequence[Any]) -> Dict[str, Any]:
+    """Convenience: view a row as a ``{column: value}`` mapping."""
+    return dict(zip(schema.column_names, row))

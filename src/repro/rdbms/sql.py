@@ -1,0 +1,52 @@
+"""Rendering conjunctive queries as SQL text.
+
+The engine executes plans directly; SQL is produced only so that users can
+see exactly the query Tuffy would have sent to PostgreSQL for each MLN
+clause (the paper's Algorithm 2), and so tests can assert the compilation
+shape.  The dialect is generic SQL-92 plus ``<>`` for inequality.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rdbms.optimizer import ConjunctiveQuery
+from repro.rdbms.types import format_value
+
+
+def render_select(query: ConjunctiveQuery) -> str:
+    """Render a conjunctive query as a ``SELECT`` statement."""
+    query.validate()
+    select_list = ", ".join(
+        column if column == name else f"{column} AS {name}"
+        for column, name in query.projection
+    )
+    distinct = "DISTINCT " if query.distinct else ""
+    from_list = ", ".join(
+        f"{relation.table_name} {relation.alias}" for relation in query.relations
+    )
+    predicates: List[str] = []
+    predicates.extend(
+        f"{condition.left} = {condition.right}" for condition in query.join_conditions
+    )
+    predicates.extend(
+        f"{constant_filter.column} {_sql_operator(constant_filter.operator)} "
+        f"{format_value(constant_filter.value)}"
+        for constant_filter in query.constant_filters
+    )
+    predicates.extend(
+        f"{comparison.left} {_sql_operator(comparison.operator)} {comparison.right}"
+        for comparison in query.column_comparisons
+    )
+    sql = f"SELECT {distinct}{select_list}\nFROM {from_list}"
+    if predicates:
+        sql += "\nWHERE " + "\n  AND ".join(predicates)
+    return sql + ";"
+
+
+def _sql_operator(operator: str) -> str:
+    return {
+        "!=": "<>",
+        "is_distinct_from": "IS DISTINCT FROM",
+        "is_not_distinct_from": "IS NOT DISTINCT FROM",
+    }.get(operator, operator)

@@ -1,0 +1,117 @@
+"""Tables: schema + rows, optionally backed by the storage manager."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdbms.schema import SchemaError, TableSchema
+from repro.rdbms.storage import StorageManager
+
+
+class Table:
+    """A named relation.
+
+    Rows are stored as plain tuples in insertion order.  When a
+    :class:`~repro.rdbms.storage.StorageManager` is attached, rows are also
+    materialised into pages so that scans and random accesses are charged to
+    the buffer pool; the in-memory list remains the source of truth for
+    correctness, the pages exist for cost accounting and for the Tuffy-mm
+    search path.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        storage: Optional[StorageManager] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.storage = storage
+        self.rows: List[Tuple[Any, ...]] = []
+        if storage is not None:
+            storage.create_table(name)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Validate, coerce and append a single row."""
+        validated = self.schema.validate_row(row)
+        self.rows.append(validated)
+        if self.storage is not None:
+            self.storage.append_row(self.name, validated)
+        return validated
+
+    def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Append many rows (the standard bulk-loading path for evidence).
+
+        Returns the number of rows loaded.
+        """
+        count = 0
+        validated_rows = []
+        for row in rows:
+            validated = self.schema.validate_row(row)
+            self.rows.append(validated)
+            validated_rows.append(validated)
+            count += 1
+        if self.storage is not None and validated_rows:
+            self.storage.bulk_load(self.name, validated_rows)
+        return count
+
+    def truncate(self) -> None:
+        self.rows.clear()
+        if self.storage is not None:
+            self.storage.drop_table(self.name)
+            self.storage.create_table(self.name)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def scan(self, charge_io: bool = False) -> Iterator[Tuple[Any, ...]]:
+        """Iterate over all rows, optionally via the storage manager."""
+        if charge_io and self.storage is not None:
+            return self.storage.scan(self.name)
+        return iter(self.rows)
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one column, in row order."""
+        position = self.schema.position(column)
+        return [row[position] for row in self.rows]
+
+    def distinct_count(self, column: str) -> int:
+        """Number of distinct non-null values in a column."""
+        position = self.schema.position(column)
+        return len({row[position] for row in self.rows if row[position] is not None})
+
+    def select(self, predicate) -> List[Tuple[Any, ...]]:
+        """Rows satisfying a Python predicate over ``{column: value}`` dicts."""
+        names = self.schema.column_names
+        return [row for row in self.rows if predicate(dict(zip(names, row)))]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """All rows as dictionaries (testing/debug helper)."""
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def row_at(self, index: int) -> Tuple[Any, ...]:
+        return self.rows[index]
+
+    def page_count(self, page_size: int = 128) -> int:
+        """Number of pages this table occupies (for the cost model)."""
+        if self.storage is not None:
+            return self.storage.page_count(self.name)
+        if not self.rows:
+            return 0
+        return (len(self.rows) + page_size - 1) // page_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={len(self.rows)})"

@@ -1,0 +1,89 @@
+"""Column types and value coercion for the relational engine."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Optional
+
+
+class ColumnType(Enum):
+    """The value types supported by the engine.
+
+    ``TRUTH`` is the three-valued attribute the paper uses for atom tables:
+    true, false or unknown (``None``), see Section 3.1.
+    """
+
+    INTEGER = "integer"
+    TEXT = "text"
+    REAL = "real"
+    BOOLEAN = "boolean"
+    TRUTH = "truth"
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a Python value to this column type.
+
+        ``None`` is passed through for every type (SQL NULL / unknown truth).
+        Raises :class:`TypeError` when the value cannot represent the type.
+        """
+        if value is None:
+            return None
+        if self is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str) and value.lstrip("+-").isdigit():
+                return int(value)
+            raise TypeError(f"cannot coerce {value!r} to INTEGER")
+        if self is ColumnType.REAL:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+            raise TypeError(f"cannot coerce {value!r} to REAL")
+        if self is ColumnType.TEXT:
+            if isinstance(value, str):
+                return value
+            return str(value)
+        if self is ColumnType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            raise TypeError(f"cannot coerce {value!r} to BOOLEAN")
+        if self is ColumnType.TRUTH:
+            if isinstance(value, bool):
+                return value
+            raise TypeError(f"cannot coerce {value!r} to TRUTH (bool or None)")
+        raise TypeError(f"unknown column type {self!r}")  # pragma: no cover
+
+    def sql_name(self) -> str:
+        """The type name used when rendering schemas to SQL text."""
+        return {
+            ColumnType.INTEGER: "INTEGER",
+            ColumnType.TEXT: "TEXT",
+            ColumnType.REAL: "DOUBLE PRECISION",
+            ColumnType.BOOLEAN: "BOOLEAN",
+            ColumnType.TRUTH: "BOOLEAN",  # three-valued via NULL
+        }[self]
+
+
+def infer_type(value: Any) -> ColumnType:
+    """Infer a column type from a sample Python value."""
+    if isinstance(value, bool):
+        return ColumnType.BOOLEAN
+    if isinstance(value, int):
+        return ColumnType.INTEGER
+    if isinstance(value, float):
+        return ColumnType.REAL
+    return ColumnType.TEXT
+
+
+def format_value(value: Optional[Any]) -> str:
+    """Render a value as a SQL literal (for plan/SQL pretty printing)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG, clocks, timers, memory accounting and logging.
+
+These are small infrastructure pieces used across every other subpackage.
+They exist so that all experiments are reproducible (seeded RNG everywhere)
+and so that the paper's resource-oriented claims (I/O counts, flipping rates,
+memory footprints) can be measured with deterministic, simulated quantities
+in addition to wall-clock time.
+"""
+
+from repro.utils.clock import SimulatedClock, WallClock
+from repro.utils.memory import MemoryModel, MemoryReport, deep_sizeof
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.timer import Stopwatch, Timer
+
+__all__ = [
+    "MemoryModel",
+    "MemoryReport",
+    "RandomSource",
+    "SimulatedClock",
+    "Stopwatch",
+    "Timer",
+    "WallClock",
+    "deep_sizeof",
+    "spawn_rng",
+]

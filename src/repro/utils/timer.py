@@ -1,0 +1,79 @@
+"""Lightweight timing helpers used by benchmarks and the engine facade."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates elapsed wall-clock time across multiple start/stop cycles."""
+
+    total: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        delta = time.perf_counter() - self._started_at
+        self.total += delta
+        self._started_at = None
+        return delta
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @contextmanager
+    def measure(self) -> Iterator["Stopwatch"]:
+        """Context manager form: ``with stopwatch.measure(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@dataclass
+class Timer:
+    """A named collection of stopwatches (one per pipeline phase).
+
+    The engine uses one Timer with phases such as ``"grounding"``,
+    ``"component_detection"``, ``"partitioning"``, ``"loading"`` and
+    ``"search"`` so results can report a per-phase breakdown, matching the
+    paper's separation of grounding time from search time.
+    """
+
+    phases: Dict[str, Stopwatch] = field(default_factory=dict)
+
+    def phase(self, name: str) -> Stopwatch:
+        """Return (creating if necessary) the stopwatch for a phase."""
+        if name not in self.phases:
+            self.phases[name] = Stopwatch()
+        return self.phases[name]
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[Stopwatch]:
+        watch = self.phase(name)
+        with watch.measure():
+            yield watch
+
+    def seconds(self, name: str) -> float:
+        """Elapsed seconds recorded for a phase (0.0 if never measured)."""
+        watch = self.phases.get(name)
+        return watch.total if watch else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Return ``{phase: seconds}`` for every measured phase."""
+        return {name: watch.total for name, watch in self.phases.items()}
+
+    def total(self) -> float:
+        return sum(watch.total for watch in self.phases.values())

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROGRAM_TEXT = """
+*wrote(author, paper)
+cat(paper, category)
+1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)
+-1 cat(p, "Networking")
+"""
+
+EVIDENCE_TEXT = """
+wrote(Joe, P1)
+wrote(Joe, P2)
+cat(P1, "DB")
+"""
+
+
+@pytest.fixture
+def program_files(tmp_path):
+    program = tmp_path / "prog.mln"
+    evidence = tmp_path / "prog.db"
+    program.write_text(PROGRAM_TEXT)
+    evidence.write_text(EVIDENCE_TEXT)
+    return str(program), str(evidence)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "UNKNOWN"])
+
+
+class TestStatsCommand:
+    def test_prints_table1_fields(self, program_files):
+        program, evidence = program_files
+        output = io.StringIO()
+        status = main(["stats", "-i", program, "-e", evidence], stream=output)
+        assert status == 0
+        text = output.getvalue()
+        assert "#relations" in text and "#query atoms" in text
+
+
+class TestInferCommand:
+    def test_map_inference_prints_atoms_and_summary(self, program_files):
+        program, evidence = program_files
+        output = io.StringIO()
+        status = main(
+            ["infer", "-i", program, "-e", evidence, "--max-flips", "5000", "--seed", "1"],
+            stream=output,
+        )
+        assert status == 0
+        text = output.getvalue()
+        assert "# atoms inferred true" in text
+        assert "cat(P2, DB)" in text
+        assert "cost" in text
+
+    def test_predicate_filter(self, program_files):
+        program, evidence = program_files
+        output = io.StringIO()
+        main(
+            ["infer", "-i", program, "-e", evidence, "--max-flips", "2000", "--predicate", "cat"],
+            stream=output,
+        )
+        for line in output.getvalue().splitlines():
+            if line and not line.startswith("#") and "(" in line and ":" not in line:
+                assert line.startswith("cat(")
+
+    def test_marginal_inference(self, program_files):
+        program, evidence = program_files
+        output = io.StringIO()
+        status = main(
+            [
+                "infer", "-i", program, "-e", evidence,
+                "--marginal", "--mcsat-samples", "10",
+            ],
+            stream=output,
+        )
+        assert status == 0
+        assert "# marginal probabilities" in output.getvalue()
+
+
+class TestDatasetCommand:
+    def test_runs_builtin_dataset(self):
+        output = io.StringIO()
+        status = main(
+            ["dataset", "RC", "--scale", "0.4", "--max-flips", "3000"], stream=output
+        )
+        assert status == 0
+        text = output.getvalue()
+        assert "workload: RC" in text
+        assert "components" in text
+
+    def test_baseline_comparison(self):
+        output = io.StringIO()
+        status = main(
+            ["dataset", "IE", "--scale", "0.3", "--max-flips", "2000", "--baseline"],
+            stream=output,
+        )
+        assert status == 0
+        assert "# Alchemy-style baseline" in output.getvalue()
+
+    def test_no_partitioning_and_memory_budget_flags(self):
+        output = io.StringIO()
+        status = main(
+            [
+                "dataset", "RC", "--scale", "0.3", "--max-flips", "2000",
+                "--no-partitioning",
+            ],
+            stream=output,
+        )
+        assert status == 0
+        output = io.StringIO()
+        status = main(
+            [
+                "dataset", "ER", "--scale", "0.6", "--max-flips", "2000",
+                "--memory-budget-kb", "16",
+            ],
+            stream=output,
+        )
+        assert status == 0

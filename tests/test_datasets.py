@@ -1,0 +1,141 @@
+"""Tests for the synthetic dataset generators and the paper's examples."""
+
+import pytest
+
+from repro.core import InferenceConfig, TuffyEngine
+from repro.datasets import (
+    DATASET_NAMES,
+    DatasetScale,
+    example1_mrf,
+    example1_store,
+    example2_mrf,
+    load_dataset,
+    random_program,
+)
+from repro.datasets.example1 import example1_atom_ids, example1_optimal_cost
+from repro.mrf.components import connected_components
+from repro.mrf.cost import assignment_cost
+
+
+class TestRegistry:
+    def test_all_four_datasets_registered(self):
+        assert set(DATASET_NAMES) == {"LP", "IE", "RC", "ER"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert load_dataset("rc").name == "RC"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generators_are_deterministic(self, name):
+        first = load_dataset(name, DatasetScale(seed=3)).statistics().as_dict()
+        second = load_dataset(name, DatasetScale(seed=3)).statistics().as_dict()
+        assert first == second
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_statistics_rows_are_complete(self, name):
+        row = load_dataset(name, DatasetScale(seed=0)).statistics_row()
+        for key in ("#relations", "#rules", "#entities", "#evidence tuples", "#query atoms"):
+            assert row[key] > 0
+
+    def test_scale_factor_grows_dataset(self):
+        small = load_dataset("RC", DatasetScale(factor=0.5, seed=0)).statistics()
+        large = load_dataset("RC", DatasetScale(factor=1.5, seed=0)).statistics()
+        assert large.evidence_tuples > small.evidence_tuples
+        assert large.query_atoms > small.query_atoms
+
+    def test_component_structure_matches_paper_shape(self):
+        """LP and ER are single components; IE and RC fragment heavily
+        (Table 1 of the paper: 1 / 5341 / 489 / 1 components)."""
+        structure = {}
+        for name in DATASET_NAMES:
+            dataset = load_dataset(name, DatasetScale(seed=0))
+            engine = TuffyEngine(dataset.program, InferenceConfig(seed=0, max_flips=10))
+            engine.ground()
+            structure[name] = connected_components(engine.build_mrf()).component_count
+        assert structure["LP"] == 1
+        assert structure["ER"] == 1
+        assert structure["IE"] >= 20
+        assert structure["RC"] >= 10
+        assert structure["IE"] > structure["RC"]
+
+    def test_rc_uses_figure1_rules(self):
+        dataset = load_dataset("RC", DatasetScale(seed=0))
+        weights = sorted(rule.weight for rule in dataset.program.rules)
+        assert weights == [-1.0, 1.0, 2.0, 5.0]
+
+    def test_ie_components_are_small(self):
+        dataset = load_dataset("IE", DatasetScale(seed=0))
+        engine = TuffyEngine(dataset.program, InferenceConfig(seed=0, max_flips=10))
+        engine.ground()
+        decomposition = connected_components(engine.build_mrf())
+        sizes = [component.atom_count for component in decomposition.components]
+        assert max(sizes) <= 20
+
+    def test_er_is_dense(self):
+        dataset = load_dataset("ER", DatasetScale(seed=0))
+        engine = TuffyEngine(dataset.program, InferenceConfig(seed=0, max_flips=10))
+        grounding = engine.ground()
+        mrf = engine.build_mrf()
+        assert grounding.ground_clause_count > 5 * mrf.atom_count
+
+
+class TestExample1:
+    def test_store_structure(self):
+        store = example1_store(4)
+        assert len(store) == 12
+        assert example1_atom_ids(0) == (1, 2)
+        assert example1_atom_ids(3) == (7, 8)
+
+    def test_optimal_assignment_cost(self):
+        mrf = example1_mrf(5)
+        all_true = {atom: True for atom in mrf.atom_ids}
+        all_false = {atom: False for atom in mrf.atom_ids}
+        assert assignment_cost(mrf, all_true, hard_as_infinite=False) == pytest.approx(
+            example1_optimal_cost(5)
+        )
+        assert assignment_cost(mrf, all_false, hard_as_infinite=False) == pytest.approx(10.0)
+
+    def test_component_count(self):
+        assert connected_components(example1_mrf(9)).component_count == 9
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            example1_store(0)
+
+
+class TestExample2:
+    def test_single_component_with_one_cut_edge(self):
+        mrf, side_one, side_two = example2_mrf(3)
+        assert connected_components(mrf).component_count == 1
+        assert set(side_one) & set(side_two) == set()
+        assert sorted(side_one + side_two) == sorted(mrf.atom_ids)
+        cut = mrf.cut_clauses(side_one)
+        assert len(cut) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            example2_mrf(0)
+
+
+class TestRandomProgram:
+    def test_deterministic_given_seed(self):
+        first = random_program(seed=5)
+        second = random_program(seed=5)
+        assert [str(c) for c in first.clauses()] == [str(c) for c in second.clauses()]
+        assert len(first.evidence) == len(second.evidence)
+
+    def test_respects_size_parameters(self):
+        program = random_program(seed=1, n_predicates=4, domain_size=3, n_clauses=6)
+        assert len(program.predicates) == 4
+        assert len(program.clauses()) == 6
+
+    def test_groundable_end_to_end(self):
+        program = random_program(seed=2)
+        engine = TuffyEngine(program, InferenceConfig(seed=0, max_flips=500))
+        result = engine.run_map()
+        assert result.cost >= 0.0

@@ -1,0 +1,163 @@
+"""Tests for component-aware WalkSAT, Gauss-Seidel search, SampleSAT and MC-SAT."""
+
+import math
+
+import pytest
+
+from repro.datasets.example1 import example1_mrf, example1_optimal_cost
+from repro.datasets.example2 import example2_mrf
+from repro.grounding.clause_table import GroundClauseStore
+from repro.inference.component_walksat import ComponentAwareWalkSAT
+from repro.inference.gauss_seidel import GaussSeidelSearch
+from repro.inference.mcsat import MCSat, MCSatOptions
+from repro.inference.samplesat import SampleSAT, SampleSATOptions
+from repro.inference.walksat import WalkSAT, WalkSATOptions
+from repro.mrf.components import connected_components
+from repro.mrf.cost import assignment_cost
+from repro.mrf.graph import MRF
+from repro.utils.rng import RandomSource
+
+
+class TestComponentAwareWalkSAT:
+    def test_reaches_optimum_on_example1(self):
+        mrf = example1_mrf(12)
+        searcher = ComponentAwareWalkSAT(WalkSATOptions(max_flips=4000), RandomSource(0))
+        result = searcher.run(mrf)
+        assert result.component_count == 12
+        assert result.best_cost == pytest.approx(example1_optimal_cost(12))
+        recomputed = assignment_cost(mrf, result.best_assignment, hard_as_infinite=False)
+        assert recomputed == pytest.approx(result.best_cost)
+
+    def test_accepts_precomputed_components(self):
+        mrf = example1_mrf(5)
+        decomposition = connected_components(mrf)
+        result = ComponentAwareWalkSAT(rng=RandomSource(1)).run(decomposition, total_flips=2000)
+        assert result.component_count == 5
+
+    def test_component_aware_beats_monolithic_with_equal_budget(self):
+        """The Theorem 3.1 phenomenon: with the same flip budget, the
+        component-aware search reaches a better (or equal) cost than the
+        monolithic search, and on enough components strictly better."""
+        mrf = example1_mrf(30)
+        budget = 3000
+        component_result = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=budget), RandomSource(0)
+        ).run(mrf, total_flips=budget)
+        monolithic = WalkSAT(WalkSATOptions(max_flips=budget), RandomSource(0)).run(mrf)
+        assert component_result.best_cost <= monolithic.best_cost
+        assert component_result.best_cost == pytest.approx(example1_optimal_cost(30))
+        assert monolithic.best_cost > example1_optimal_cost(30)
+
+    def test_parallel_workers_produce_valid_result(self):
+        mrf = example1_mrf(16)
+        result = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=2000), RandomSource(2), workers=4
+        ).run(mrf)
+        assert result.best_cost == pytest.approx(example1_optimal_cost(16))
+        assert result.parallel_simulated_seconds <= result.simulated_seconds + 1e-9
+
+    def test_trace_merges_components(self):
+        result = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=1000), RandomSource(3)
+        ).run(example1_mrf(4))
+        assert result.trace.points
+        assert result.trace.best_cost == pytest.approx(example1_optimal_cost(4))
+
+
+class TestGaussSeidelSearch:
+    def test_example2_reaches_low_cost(self):
+        mrf, side_one, side_two = example2_mrf(4)
+        searcher = GaussSeidelSearch(
+            WalkSATOptions(max_flips=4000), RandomSource(0), rounds=4
+        )
+        result = searcher.run(mrf, [side_one, side_two])
+        # Optimum: each pair violates exactly one clause (the negative one).
+        assert result.best_cost <= 8.5
+        assert result.cut_clause_count == 1
+        assert result.rounds == 4
+        recomputed = assignment_cost(mrf, result.best_assignment, hard_as_infinite=False)
+        assert recomputed == pytest.approx(result.best_cost)
+
+    def test_partitions_must_cover_and_not_overlap(self):
+        mrf, side_one, side_two = example2_mrf(2)
+        searcher = GaussSeidelSearch(rng=RandomSource(0))
+        with pytest.raises(ValueError):
+            searcher.run(mrf, [side_one])
+        with pytest.raises(ValueError):
+            searcher.run(mrf, [side_one, side_one + side_two])
+
+    def test_single_partition_equivalent_to_plain_search(self):
+        mrf = example1_mrf(3)
+        searcher = GaussSeidelSearch(WalkSATOptions(max_flips=2000), RandomSource(1), rounds=2)
+        result = searcher.run(mrf, [list(mrf.atom_ids)])
+        assert result.best_cost == pytest.approx(example1_optimal_cost(3))
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            GaussSeidelSearch(rounds=0)
+
+
+class TestSampleSAT:
+    def test_satisfies_simple_constraints(self):
+        store = GroundClauseStore()
+        store.add((1, 2), 1.0)
+        store.add((-1, 3), 1.0)
+        clauses = store.clauses()
+        sample = SampleSAT(rng=RandomSource(0)).sample(clauses, [1, 2, 3])
+        for clause in clauses:
+            satisfied = any(
+                sample[abs(l)] == (l > 0) for l in clause.literals
+            )
+            assert satisfied
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError):
+            SampleSATOptions(walksat_probability=2.0)
+        with pytest.raises(ValueError):
+            SampleSATOptions(temperature=0.0)
+
+    def test_different_seeds_explore_different_states(self):
+        store = GroundClauseStore()
+        store.add((1, 2), 1.0)
+        clauses = store.clauses()
+        samples = {
+            tuple(sorted(SampleSAT(rng=RandomSource(seed)).sample(clauses, [1, 2]).items()))
+            for seed in range(12)
+        }
+        assert len(samples) > 1
+
+
+class TestMCSat:
+    def _biased_mrf(self):
+        """Atom 1 is strongly preferred true, atom 2 strongly preferred false."""
+        store = GroundClauseStore()
+        store.add((1,), 3.0)
+        store.add((-2,), 3.0)
+        store.add((1, 2), 0.5)
+        return MRF.from_store(store)
+
+    def test_marginals_follow_weights(self):
+        result = MCSat(MCSatOptions(samples=80, burn_in=10), RandomSource(0)).run(self._biased_mrf())
+        assert result.probability(1) > 0.7
+        assert result.probability(2) < 0.3
+        assert result.samples == 80
+
+    def test_hard_clauses_always_respected(self):
+        store = GroundClauseStore()
+        store.add((1,), math.inf)
+        store.add((-2,), 1.0)
+        mrf = MRF.from_store(store)
+        result = MCSat(MCSatOptions(samples=30, burn_in=5), RandomSource(1)).run(mrf)
+        assert result.probability(1) == pytest.approx(1.0)
+
+    def test_most_likely_thresholding(self):
+        result = MCSat(MCSatOptions(samples=40, burn_in=5), RandomSource(2)).run(self._biased_mrf())
+        world = result.most_likely()
+        assert world[1] is True
+        assert world[2] is False
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError):
+            MCSatOptions(samples=0)
+        with pytest.raises(ValueError):
+            MCSatOptions(burn_in=-1)

@@ -1,0 +1,196 @@
+"""Tests for WalkSAT, the RDBMS-backed variant, tracing and scheduling."""
+
+import math
+
+import pytest
+
+from repro.datasets.example1 import example1_mrf
+from repro.grounding.clause_table import GroundClauseStore
+from repro.inference.rdbms_walksat import RDBMSWalkSAT
+from repro.inference.scheduling import run_tasks, weighted_flip_allocation
+from repro.inference.tracing import FlipRateMeter, TimeCostTrace, merge_traces
+from repro.inference.walksat import WalkSAT, WalkSATOptions, expected_hitting_time
+from repro.mrf.components import connected_components
+from repro.mrf.cost import assignment_cost
+from repro.mrf.graph import MRF
+from repro.rdbms.database import Database
+from repro.utils.clock import CostModel, SimulatedClock
+from repro.utils.rng import RandomSource
+
+
+def satisfiable_mrf():
+    """A small satisfiable weighted SAT instance (optimal cost 0)."""
+    store = GroundClauseStore()
+    store.add((1, 2), 1.0)
+    store.add((-1, 3), 1.0)
+    store.add((-2, -3), 1.0)
+    store.add((2, 3), 1.0)
+    return MRF.from_store(store)
+
+
+class TestWalkSATOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WalkSATOptions(noise=1.5)
+        with pytest.raises(ValueError):
+            WalkSATOptions(max_flips=0)
+
+
+class TestWalkSAT:
+    def test_finds_zero_cost_solution(self):
+        result = WalkSAT(WalkSATOptions(max_flips=5000), RandomSource(0)).run(satisfiable_mrf())
+        assert result.best_cost == pytest.approx(0.0)
+        assert result.flips > 0
+        # The returned assignment really has that cost.
+        recomputed = assignment_cost(satisfiable_mrf(), result.best_assignment)
+        assert recomputed == pytest.approx(0.0)
+
+    def test_deterministic_given_seed(self):
+        options = WalkSATOptions(max_flips=200)
+        first = WalkSAT(options, RandomSource(7)).run(example1_mrf(5))
+        second = WalkSAT(options, RandomSource(7)).run(example1_mrf(5))
+        assert first.best_cost == second.best_cost
+        assert first.best_assignment == second.best_assignment
+
+    def test_target_cost_stops_early(self):
+        options = WalkSATOptions(max_flips=100_000, target_cost=5.0)
+        result = WalkSAT(options, RandomSource(1)).run(example1_mrf(5))
+        assert result.reached_target
+        assert result.best_cost <= 5.0
+        assert result.flips < 100_000
+
+    def test_deadline_on_simulated_clock(self):
+        clock = SimulatedClock(CostModel(memory_flip=1.0))
+        options = WalkSATOptions(max_flips=10_000, deadline_seconds=50.0)
+        result = WalkSAT(options, RandomSource(2), clock).run(example1_mrf(20))
+        assert result.flips <= 51
+
+    def test_trace_is_monotone_nonincreasing(self):
+        result = WalkSAT(WalkSATOptions(max_flips=2000), RandomSource(3)).run(example1_mrf(8))
+        costs = [point.cost for point in result.trace.points]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_multiple_tries_restart(self):
+        options = WalkSATOptions(max_flips=50, max_tries=3)
+        result = WalkSAT(options, RandomSource(4)).run(example1_mrf(4))
+        assert result.tries >= 1
+        assert result.flips <= 150
+
+    def test_initial_assignment_used(self):
+        mrf = example1_mrf(3)
+        optimal = {atom: True for atom in mrf.atom_ids}
+        options = WalkSATOptions(max_flips=10, target_cost=3.0, random_restarts=False)
+        result = WalkSAT(options, RandomSource(5)).run(mrf, optimal)
+        assert result.best_cost == pytest.approx(3.0)
+
+    def test_expected_hitting_time_positive(self):
+        mean = expected_hitting_time(example1_mrf(2), target_cost=2.0, runs=5, max_flips=500, seed=1)
+        assert 0 <= mean <= 500
+
+
+class TestRDBMSWalkSAT:
+    def test_reaches_same_quality_but_pays_io(self):
+        mrf = satisfiable_mrf()
+        database = Database()
+        searcher = RDBMSWalkSAT(
+            database, WalkSATOptions(max_flips=300, trace_label="tuffy-mm"), RandomSource(0)
+        )
+        result = searcher.run(mrf)
+        assert result.best_cost == pytest.approx(0.0)
+        assert database.clock.now() > 0.0
+        assert database.io_statistics().page_writes > 0
+
+    def test_simulated_flip_rate_orders_of_magnitude_slower(self):
+        """Reproduces the Table 3 gap: in-memory search performs vastly more
+        flips per simulated second than the RDBMS-backed search."""
+        mrf = example1_mrf(30)
+        memory_clock = SimulatedClock()
+        memory_result = WalkSAT(WalkSATOptions(max_flips=2000), RandomSource(0), memory_clock).run(mrf)
+        memory_rate = memory_result.flips / max(memory_clock.now(), 1e-12)
+
+        database = Database()
+        rdbms_result = RDBMSWalkSAT(
+            database, WalkSATOptions(max_flips=50), RandomSource(0)
+        ).run(mrf)
+        rdbms_rate = rdbms_result.flips / max(database.clock.now(), 1e-12)
+        assert memory_rate / rdbms_rate > 1000
+
+    def test_deadline_respected(self):
+        database = Database()
+        options = WalkSATOptions(max_flips=10_000, deadline_seconds=0.5)
+        result = RDBMSWalkSAT(database, options, RandomSource(1)).run(example1_mrf(10))
+        assert database.clock.now() >= 0.5
+        assert result.flips < 10_000
+
+
+class TestTracing:
+    def test_record_keeps_only_improvements(self):
+        trace = TimeCostTrace("t")
+        trace.record(0.0, 10.0)
+        trace.record(1.0, 12.0)
+        trace.record(2.0, 5.0)
+        assert [point.cost for point in trace.points] == [10.0, 5.0]
+        assert trace.best_cost == 5.0
+
+    def test_cost_at_accounts_for_grounding_offset(self):
+        trace = TimeCostTrace("t", grounding_seconds=10.0)
+        trace.record(0.0, 8.0)
+        trace.record(5.0, 3.0)
+        assert math.isinf(trace.cost_at(9.0))
+        assert trace.cost_at(10.0) == 8.0
+        assert trace.cost_at(15.0) == 3.0
+
+    def test_shifted(self):
+        trace = TimeCostTrace("t")
+        trace.record(1.0, 4.0)
+        shifted = trace.shifted(2.0)
+        assert shifted.points[0].time == pytest.approx(3.0)
+
+    def test_merge_traces_sums_component_bests(self):
+        first = TimeCostTrace("a")
+        first.record(0.0, 5.0)
+        first.record(2.0, 1.0)
+        second = TimeCostTrace("b")
+        second.record(1.0, 4.0)
+        merged = merge_traces([first, second])
+        assert merged.points[-1].cost == pytest.approx(5.0)
+        # Before the second component reports anything the sum is undefined.
+        assert all(point.time >= 1.0 for point in merged.points)
+
+    def test_flip_rate_meter(self):
+        meter = FlipRateMeter()
+        meter.record(100, 2.0)
+        meter.record(300, 2.0)
+        assert meter.flips_per_second == pytest.approx(100.0)
+        assert FlipRateMeter().flips_per_second == 0.0
+
+
+class TestScheduling:
+    def test_weighted_allocation_proportional(self):
+        components = connected_components(example1_mrf(4)).components
+        allocation = weighted_flip_allocation(components, 1000)
+        assert len(allocation) == 4
+        assert sum(allocation) == pytest.approx(1000, abs=4)
+        assert all(share >= 1 for share in allocation)
+
+    def test_weighted_allocation_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            weighted_flip_allocation([], 0)
+
+    def test_run_tasks_sequential_and_parallel(self):
+        def make_task(duration):
+            def task():
+                return duration, duration
+
+            return task
+
+        outcome = run_tasks([make_task(d) for d in (3.0, 1.0, 2.0)], workers=1)
+        assert outcome.results == [3.0, 1.0, 2.0]
+        assert outcome.sequential_simulated_seconds == pytest.approx(6.0)
+        parallel = run_tasks([make_task(d) for d in (3.0, 1.0, 2.0)], workers=2)
+        assert parallel.parallel_simulated_seconds == pytest.approx(3.0)
+        assert parallel.simulated_speedup == pytest.approx(2.0)
+
+    def test_run_tasks_invalid_workers(self):
+        with pytest.raises(ValueError):
+            run_tasks([], workers=0)

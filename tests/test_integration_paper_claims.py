@@ -1,0 +1,158 @@
+"""Integration tests checking the *shape* of the paper's headline claims.
+
+These tests are deliberately coarse: they do not check absolute numbers (the
+substrate is an embedded Python engine, not PostgreSQL on 2011 hardware) but
+they do check the direction and rough magnitude of every effect the paper
+builds its argument on:
+
+* bottom-up grounding beats top-down grounding, and the gap collapses when
+  the optimizer is restricted to nested-loop joins (Table 2 / Table 6);
+* the in-memory search performs orders of magnitude more flips per
+  (simulated) second than the RDBMS-backed search (Table 3 / Figure 4);
+* Tuffy's peak RAM is far below Alchemy's on the same program (Table 4);
+* component-aware search reaches better costs than component-blind search
+  with the same budget, and the empirical hitting-time gap on Example 1
+  grows with the number of components (Theorem 3.1 / Table 5 / Figure 8);
+* batch loading needs fewer clause-table scans than per-component loading
+  (Table 7).
+"""
+
+import pytest
+
+from repro.baselines.alchemy import AlchemyEngine
+from repro.core import InferenceConfig, TuffyEngine
+from repro.datasets import DatasetScale, example1_mrf, load_dataset
+from repro.datasets.example1 import example1_optimal_cost
+from repro.grounding.bottom_up import BottomUpGrounder
+from repro.grounding.top_down import TopDownGrounder
+from repro.inference.component_walksat import ComponentAwareWalkSAT
+from repro.inference.rdbms_walksat import RDBMSWalkSAT
+from repro.inference.walksat import WalkSAT, WalkSATOptions, expected_hitting_time
+from repro.mrf.components import connected_components
+from repro.rdbms.database import Database
+from repro.rdbms.optimizer import OptimizerOptions
+from repro.utils.clock import SimulatedClock
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture(scope="module")
+def rc_dataset():
+    return load_dataset("RC", DatasetScale(seed=0))
+
+
+class TestGroundingClaims:
+    def test_bottom_up_cheaper_than_top_down_in_work_done(self, rc_dataset):
+        """Top-down grounding enumerates far more intermediate bindings than
+        the relational plans touch rows — the source of the Table 2 gap."""
+        program = rc_dataset.program
+        clauses = program.clauses()
+        top_down = TopDownGrounder().ground(clauses, program.build_atom_registry())
+        bottom_up = BottomUpGrounder().ground(clauses, program.build_atom_registry())
+        assert bottom_up.ground_clause_count == top_down.ground_clause_count
+        assert top_down.intermediate_tuples > 2 * top_down.ground_clause_count
+        assert bottom_up.intermediate_tuples == 0
+
+    def test_nested_loop_lesion_slows_grounding(self, rc_dataset):
+        """Table 6: forcing nested-loop joins makes grounding dramatically
+        slower (measured in wall time on the same machine and data)."""
+        program = rc_dataset.program
+        clauses = program.clauses()
+        full = BottomUpGrounder(optimizer_options=OptimizerOptions.full_optimizer())
+        crippled = BottomUpGrounder(optimizer_options=OptimizerOptions.nested_loop_only())
+        full_result = full.ground(clauses, program.build_atom_registry())
+        crippled_result = crippled.ground(clauses, program.build_atom_registry())
+        assert full_result.ground_clause_count == crippled_result.ground_clause_count
+        assert crippled_result.seconds > full_result.seconds
+
+
+class TestHybridArchitectureClaims:
+    def test_flip_rate_gap_between_memory_and_rdbms_search(self):
+        """Table 3: the in-memory flipping rate is orders of magnitude higher."""
+        mrf = example1_mrf(40)
+        memory_clock = SimulatedClock()
+        memory = WalkSAT(WalkSATOptions(max_flips=5000), RandomSource(0), memory_clock).run(mrf)
+        memory_rate = memory.flips / max(memory_clock.now(), 1e-12)
+
+        database = Database()
+        rdbms = RDBMSWalkSAT(database, WalkSATOptions(max_flips=40), RandomSource(0)).run(mrf)
+        rdbms_rate = rdbms.flips / max(database.clock.now(), 1e-12)
+        assert memory_rate > 1e4
+        assert rdbms_rate < 1e3
+        assert memory_rate / rdbms_rate > 1e3
+
+    def test_tuffy_memory_far_below_alchemy(self, rc_dataset):
+        """Table 4: Tuffy's RAM footprint is a small fraction of Alchemy's."""
+        config = InferenceConfig(seed=0, max_flips=2_000)
+        tuffy = TuffyEngine(rc_dataset.program, config).run_map()
+        alchemy = AlchemyEngine(rc_dataset.program, config).run_map()
+        assert tuffy.peak_memory_bytes < 0.5 * alchemy.peak_memory_bytes
+
+
+class TestPartitioningClaims:
+    def test_component_aware_search_dominates_on_fragmented_mrf(self):
+        """Table 5 / Figure 5: with an equal flip budget the component-aware
+        search reaches the optimum while the monolithic search does not."""
+        mrf = example1_mrf(40)
+        budget = 4_000
+        aware = ComponentAwareWalkSAT(WalkSATOptions(max_flips=budget), RandomSource(0)).run(
+            mrf, total_flips=budget
+        )
+        blind = WalkSAT(WalkSATOptions(max_flips=budget), RandomSource(0)).run(mrf)
+        optimum = example1_optimal_cost(40)
+        assert aware.best_cost == pytest.approx(optimum)
+        assert blind.best_cost > optimum
+
+    def test_hitting_time_gap_grows_with_component_count(self):
+        """Theorem 3.1: the expected hitting time of component-blind WalkSAT
+        grows much faster than linearly in the number of components, while
+        component-aware search stays linear (its per-component hitting time
+        is constant)."""
+        small, large = 4, 12
+        budget = 50_000
+        blind_small = expected_hitting_time(
+            example1_mrf(small), example1_optimal_cost(small), runs=6, max_flips=budget, seed=1
+        )
+        blind_large = expected_hitting_time(
+            example1_mrf(large), example1_optimal_cost(large), runs=6, max_flips=budget, seed=1
+        )
+        # Growth factor far above the 3x component growth.
+        assert blind_large > 4 * blind_small
+        # Component-aware search: the per-component expected hitting time is
+        # tiny (the paper bounds it by 4 flips), so the total stays small.
+        per_component = expected_hitting_time(
+            example1_mrf(1), 1.0, runs=20, max_flips=1_000, seed=2
+        )
+        assert per_component <= 10.0
+
+    def test_rc_partitioning_improves_cost_at_equal_budget(self, rc_dataset):
+        """Table 5, RC row: Tuffy (partitioning) beats Tuffy-p (no
+        partitioning) at the same flip budget."""
+        budget = 4_000
+        partitioned = TuffyEngine(
+            rc_dataset.program,
+            InferenceConfig(seed=0, max_flips=budget, use_partitioning=True),
+        ).run_map()
+        monolithic = TuffyEngine(
+            rc_dataset.program,
+            InferenceConfig(seed=0, max_flips=budget, use_partitioning=False),
+        ).run_map()
+        assert partitioned.cost <= monolithic.cost
+        assert partitioned.component_count > 1
+
+    def test_batch_loading_reduces_scans(self, rc_dataset):
+        """Table 7: batch loading scans the clause table far fewer times."""
+        from repro.partitioning.loader import BatchLoader
+
+        engine = TuffyEngine(rc_dataset.program, InferenceConfig(seed=0, max_flips=10))
+        engine.ground()
+        components = connected_components(engine.build_mrf()).components
+        database_batched = Database(page_size=32, buffer_pool_pages=1)
+        engine.grounding_result.clauses.store_in_database(database_batched)
+        batched = BatchLoader(database_batched, memory_budget=2000.0).load(components, batched=True)
+        database_single = Database(page_size=32, buffer_pool_pages=1)
+        engine.grounding_result.clauses.store_in_database(database_single)
+        one_by_one = BatchLoader(database_single, memory_budget=2000.0).load(
+            components, batched=False
+        )
+        assert batched.scans < one_by_one.scans
+        assert batched.simulated_seconds < one_by_one.simulated_seconds

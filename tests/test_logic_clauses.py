@@ -1,0 +1,172 @@
+"""Tests for repro.logic.predicates, literals and clauses."""
+
+import math
+
+import pytest
+
+from repro.logic.clauses import ClauseSet, HARD_WEIGHT, WeightedClause, make_clause
+from repro.logic.literals import Literal
+from repro.logic.predicates import GroundAtom, Predicate, PredicateRegistry, make_atom
+from repro.logic.terms import Constant, Variable
+
+
+CAT = Predicate("cat", ("paper", "category"))
+REFERS = Predicate("refers", ("paper", "paper"), closed_world=True)
+
+
+class TestPredicate:
+    def test_arity_and_table_name(self):
+        assert CAT.arity == 2
+        assert CAT.table_name() == "pred_cat"
+        assert str(CAT) == "cat(paper, category)"
+
+    def test_with_closed_world(self):
+        closed = CAT.with_closed_world(True)
+        assert closed.closed_world is True
+        assert closed.name == CAT.name
+
+    def test_registry_conflicting_declaration_rejected(self):
+        registry = PredicateRegistry()
+        registry.declare(CAT)
+        with pytest.raises(ValueError):
+            registry.declare(Predicate("cat", ("paper",)))
+
+    def test_registry_partitions_by_world_assumption(self):
+        registry = PredicateRegistry()
+        registry.declare(CAT)
+        registry.declare(REFERS)
+        assert [p.name for p in registry.query_predicates()] == ["cat"]
+        assert [p.name for p in registry.evidence_predicates()] == ["refers"]
+
+    def test_registry_lookup(self):
+        registry = PredicateRegistry()
+        registry.declare(CAT)
+        assert registry.get("cat") is CAT
+        with pytest.raises(KeyError):
+            registry.get("unknown")
+
+
+class TestGroundAtom:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            GroundAtom(CAT, (Constant("P1"),))
+
+    def test_make_atom_and_str(self):
+        atom = make_atom(CAT, ["P1", "DB"])
+        assert atom.argument_values() == ("P1", "DB")
+        assert str(atom) == "cat(P1, DB)"
+
+    def test_atoms_hashable(self):
+        assert make_atom(CAT, ["P1", "DB"]) == make_atom(CAT, ["P1", "DB"])
+        assert len({make_atom(CAT, ["P1", "DB"]), make_atom(CAT, ["P1", "AI"])}) == 2
+
+
+class TestLiteral:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Literal(CAT, (Variable("p"),))
+
+    def test_variables_in_order_unique(self):
+        literal = Literal(CAT, (Variable("p"), Variable("p")))
+        assert literal.variables() == (Variable("p"),)
+
+    def test_negate(self):
+        literal = Literal(CAT, (Variable("p"), Constant("DB")))
+        assert literal.negate().positive is False
+        assert literal.negate().negate() == literal
+
+    def test_substitute_and_to_atom(self):
+        literal = Literal(CAT, (Variable("p"), Constant("DB")))
+        ground = literal.substitute({Variable("p"): Constant("P9")})
+        assert ground.is_ground
+        assert ground.to_atom() == make_atom(CAT, ["P9", "DB"])
+
+    def test_to_atom_requires_ground(self):
+        with pytest.raises(ValueError):
+            Literal(CAT, (Variable("p"), Constant("DB"))).to_atom()
+
+    def test_str_includes_sign(self):
+        literal = Literal(CAT, (Variable("p"), Constant("DB")), positive=False)
+        assert str(literal) == "!cat(p, DB)"
+
+
+class TestWeightedClause:
+    def _clause(self, weight=1.0):
+        return make_clause(
+            [
+                Literal(CAT, (Variable("p"), Variable("c1")), positive=False),
+                Literal(CAT, (Variable("p"), Variable("c2")), positive=False),
+            ],
+            weight,
+            name="F1",
+        )
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedClause((), 1.0)
+
+    def test_hard_flag(self):
+        assert self._clause(HARD_WEIGHT).is_hard
+        assert not self._clause(2.0).is_hard
+
+    def test_variables_and_predicates(self):
+        clause = self._clause()
+        assert clause.variables() == (Variable("p"), Variable("c1"), Variable("c2"))
+        assert clause.predicates() == (CAT,)
+
+    def test_substitute_produces_ground_clause(self):
+        clause = self._clause()
+        ground = clause.substitute(
+            {Variable("p"): Constant("P1"), Variable("c1"): Constant("DB"), Variable("c2"): Constant("AI")}
+        )
+        assert ground.is_ground
+        assert not clause.is_ground
+
+    def test_equalities_survive_substitution(self):
+        clause = WeightedClause(
+            (Literal(CAT, (Variable("p"), Variable("c1")), positive=False),),
+            5.0,
+            "F1",
+            ((Variable("c1"), Variable("c2"), True),),
+        )
+        ground = clause.substitute({Variable("c1"): Constant("DB")})
+        assert ground.equalities == ((Constant("DB"), Variable("c2"), True),)
+
+    def test_signature_symmetric_under_literal_order(self):
+        a = make_clause(
+            [Literal(CAT, (Constant("P1"), Constant("DB"))), Literal(REFERS, (Constant("P1"), Constant("P2")))],
+            1.5,
+        )
+        b = make_clause(
+            [Literal(REFERS, (Constant("P1"), Constant("P2"))), Literal(CAT, (Constant("P1"), Constant("DB")))],
+            1.5,
+        )
+        assert a.signature() == b.signature()
+
+    def test_str_mentions_weight_and_name(self):
+        text = str(self._clause(5.0))
+        assert "F1" in text and "5" in text
+
+
+class TestClauseSet:
+    def test_partitions_hard_and_soft(self):
+        clauses = ClauseSet()
+        clauses.add(make_clause([Literal(CAT, (Constant("P1"), Constant("DB")))], HARD_WEIGHT))
+        clauses.add(make_clause([Literal(CAT, (Constant("P1"), Constant("AI")))], -2.0))
+        clauses.add(make_clause([Literal(CAT, (Constant("P2"), Constant("AI")))], 3.0))
+        assert len(clauses.hard_clauses()) == 1
+        assert len(clauses.soft_clauses()) == 2
+        assert clauses.total_weight() == pytest.approx(5.0)
+
+    def test_referencing(self):
+        clauses = ClauseSet(
+            [make_clause([Literal(REFERS, (Constant("P1"), Constant("P2")))], 1.0)]
+        )
+        assert len(clauses.referencing("refers")) == 1
+        assert clauses.referencing("cat") == []
+
+    def test_indexing_and_len(self):
+        clause = make_clause([Literal(CAT, (Constant("P1"), Constant("DB")))], 1.0)
+        clauses = ClauseSet([clause])
+        assert len(clauses) == 1
+        assert clauses[0] is clause

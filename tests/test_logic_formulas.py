@@ -1,0 +1,261 @@
+"""Tests for formula construction and conversion to clausal form."""
+
+import math
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.clauses import HARD_WEIGHT
+from repro.logic.domains import DomainRegistry
+from repro.logic.formulas import (
+    Conjunction,
+    Disjunction,
+    Equality,
+    Exists,
+    Formula,
+    FormulaConversionError,
+    Implication,
+    Negation,
+    PredicateFormula,
+    to_clausal_form,
+)
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Variable
+
+CAT = Predicate("cat", ("paper", "category"))
+REFERS = Predicate("refers", ("paper", "paper"), closed_world=True)
+WROTE = Predicate("wrote", ("author", "paper"), closed_world=True)
+
+P, P1, P2, C, C1, C2, X = (Variable(n) for n in ("p", "p1", "p2", "c", "c1", "c2", "x"))
+
+
+def cat(paper, category):
+    return PredicateFormula(CAT, (paper, category))
+
+
+def refers(a, b):
+    return PredicateFormula(REFERS, (a, b))
+
+
+def wrote(a, b):
+    return PredicateFormula(WROTE, (a, b))
+
+
+class TestOperatorSugar:
+    def test_rshift_builds_implication(self):
+        formula = cat(P, C) >> cat(P1, C)
+        assert isinstance(formula, Implication)
+
+    def test_and_or_invert(self):
+        conjunction = cat(P, C) & refers(P, P1)
+        disjunction = cat(P, C) | refers(P, P1)
+        negation = ~cat(P, C)
+        assert isinstance(conjunction, Conjunction)
+        assert isinstance(disjunction, Disjunction)
+        assert isinstance(negation, Negation)
+
+    def test_variables_collected_in_order(self):
+        formula = (cat(P1, C) & refers(P1, P2)) >> cat(P2, C)
+        assert formula.variables() == (P1, C, P2)
+
+
+class TestClausalConversion:
+    def test_simple_implication(self):
+        [clause] = to_clausal_form((cat(P1, C) & refers(P1, P2)) >> cat(P2, C), 2.0, "F3")
+        signs = [(literal.predicate.name, literal.positive) for literal in clause.literals]
+        assert signs == [("cat", False), ("refers", False), ("cat", True)]
+        assert clause.weight == 2.0
+
+    def test_equality_in_conclusion(self):
+        [clause] = to_clausal_form(
+            (cat(P, C1) & cat(P, C2)) >> Equality(C1, C2), 5.0, "F1"
+        )
+        assert len(clause.literals) == 2
+        assert clause.equalities == ((C1, C2, True),)
+
+    def test_negated_equality(self):
+        [clause] = to_clausal_form(Negation(Equality(C1, C2)) >> cat(P, C1), 1.0)
+        # !(c1 != c2) v cat == (c1 = c2) v cat ... conversion keeps one literal
+        assert len(clause.literals) == 1
+        assert clause.equalities == ((C1, C2, True),)
+
+    def test_conjunction_conclusion_splits_weight(self):
+        clauses = to_clausal_form(cat(P, C) >> (cat(P1, C) & cat(P2, C)), 4.0, "F")
+        assert len(clauses) == 2
+        assert all(clause.weight == pytest.approx(2.0) for clause in clauses)
+        assert {clause.name for clause in clauses} == {"F.0", "F.1"}
+
+    def test_hard_weight_not_split(self):
+        clauses = to_clausal_form(cat(P, C) >> (cat(P1, C) & cat(P2, C)), HARD_WEIGHT)
+        assert all(math.isinf(clause.weight) for clause in clauses)
+
+    def test_double_negation_eliminated(self):
+        [clause] = to_clausal_form(Negation(Negation(cat(P, C))), 1.0)
+        assert clause.literals[0].positive is True
+
+    def test_negated_conjunction_becomes_disjunction(self):
+        [clause] = to_clausal_form(Negation(cat(P, C) & refers(P, P1)), 1.0)
+        assert len(clause.literals) == 2
+        assert all(not literal.positive for literal in clause.literals)
+
+    def test_negated_disjunction_becomes_two_clauses(self):
+        clauses = to_clausal_form(Negation(cat(P, C) | refers(P, P1)), 2.0)
+        assert len(clauses) == 2
+        assert all(len(clause.literals) == 1 for clause in clauses)
+
+    def test_existential_expansion_over_domain(self):
+        domains = DomainRegistry()
+        domains.add_constants("author", ["Joe", "Jake"])
+        [clause] = to_clausal_form(
+            Exists(X, wrote(X, P)), 1.0, "F4", domains=domains
+        )
+        assert len(clause.literals) == 2
+        constants = {literal.arguments[0] for literal in clause.literals}
+        assert constants == {Constant("Joe"), Constant("Jake")}
+
+    def test_existential_without_domains_raises(self):
+        with pytest.raises(FormulaConversionError):
+            to_clausal_form(Exists(X, wrote(X, P)), 1.0)
+
+    def test_existential_empty_domain_raises(self):
+        domains = DomainRegistry()
+        domains.domain("author")
+        with pytest.raises(FormulaConversionError):
+            to_clausal_form(Exists(X, wrote(X, P)), 1.0, domains=domains)
+
+    def test_negated_existential_becomes_universal(self):
+        domains = DomainRegistry()
+        domains.add_constants("author", ["Joe"])
+        [clause] = to_clausal_form(Negation(Exists(X, wrote(X, P))), 1.0, domains=domains)
+        assert len(clause.literals) == 1
+        assert clause.literals[0].positive is False
+
+
+def _enumerate_worlds(atom_keys):
+    for values in product([False, True], repeat=len(atom_keys)):
+        yield dict(zip(atom_keys, values))
+
+
+def _evaluate_formula(formula: Formula, world, binding):
+    if isinstance(formula, PredicateFormula):
+        key = (
+            formula.predicate.name,
+            tuple(
+                binding[a].value if isinstance(a, Variable) else a.value
+                for a in formula.arguments
+            ),
+        )
+        return world[key]
+    if isinstance(formula, Equality):
+        left = binding[formula.left].value if isinstance(formula.left, Variable) else formula.left.value
+        right = binding[formula.right].value if isinstance(formula.right, Variable) else formula.right.value
+        return left == right
+    if isinstance(formula, Negation):
+        return not _evaluate_formula(formula.operand, world, binding)
+    if isinstance(formula, Conjunction):
+        return all(_evaluate_formula(op, world, binding) for op in formula.operands)
+    if isinstance(formula, Disjunction):
+        return any(_evaluate_formula(op, world, binding) for op in formula.operands)
+    if isinstance(formula, Implication):
+        return (not _evaluate_formula(formula.premise, world, binding)) or _evaluate_formula(
+            formula.conclusion, world, binding
+        )
+    raise AssertionError(f"unexpected node {formula!r}")
+
+
+def _evaluate_clauses(clauses, world, binding):
+    for clause in clauses:
+        satisfied = False
+        for literal in clause.literals:
+            key = (
+                literal.predicate.name,
+                tuple(
+                    binding[a].value if isinstance(a, Variable) else a.value
+                    for a in literal.arguments
+                ),
+            )
+            value = world[key]
+            if value == literal.positive:
+                satisfied = True
+                break
+        if not satisfied:
+            for left, right, positive in clause.equalities:
+                left_value = binding[left].value if isinstance(left, Variable) else left.value
+                right_value = binding[right].value if isinstance(right, Variable) else right.value
+                if (left_value == right_value) == positive:
+                    satisfied = True
+                    break
+        if not satisfied:
+            return False
+    return True
+
+
+class TestConversionPreservesSemantics:
+    """CNF conversion must be logically equivalent to the original formula.
+
+    We check the equivalence by brute force over all truth assignments to
+    the ground atoms of a fixed binding — a small but complete model check.
+    """
+
+    BINDING = {
+        P: Constant("A"),
+        P1: Constant("A"),
+        P2: Constant("B"),
+        C: Constant("DB"),
+        C1: Constant("DB"),
+        C2: Constant("AI"),
+    }
+
+    FORMULAS = [
+        (cat(P1, C) & refers(P1, P2)) >> cat(P2, C),
+        (cat(P, C1) & cat(P, C2)) >> Equality(C1, C2),
+        Negation(cat(P, C) & refers(P, P1)),
+        Negation(cat(P, C) | refers(P, P1)),
+        cat(P, C) >> (cat(P1, C) & cat(P2, C)),
+        (cat(P, C) | refers(P, P1)) >> cat(P2, C),
+    ]
+
+    @pytest.mark.parametrize("formula", FORMULAS)
+    def test_equivalent_on_all_worlds(self, formula):
+        clauses = to_clausal_form(formula, 1.0)
+        atom_keys = set()
+        binding = self.BINDING
+        for clause in clauses:
+            for literal in clause.literals:
+                atom_keys.add(
+                    (
+                        literal.predicate.name,
+                        tuple(
+                            binding[a].value if isinstance(a, Variable) else a.value
+                            for a in literal.arguments
+                        ),
+                    )
+                )
+
+        def add_formula_atoms(node):
+            if isinstance(node, PredicateFormula):
+                atom_keys.add(
+                    (
+                        node.predicate.name,
+                        tuple(
+                            binding[a].value if isinstance(a, Variable) else a.value
+                            for a in node.arguments
+                        ),
+                    )
+                )
+            elif isinstance(node, Negation):
+                add_formula_atoms(node.operand)
+            elif isinstance(node, (Conjunction, Disjunction)):
+                for operand in node.operands:
+                    add_formula_atoms(operand)
+            elif isinstance(node, Implication):
+                add_formula_atoms(node.premise)
+                add_formula_atoms(node.conclusion)
+
+        add_formula_atoms(formula)
+        keys = sorted(atom_keys)
+        for world in _enumerate_worlds(keys):
+            original = _evaluate_formula(formula, world, binding)
+            converted = _evaluate_clauses(clauses, world, binding)
+            assert original == converted, f"divergence on world {world}"

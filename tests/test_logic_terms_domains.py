@@ -1,0 +1,84 @@
+"""Tests for repro.logic.terms and repro.logic.domains."""
+
+import pytest
+
+from repro.logic.domains import Domain, DomainRegistry
+from repro.logic.terms import Constant, Variable, is_ground, substitute, term_from_token
+
+
+class TestTerms:
+    def test_constant_and_variable_flags(self):
+        assert Constant("P1").is_variable is False
+        assert Variable("p").is_variable is True
+
+    def test_terms_are_hashable_and_comparable(self):
+        assert Constant("A") == Constant("A")
+        assert Variable("x") == Variable("x")
+        assert Constant("A") != Variable("A")
+        assert len({Constant("A"), Constant("A"), Variable("x")}) == 2
+
+    def test_term_from_token_conventions(self):
+        assert term_from_token("P1") == Constant("P1")
+        assert term_from_token("'quoted value'") == Constant("quoted value")
+        assert term_from_token('"DB"') == Constant("DB")
+        assert term_from_token("42") == Constant("42")
+        assert term_from_token("paper") == Variable("paper")
+
+    def test_term_from_token_empty_raises(self):
+        with pytest.raises(ValueError):
+            term_from_token("  ")
+
+    def test_substitute(self):
+        binding = {Variable("x"): Constant("A")}
+        assert substitute(Variable("x"), binding) == Constant("A")
+        assert substitute(Variable("y"), binding) == Variable("y")
+        assert substitute(Constant("B"), binding) == Constant("B")
+
+    def test_is_ground(self):
+        assert is_ground(Constant("A"))
+        assert not is_ground(Variable("x"))
+
+
+class TestDomain:
+    def test_add_is_idempotent_and_dense(self):
+        domain = Domain("paper")
+        first = domain.add(Constant("P1"))
+        second = domain.add(Constant("P2"))
+        again = domain.add(Constant("P1"))
+        assert (first, second, again) == (0, 1, 0)
+        assert len(domain) == 2
+
+    def test_roundtrip_ids(self):
+        domain = Domain("t")
+        domain.add_value("A")
+        domain.add_value("B")
+        assert domain.constant_of(domain.id_of(Constant("B"))) == Constant("B")
+
+    def test_contains_and_iteration(self):
+        domain = Domain("t")
+        domain.add_value("A")
+        assert Constant("A") in domain
+        assert Constant("Z") not in domain
+        assert list(domain) == [Constant("A")]
+
+    def test_unknown_constant_raises(self):
+        with pytest.raises(KeyError):
+            Domain("t").id_of(Constant("missing"))
+
+
+class TestDomainRegistry:
+    def test_domains_created_on_demand(self):
+        registry = DomainRegistry()
+        registry.add_constants("paper", ["P1", "P2"])
+        registry.add_constant("author", Constant("Joe"))
+        assert "paper" in registry
+        assert len(registry["paper"]) == 2
+        assert registry.total_constants() == 3
+        assert registry.summary() == {"paper": 2, "author": 1}
+
+    def test_type_names(self):
+        registry = DomainRegistry()
+        registry.domain("a")
+        registry.domain("b")
+        assert registry.type_names() == ["a", "b"]
+        assert len(registry) == 2

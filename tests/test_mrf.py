@@ -1,0 +1,179 @@
+"""Tests for the MRF graph, cost function, union-find and components."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.example1 import example1_mrf, example1_optimal_cost, example1_store
+from repro.grounding.clause_table import GroundClause, GroundClauseStore
+from repro.mrf.components import connected_components
+from repro.mrf.cost import (
+    all_false_assignment,
+    assignment_cost,
+    clause_satisfied,
+    clause_violated,
+    cost_decomposes_over_components,
+    violated_clauses,
+)
+from repro.mrf.graph import MRF
+from repro.mrf.union_find import UnionFind
+
+
+def small_store():
+    store = GroundClauseStore()
+    store.add((1, -2), 1.0, "a")
+    store.add((2, 3), 2.0, "b")
+    store.add((4,), math.inf, "hard")
+    store.add((5, -6), -0.5, "neg")
+    return store
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        dsu = UnionFind(range(5))
+        dsu.union(0, 1)
+        dsu.union(3, 4)
+        assert dsu.connected(0, 1)
+        assert not dsu.connected(1, 3)
+        assert dsu.component_size(0) == 2
+        assert dsu.component_count() == 3
+
+    def test_groups(self):
+        dsu = UnionFind()
+        dsu.union("a", "b")
+        dsu.add("c")
+        groups = dsu.groups()
+        assert sorted(len(members) for members in groups.values()) == [1, 2]
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("nope")
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_connectivity_matches_reference(self, edges):
+        """Union-find must agree with a straightforward graph traversal."""
+        import networkx as nx
+
+        dsu = UnionFind(range(21))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(21))
+        for left, right in edges:
+            dsu.union(left, right)
+            graph.add_edge(left, right)
+        reference = {frozenset(c) for c in nx.connected_components(graph)}
+        ours = {frozenset(members) for members in dsu.groups().values()}
+        assert ours == reference
+
+
+class TestMRFGraph:
+    def test_from_store_builds_adjacency(self):
+        mrf = MRF.from_store(small_store())
+        assert mrf.atom_count == 6
+        assert mrf.clause_count == 4
+        assert mrf.total_literals() == 7
+        assert mrf.size() == 13
+        assert mrf.degree(2) == 2
+        assert set(mrf.clauses_of_atom(2)) == {0, 1}
+        assert mrf.neighbors(2) == frozenset({1, 3})
+
+    def test_subgraph_and_cut(self):
+        mrf = MRF.from_store(small_store())
+        sub = mrf.subgraph({1, 2})
+        assert sub.clause_count == 1
+        assert sub.atom_count == 2
+        cut = mrf.cut_clauses({2})
+        assert {clause.literals for clause in cut} == {(1, -2), (2, 3)}
+
+    def test_total_soft_weight_excludes_hard(self):
+        mrf = MRF.from_store(small_store())
+        assert mrf.total_soft_weight() == pytest.approx(3.5)
+
+    def test_extra_atoms_become_isolated_nodes(self):
+        mrf = MRF.from_clauses([GroundClause(1, (1,), 1.0)], extra_atoms=[7])
+        assert 7 in mrf.atom_ids
+        assert mrf.degree(7) == 0
+
+
+class TestCostFunction:
+    def test_clause_satisfaction(self):
+        clause = GroundClause(1, (1, -2), 1.0)
+        assert clause_satisfied(clause, {1: True, 2: True})
+        assert not clause_satisfied(clause, {1: False, 2: True})
+        assert clause_violated(clause, {1: False, 2: True})
+
+    def test_negative_weight_violation(self):
+        clause = GroundClause(1, (1,), -2.0)
+        assert clause_violated(clause, {1: True})
+        assert not clause_violated(clause, {1: False})
+
+    def test_missing_atoms_default_false(self):
+        clause = GroundClause(1, (-3,), 1.0)
+        assert clause_satisfied(clause, {})
+
+    def test_assignment_cost_with_hard_clauses(self):
+        mrf = MRF.from_store(small_store())
+        assignment = all_false_assignment(mrf)
+        assert assignment_cost(mrf, assignment) == math.inf
+        finite = assignment_cost(mrf, assignment, hard_as_infinite=False, hard_penalty=100.0)
+        # Violations when all false: clause b (2,3), hard clause (4,); the
+        # negative clause (5,-6) is satisfied via -6, hence also violated.
+        assert finite == pytest.approx(2.0 + 100.0 + 0.5)
+        assert len(violated_clauses(mrf, assignment)) == 3
+
+    def test_cost_decomposes_over_components(self):
+        mrf = example1_mrf(6)
+        decomposition = connected_components(mrf)
+        assert decomposition.component_count == 6
+        assignment = {atom: bool(atom % 2) for atom in mrf.atom_ids}
+        total = assignment_cost(mrf, assignment, hard_as_infinite=False)
+        split = cost_decomposes_over_components(decomposition.components, assignment)
+        assert split == pytest.approx(total)
+
+    @given(st.integers(min_value=0, max_value=2 ** 12 - 1))
+    @settings(max_examples=64, deadline=None)
+    def test_cost_decomposition_property(self, bits):
+        """cost_G(I) == sum_i cost_{G_i}(I_i) for every assignment (paper §3.3)."""
+        mrf = example1_mrf(6)
+        assignment = {atom: bool((bits >> (atom - 1)) & 1) for atom in mrf.atom_ids}
+        decomposition = connected_components(mrf)
+        total = assignment_cost(mrf, assignment, hard_as_infinite=False)
+        split = cost_decomposes_over_components(decomposition.components, assignment)
+        assert split == pytest.approx(total)
+
+
+class TestComponents:
+    def test_example1_component_structure(self):
+        decomposition = connected_components(example1_store(10))
+        assert decomposition.component_count == 10
+        assert all(component.atom_count == 2 for component in decomposition.components)
+        assert all(component.clause_count == 3 for component in decomposition.components)
+        # Each component: 2 atoms + 4 literal occurrences = size 6.
+        assert decomposition.sizes() == [6] * 10
+        largest = decomposition.largest()
+        assert largest is not None and largest.size() == 6
+
+    def test_atom_to_component_mapping(self):
+        decomposition = connected_components(example1_store(3))
+        for component_index, component in enumerate(decomposition.components):
+            for atom_id in component.atom_ids:
+                assert decomposition.component_of_atom(atom_id) == component_index
+
+    def test_single_component_when_fully_connected(self):
+        store = GroundClauseStore()
+        store.add((1, 2), 1.0)
+        store.add((2, 3), 1.0)
+        store.add((3, 4), 1.0)
+        assert connected_components(store).component_count == 1
+
+    def test_sorted_by_size(self):
+        store = GroundClauseStore()
+        store.add((1, 2), 1.0)
+        store.add((2, 3), 1.0)
+        store.add((10,), 1.0)
+        ordered = connected_components(store).sorted_by_size()
+        assert ordered[0].atom_count >= ordered[-1].atom_count
+
+    def test_example1_optimal_cost_helper(self):
+        assert example1_optimal_cost(7) == 7.0

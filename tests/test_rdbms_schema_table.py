@@ -1,0 +1,189 @@
+"""Tests for column types, schemas, tables and the storage manager."""
+
+import pytest
+
+from repro.rdbms.schema import Column, SchemaError, TableSchema, row_dict
+from repro.rdbms.storage import BufferPool, Page, StorageManager
+from repro.rdbms.table import Table
+from repro.rdbms.types import ColumnType, format_value, infer_type
+from repro.utils.clock import CostModel, SimulatedClock
+
+
+class TestColumnType:
+    def test_integer_coercion(self):
+        assert ColumnType.INTEGER.coerce(3) == 3
+        assert ColumnType.INTEGER.coerce("42") == 42
+        assert ColumnType.INTEGER.coerce(True) == 1
+        assert ColumnType.INTEGER.coerce(None) is None
+        with pytest.raises(TypeError):
+            ColumnType.INTEGER.coerce("abc")
+
+    def test_text_coercion(self):
+        assert ColumnType.TEXT.coerce("x") == "x"
+        assert ColumnType.TEXT.coerce(5) == "5"
+
+    def test_real_and_boolean(self):
+        assert ColumnType.REAL.coerce(2) == 2.0
+        with pytest.raises(TypeError):
+            ColumnType.REAL.coerce("nope")
+        assert ColumnType.BOOLEAN.coerce(True) is True
+        with pytest.raises(TypeError):
+            ColumnType.BOOLEAN.coerce(1)
+
+    def test_truth_is_three_valued(self):
+        assert ColumnType.TRUTH.coerce(None) is None
+        assert ColumnType.TRUTH.coerce(False) is False
+        with pytest.raises(TypeError):
+            ColumnType.TRUTH.coerce("true")
+
+    def test_infer_type(self):
+        assert infer_type(True) is ColumnType.BOOLEAN
+        assert infer_type(1) is ColumnType.INTEGER
+        assert infer_type(1.5) is ColumnType.REAL
+        assert infer_type("s") is ColumnType.TEXT
+
+    def test_format_value(self):
+        assert format_value(None) == "NULL"
+        assert format_value(True) == "TRUE"
+        assert format_value(3) == "3"
+        assert format_value("it's") == "'it''s'"
+
+
+class TestTableSchema:
+    def _schema(self):
+        return TableSchema.of(
+            ("aid", ColumnType.INTEGER), ("name", ColumnType.TEXT), ("truth", ColumnType.TRUTH)
+        )
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.of(("a", ColumnType.TEXT), ("a", ColumnType.TEXT))
+
+    def test_positions_and_contains(self):
+        schema = self._schema()
+        assert schema.position("name") == 1
+        assert "truth" in schema
+        assert "missing" not in schema
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_validate_row_coerces(self):
+        schema = self._schema()
+        assert schema.validate_row(("7", 3, None)) == (7, "3", None)
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "x"))
+
+    def test_project_and_concat_and_prefix(self):
+        schema = self._schema()
+        projected = schema.project(["truth", "aid"])
+        assert projected.column_names == ["truth", "aid"]
+        prefixed = schema.rename_prefixed("t0")
+        assert prefixed.column_names == ["t0.aid", "t0.name", "t0.truth"]
+        combined = schema.concat(prefixed)
+        assert len(combined) == 6
+
+    def test_to_sql(self):
+        sql = self._schema().to_sql("atoms")
+        assert sql.startswith("CREATE TABLE atoms")
+        assert "aid INTEGER" in sql
+
+    def test_row_dict(self):
+        schema = self._schema()
+        assert row_dict(schema, (1, "x", None)) == {"aid": 1, "name": "x", "truth": None}
+
+
+class TestTable:
+    def _table(self, storage=None):
+        schema = TableSchema.of(("aid", ColumnType.INTEGER), ("value", ColumnType.TEXT))
+        return Table("t", schema, storage=storage)
+
+    def test_insert_and_bulk_load(self):
+        table = self._table()
+        table.insert((1, "a"))
+        loaded = table.bulk_load([(2, "b"), (3, "c")])
+        assert loaded == 2
+        assert len(table) == 3
+        assert table.column_values("value") == ["a", "b", "c"]
+
+    def test_distinct_count_ignores_nulls(self):
+        schema = TableSchema.of(("x", ColumnType.TEXT),)
+        table = Table("t", schema)
+        table.bulk_load([("a",), ("a",), (None,), ("b",)])
+        assert table.distinct_count("x") == 2
+
+    def test_select_and_as_dicts(self):
+        table = self._table()
+        table.bulk_load([(1, "a"), (2, "b")])
+        assert table.select(lambda row: row["aid"] > 1) == [(2, "b")]
+        assert table.as_dicts()[0] == {"aid": 1, "value": "a"}
+
+    def test_truncate(self):
+        table = self._table()
+        table.insert((1, "a"))
+        table.truncate()
+        assert len(table) == 0
+
+    def test_page_count_without_storage(self):
+        table = self._table()
+        table.bulk_load([(i, "x") for i in range(300)])
+        assert table.page_count(page_size=128) == 3
+
+
+class TestStorageManager:
+    def test_pages_fill_in_order(self):
+        storage = StorageManager(page_size=2)
+        storage.create_table("t")
+        addresses = [storage.append_row("t", (i,)) for i in range(5)]
+        assert addresses == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]
+        assert storage.page_count("t") == 3
+        assert storage.row_count("t") == 5
+
+    def test_scan_charges_sequential_reads(self):
+        clock = SimulatedClock(CostModel(sequential_page_read=1.0))
+        pool = BufferPool(capacity_pages=100, clock=clock)
+        storage = StorageManager(page_size=2, buffer_pool=pool)
+        storage.bulk_load("t", [(i,) for i in range(6)])
+        list(storage.scan("t"))
+        assert pool.stats.sequential_reads == 3
+        assert clock.now() == pytest.approx(3.0)
+
+    def test_random_access_read_write(self):
+        storage = StorageManager(page_size=2)
+        storage.bulk_load("t", [(1,), (2,), (3,)])
+        assert storage.read_row("t", 1, 0) == (3,)
+        storage.write_row("t", 0, 1, (99,))
+        assert storage.read_row("t", 0, 1) == (99,)
+        assert storage.stats.random_reads >= 2
+        assert storage.stats.page_writes >= 1
+
+    def test_missing_page_raises(self):
+        storage = StorageManager()
+        storage.create_table("t")
+        with pytest.raises(KeyError):
+            storage.read_row("t", 5, 0)
+
+
+class TestBufferPool:
+    def test_lru_eviction_and_hits(self):
+        pool = BufferPool(capacity_pages=2)
+        pages = [Page("t", number) for number in range(3)]
+        pool.access(pages[0])
+        pool.access(pages[1])
+        pool.access(pages[0])  # hit
+        pool.access(pages[2])  # evicts page 1
+        pool.access(pages[1])  # miss again
+        assert pool.stats.buffer_hits == 1
+        assert pool.stats.buffer_misses == 4
+        assert pool.resident_pages() == 2
+
+    def test_misses_charge_clock_hits_do_not(self):
+        clock = SimulatedClock(CostModel(page_read=1.0, sequential_page_read=1.0))
+        pool = BufferPool(capacity_pages=4, clock=clock)
+        page = Page("t", 0)
+        pool.access(page, sequential=False)
+        pool.access(page, sequential=False)
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)

@@ -1,0 +1,118 @@
+"""Tests for repro.utils.timer and repro.utils.memory."""
+
+import pytest
+
+from repro.utils.memory import MemoryModel, MemoryReport, clause_table_bytes, deep_sizeof
+from repro.utils.timer import Stopwatch, Timer
+
+
+class TestStopwatch:
+    def test_accumulates_across_cycles(self):
+        watch = Stopwatch()
+        with watch.measure():
+            pass
+        first = watch.total
+        with watch.measure():
+            pass
+        assert watch.total >= first
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+
+class TestTimer:
+    def test_phases_are_independent(self):
+        timer = Timer()
+        with timer.measure("grounding"):
+            pass
+        with timer.measure("search"):
+            pass
+        breakdown = timer.breakdown()
+        assert set(breakdown) == {"grounding", "search"}
+        assert timer.total() == pytest.approx(sum(breakdown.values()))
+
+    def test_unknown_phase_is_zero(self):
+        assert Timer().seconds("missing") == 0.0
+
+
+class TestDeepSizeof:
+    def test_nested_structures_bigger_than_flat(self):
+        flat = deep_sizeof([1, 2, 3])
+        nested = deep_sizeof([[1, 2, 3], [4, 5, 6]])
+        assert nested > flat > 0
+
+    def test_handles_cycles(self):
+        a = []
+        a.append(a)
+        assert deep_sizeof(a) > 0
+
+    def test_counts_object_attributes(self):
+        class Holder:
+            def __init__(self):
+                self.payload = list(range(100))
+
+        assert deep_sizeof(Holder()) > deep_sizeof(object())
+
+
+class TestMemoryModel:
+    def test_peak_tracks_maximum(self):
+        model = MemoryModel()
+        model.charge("grounding", 1000)
+        model.charge("grounding", 500)
+        model.release("grounding")
+        model.charge("search", 200)
+        assert model.peak_bytes == 1500
+        assert model.current_bytes == 200
+
+    def test_charge_atoms_and_clauses(self):
+        model = MemoryModel(bytes_per_atom=10, bytes_per_literal=2, bytes_per_clause=5)
+        model.charge_atoms(3)
+        model.charge_clauses(2, 6)
+        assert model.current_bytes == 3 * 10 + 2 * 5 + 6 * 2
+
+    def test_snapshot_and_report(self):
+        model = MemoryModel()
+        model.charge("a", 1024 * 1024)
+        report = model.snapshot()
+        assert isinstance(report, MemoryReport)
+        assert report.megabytes() == pytest.approx(1.0)
+        assert report["a"] == 1024 * 1024
+        assert report["missing"] == 0
+
+    def test_report_merge(self):
+        first = MemoryReport({"a": 10})
+        second = MemoryReport({"a": 5, "b": 7})
+        merged = first.merge(second)
+        assert merged["a"] == 15
+        assert merged["b"] == 7
+
+    def test_reset(self):
+        model = MemoryModel()
+        model.charge("x", 100)
+        model.reset()
+        assert model.peak_bytes == 0
+        assert model.current_bytes == 0
+
+
+class TestClauseTableBytes:
+    def test_matches_model_constants(self):
+        model = MemoryModel(bytes_per_clause=10, bytes_per_literal=1)
+        assert clause_table_bytes([2, 3], model) == 10 + 2 + 10 + 3
+
+    def test_empty(self):
+        assert clause_table_bytes([]) == 0
