@@ -1,0 +1,153 @@
+"""Search-kernel microbenchmark: flips per second, flat-array vs seed kernel.
+
+Runs the *same* WalkSAT search (same seed, same RNG stream) over the
+flat-array :class:`SearchState` and over the retained seed kernel
+(:class:`ReferenceSearchState`), on synthetic workloads, and reports
+wall-clock flips/sec plus the speedup.  Because the two kernels are
+semantically identical (see ``tests/test_search_kernel_parity.py``), both
+runs perform exactly the same flips and reach exactly the same costs — the
+benchmark asserts that parity on every workload, so the speedup is a pure
+kernel measurement, not a search-behaviour change.
+
+Workloads:
+
+* ``example1-N`` — the paper's Example 1 (N two-atom components): tiny
+  clauses, low degree; stresses per-step overhead.
+* ``RC`` / ``LP`` — the synthetic Relational Classification and Link
+  Prediction datasets ground to real MRFs (RC fragments into many
+  components, LP is one dense component); stresses adjacency traversal.
+
+Usage::
+
+    python benchmarks/bench_search_kernel.py            # full run
+    python benchmarks/bench_search_kernel.py --quick    # for scripts/check.sh
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_ROOT, os.path.join(_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.datasets.example1 import example1_mrf
+from repro.inference.reference_kernel import ReferenceSearchState, ReferenceWalkSAT
+from repro.inference.state import SearchState
+from repro.inference.walksat import WalkSAT, WalkSATOptions
+from repro.utils.rng import RandomSource
+
+BENCH_SEED = 0
+
+
+def dataset_mrf(name: str, factor: float = 1.0):
+    """Ground one of the synthetic datasets to an MRF (lazy heavy imports)."""
+    from benchmarks.harness import default_config, fresh_dataset
+    from repro.core import TuffyEngine
+
+    dataset = fresh_dataset(name, factor)
+    engine = TuffyEngine(dataset.program, default_config(max_flips=10))
+    engine.ground()
+    return engine.build_mrf()
+
+
+def measure(make_searcher, make_state, mrf, flips: int, repeats: int):
+    """Best-of-``repeats`` wall-clock flips/sec for one search stack.
+
+    The seed stack is the seed driver loop over the seed state; the new
+    stack is the current driver over the flat-array state — each side runs
+    its own complete hot loop, exactly as it shipped.
+    """
+    options = WalkSATOptions(max_flips=flips, max_tries=1, noise=0.5)
+    best_rate = 0.0
+    result = None
+    for _ in range(repeats):
+        searcher = make_searcher(options, RandomSource(BENCH_SEED))
+        state = make_state(mrf)
+        started = time.perf_counter()
+        result = searcher.run_on_state(state)
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        best_rate = max(best_rate, result.flips / elapsed)
+    return result, best_rate
+
+
+def run_benchmark(quick: bool, flips: int | None, repeats: int):
+    workloads = [("example1-100" if quick else "example1-300",
+                  example1_mrf(100 if quick else 300))]
+    if not quick:
+        workloads.append(("RC", dataset_mrf("RC")))
+        workloads.append(("LP", dataset_mrf("LP")))
+    flip_budget = flips if flips is not None else (20_000 if quick else 100_000)
+
+    rows = []
+    worst_speedup = float("inf")
+    for label, mrf in workloads:
+        seed_result, seed_rate = measure(
+            ReferenceWalkSAT, ReferenceSearchState, mrf, flip_budget, repeats
+        )
+        flat_result, flat_rate = measure(
+            WalkSAT, SearchState, mrf, flip_budget, repeats
+        )
+        # Identical search semantics: same flips, same best cost, same seed.
+        assert flat_result.flips == seed_result.flips, (label, flat_result.flips, seed_result.flips)
+        assert abs(flat_result.best_cost - seed_result.best_cost) < 1e-9, label
+        speedup = flat_rate / max(seed_rate, 1e-9)
+        worst_speedup = min(worst_speedup, speedup)
+        rows.append(
+            (
+                label,
+                f"{mrf.atom_count}/{mrf.clause_count}",
+                seed_result.flips,
+                f"{seed_rate:,.0f}",
+                f"{flat_rate:,.0f}",
+                f"{speedup:.2f}x",
+                f"{flat_result.best_cost:.4g}",
+            )
+        )
+    return rows, worst_speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small example1-only workload, single repeat (for scripts/check.sh)",
+    )
+    parser.add_argument("--flips", type=int, default=None, help="flip budget per run")
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per kernel (best-of)"
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless every workload speedup is at least X",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+
+    rows, worst_speedup = run_benchmark(args.quick, args.flips, repeats)
+
+    from benchmarks.harness import emit, render_table
+
+    table = render_table(
+        "Search kernel — wall-clock flips/sec (seed kernel vs flat-array kernel)",
+        ["workload", "atoms/clauses", "flips", "seed f/s", "flat f/s", "speedup", "cost"],
+        rows,
+    )
+    emit("search_kernel", table)
+    print(f"\nworst-case speedup: {worst_speedup:.2f}x (costs identical per seed)")
+    if args.assert_speedup is not None and worst_speedup < args.assert_speedup:
+        print(f"FAIL: speedup below required {args.assert_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

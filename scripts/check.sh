@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo check: byte-compile everything, run the tier-1 test suite (see
+# ROADMAP.md), then a quick search-kernel benchmark sanity run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
+
+echo "== search-kernel benchmark (quick) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick
+
+echo "== check.sh OK =="

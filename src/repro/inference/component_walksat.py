@@ -123,29 +123,35 @@ class ComponentAwareWalkSAT:
         flips: int,
         initial_assignment: Optional[Mapping[int, bool]],
     ):
+        # Each component stops once it hits zero cost (its own optimum, since
+        # the cost decomposes over components) unless the caller asked for an
+        # explicit target, which is honored as-is per component.
+        target_cost = (
+            self.options.target_cost if self.options.target_cost is not None else 0.0
+        )
         options = WalkSATOptions(
             max_flips=max(flips, 1),
             max_tries=self.options.max_tries,
             noise=self.options.noise,
-            target_cost=0.0,
+            target_cost=target_cost,
             random_restarts=self.options.random_restarts,
             flip_cost_event=self.options.flip_cost_event,
             trace_label=f"component-{index}",
         )
         rng = self.rng.spawn(index + 1)
+        if initial_assignment:
+            component_atoms = set(component.atom_ids)
+            restricted: Optional[Dict[int, bool]] = {
+                atom_id: value
+                for atom_id, value in initial_assignment.items()
+                if atom_id in component_atoms
+            }
+        else:
+            restricted = None
 
         def task():
             clock = SimulatedClock(self.cost_model)
             searcher = WalkSAT(options, rng, clock)
-            restricted = (
-                {
-                    atom_id: value
-                    for atom_id, value in initial_assignment.items()
-                    if atom_id in set(component.atom_ids)
-                }
-                if initial_assignment
-                else None
-            )
             result = searcher.run(component, restricted)
             return result, clock.now()
 

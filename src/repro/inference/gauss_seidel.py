@@ -14,14 +14,13 @@ sweeps over the parts.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.grounding.clause_table import GroundClause
+from repro.inference.state import SearchState
 from repro.inference.tracing import TimeCostTrace
 from repro.inference.walksat import WalkSAT, WalkSATOptions
-from repro.mrf.cost import assignment_cost
 from repro.mrf.graph import MRF
 from repro.utils.clock import SimulatedClock
 from repro.utils.rng import RandomSource
@@ -77,7 +76,12 @@ class GaussSeidelSearch:
 
         cut_clauses = self._count_cut_clauses(full_mrf, partition_sets)
         trace = TimeCostTrace("gauss-seidel")
-        best_cost = assignment_cost(full_mrf, assignment, hard_as_infinite=False)
+        # The global cost is maintained incrementally by a flat-array kernel
+        # state over the full MRF: accepting a part's result costs
+        # O(changed atoms x degree) instead of a full recount per update.
+        # hard_penalty matches assignment_cost(hard_as_infinite=False).
+        global_state = SearchState(full_mrf, assignment, hard_penalty=1e6)
+        best_cost = global_state.cost
         best_assignment = dict(assignment)
         trace.record(self.clock.now(), best_cost)
         total_flips = 0
@@ -106,9 +110,10 @@ class GaussSeidelSearch:
                 result = searcher.run(conditioned, local_initial)
                 total_flips += result.flips
                 for atom_id, value in result.best_assignment.items():
-                    if atom_id in atom_set:
+                    if atom_id in atom_set and assignment[atom_id] != value:
                         assignment[atom_id] = value
-                global_cost = assignment_cost(full_mrf, assignment, hard_as_infinite=False)
+                        global_state.flip_atom_id(atom_id)
+                global_cost = global_state.cost
                 if global_cost < best_cost:
                     best_cost = global_cost
                     best_assignment = dict(assignment)

@@ -21,7 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.grounding.clause_table import GroundClause
 from repro.inference.samplesat import SampleSAT, SampleSATOptions
-from repro.mrf.cost import clause_satisfied
+from repro.inference.state import SearchState
 from repro.mrf.graph import MRF
 from repro.utils.rng import RandomSource
 
@@ -79,11 +79,19 @@ class MCSat:
         hard = [clause for clause in mrf.clauses if clause.is_hard]
         current = sampler.sample(hard, atom_ids, initial_assignment)
 
+        # One flat-array state over the full MRF evaluates every clause's
+        # satisfaction in a single pass per iteration (clause-by-clause
+        # dict probing was the old per-step cost).
+        evaluator = SearchState(mrf)
+
         true_counts: Dict[int, int] = {atom_id: 0 for atom_id in atom_ids}
         kept_samples = 0
         total_iterations = options.samples + options.burn_in
         for iteration in range(total_iterations):
-            constraints = self._select_clauses(mrf.clauses, current)
+            evaluator.reset(current)
+            constraints = self._select_clauses(
+                mrf.clauses, evaluator.satisfaction_flags()
+            )
             # The ideal MC-SAT step draws uniformly from the assignments
             # satisfying M, independently of the current state; starting
             # SampleSAT from a fresh random state approximates that and
@@ -106,13 +114,17 @@ class MCSat:
     # ------------------------------------------------------------------
 
     def _select_clauses(
-        self, clauses: Sequence[GroundClause], assignment: Mapping[int, bool]
+        self, clauses: Sequence[GroundClause], satisfied_flags: Sequence[bool]
     ) -> List[GroundClause]:
-        """The random clause subset M for one MC-SAT step."""
+        """The random clause subset M for one MC-SAT step.
+
+        ``satisfied_flags`` gives the literal-level satisfaction of every
+        clause under the current world, in clause order (as produced by
+        :meth:`SearchState.satisfaction_flags`).
+        """
         selected: List[GroundClause] = []
         next_id = 1
-        for clause in clauses:
-            satisfied = clause_satisfied(clause, assignment)
+        for clause, satisfied in zip(clauses, satisfied_flags):
             if clause.is_hard and clause.weight > 0:
                 selected.append(GroundClause(next_id, clause.literals, 1.0, clause.source))
                 next_id += 1

@@ -18,7 +18,12 @@ manager, and each WalkSAT step
 
 Correctness is identical to the in-memory search (same algorithm, same
 RNG); only the charged cost differs, which is exactly the comparison the
-paper makes.
+paper makes.  (The Python-side bookkeeping reuses the flat-array
+:class:`~repro.inference.state.SearchState` kernel plus a precomputed
+atom -> clause index, so the *wall-clock* cost of simulating the slow
+architecture no longer scales with the full clause table per flip — the
+simulated clock still charges the scans and random page reads the on-disk
+architecture would pay.)
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.grounding.clause_table import GroundClauseStore
+from repro.inference.state import SearchState
 from repro.inference.tracing import TimeCostTrace
 from repro.inference.walksat import WalkSATOptions, WalkSATResult
 from repro.mrf.graph import MRF
@@ -86,6 +92,22 @@ class RDBMSWalkSAT:
         hard_penalty = max(
             10.0 * sum(abs(c.weight) for c in mrf.clauses if not c.is_hard), 10.0
         )
+        # The flat-array kernel mirrors the on-disk state so the Python-side
+        # bookkeeping is incremental; the *simulated* clock is still charged
+        # exactly what the on-disk architecture would pay (full sequential
+        # clause scans per step, random page reads per candidate flip).
+        state = SearchState(mrf, assignment, hard_penalty=hard_penalty)
+        page_count = len({clause.page for clause in clause_rows})
+        atom_clause_index: Dict[int, List[int]] = {atom_id: [] for atom_id in mrf.atom_ids}
+        for index, clause in enumerate(clause_rows):
+            for atom_id in sorted({abs(literal) for literal in clause.literals}):
+                if atom_id in atom_clause_index:
+                    atom_clause_index[atom_id].append(index)
+        atom_page_counts = {
+            atom_id: len({clause_rows[i].page for i in indices})
+            for atom_id, indices in atom_clause_index.items()
+        }
+
         trace = TimeCostTrace(self.options.trace_label)
         best_cost = math.inf
         best_assignment = dict(assignment)
@@ -96,23 +118,32 @@ class RDBMSWalkSAT:
             if options.random_restarts and initial_assignment is None:
                 for atom_id in assignment:
                     assignment[atom_id] = self.rng.coin()
+                state.reset(assignment)
             for _flip in range(options.max_flips):
                 if options.deadline_seconds is not None and self.clock.now() >= options.deadline_seconds:
                     break
-                violated, cost = self._scan_violations(clause_rows, assignment, hard_penalty)
+                # One pass over the on-disk clause table (sequential reads).
+                self.clock.charge("sequential_page_read", count=page_count)
+                cost = state.cost
                 if cost < best_cost:
                     best_cost = cost
                     best_assignment = dict(assignment)
                     trace.record(self.clock.now(), best_cost, flips)
                 if options.target_cost is not None and best_cost <= options.target_cost:
                     break
-                if not violated:
+                if not state.has_violations():
                     break
+                # Violated rows in clause-table order, as the scan produced.
+                violated = [
+                    clause_rows[i] for i in sorted(state.violated_clause_indices())
+                ]
                 clause = self.rng.pick(violated)
                 atom_id = self._choose_atom(
-                    clause, clause_rows, assignment, hard_penalty
+                    clause, clause_rows, assignment, hard_penalty,
+                    atom_clause_index, atom_page_counts,
                 )
                 assignment[atom_id] = not assignment[atom_id]
+                state.flip_atom_id(atom_id)
                 self._write_atom(atom_locations[atom_id], atom_id, assignment[atom_id])
                 flips += 1
                 self.clock.charge("rdbms_flip_overhead")
@@ -120,9 +151,9 @@ class RDBMSWalkSAT:
                 break
 
         # Account for the final state as well.
-        _, final_cost = self._scan_violations(clause_rows, assignment, hard_penalty)
-        if final_cost < best_cost:
-            best_cost = final_cost
+        self.clock.charge("sequential_page_read", count=page_count)
+        if state.cost < best_cost:
+            best_cost = state.cost
             best_assignment = dict(assignment)
             trace.record(self.clock.now(), best_cost, flips)
 
@@ -178,44 +209,31 @@ class RDBMSWalkSAT:
             )
         return atom_locations, clause_rows
 
-    def _scan_violations(
-        self,
-        clause_rows: List[_StoredClause],
-        assignment: Dict[int, bool],
-        hard_penalty: float,
-    ) -> Tuple[List[_StoredClause], float]:
-        """One pass over the on-disk clause table (sequential page reads)."""
-        pages = {clause.page for clause in clause_rows}
-        self.clock.charge("sequential_page_read", count=len(pages))
-        violated: List[_StoredClause] = []
-        cost = 0.0
-        for clause in clause_rows:
-            satisfied = any(
-                assignment.get(abs(literal), False) == (literal > 0)
-                for literal in clause.literals
-            )
-            is_violated = satisfied if clause.weight < 0 else not satisfied
-            if is_violated:
-                violated.append(clause)
-                cost += hard_penalty if clause.is_hard else abs(clause.weight)
-        return violated, cost
-
     def _choose_atom(
         self,
         clause: _StoredClause,
         clause_rows: List[_StoredClause],
         assignment: Dict[int, bool],
         hard_penalty: float,
+        atom_clause_index: Dict[int, List[int]],
+        atom_page_counts: Dict[int, int],
     ) -> int:
         atom_ids = sorted({abs(literal) for literal in clause.literals})
         if len(atom_ids) == 1:
             return atom_ids[0]
-        if self.rng.random() <= self.options.noise:
+        # Strict comparison, matching the in-memory WalkSAT noise semantics.
+        if self.rng.random() < self.options.noise:
             return self.rng.pick(atom_ids)
         best_atom = atom_ids[0]
-        best_delta = self._delta_cost(best_atom, clause_rows, assignment, hard_penalty)
+        best_delta = self._delta_cost(
+            best_atom, clause_rows, assignment, hard_penalty,
+            atom_clause_index, atom_page_counts,
+        )
         for atom_id in atom_ids[1:]:
-            delta = self._delta_cost(atom_id, clause_rows, assignment, hard_penalty)
+            delta = self._delta_cost(
+                atom_id, clause_rows, assignment, hard_penalty,
+                atom_clause_index, atom_page_counts,
+            )
             if delta < best_delta:
                 best_delta = delta
                 best_atom = atom_id
@@ -227,14 +245,18 @@ class RDBMSWalkSAT:
         clause_rows: List[_StoredClause],
         assignment: Dict[int, bool],
         hard_penalty: float,
+        atom_clause_index: Dict[int, List[int]],
+        atom_page_counts: Dict[int, int],
     ) -> float:
-        """Cost delta of flipping one atom; re-reads the clauses that mention it."""
+        """Cost delta of flipping one atom; re-reads the clauses that mention it.
+
+        The precomputed atom -> clause index replaces the seed's full scan of
+        the clause table; the charged page reads (the pages containing the
+        affected clauses) are identical.
+        """
         delta = 0.0
-        touched_pages = set()
-        for clause in clause_rows:
-            if atom_id not in {abs(literal) for literal in clause.literals}:
-                continue
-            touched_pages.add(clause.page)
+        for index in atom_clause_index.get(atom_id, ()):
+            clause = clause_rows[index]
             weight = hard_penalty if clause.is_hard else abs(clause.weight)
             before = self._violated(clause, assignment)
             assignment[atom_id] = not assignment[atom_id]
@@ -245,7 +267,7 @@ class RDBMSWalkSAT:
             elif not before and after:
                 delta += weight
         # Random reads of the pages containing the affected clauses.
-        self.clock.charge("page_read", count=len(touched_pages))
+        self.clock.charge("page_read", count=atom_page_counts.get(atom_id, 0))
         return delta
 
     @staticmethod

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from repro.grounding.clause_table import GroundClause
 from repro.inference.state import SearchState
@@ -81,11 +81,15 @@ class SampleSAT:
             state.randomize(self.rng)
         options = self.options
 
-        latest_satisfying: Optional[Dict[int, bool]] = None
+        # The most recent satisfying assignment is retained through the
+        # kernel's flip journal (one checkpoint per satisfying step is O(1)
+        # amortised) instead of a full dict copy per step.
+        found_satisfying = False
         steps_while_satisfied = 0
         for _step in range(options.max_flips):
             if not state.has_violations():
-                latest_satisfying = state.assignment_dict()
+                state.checkpoint()
+                found_satisfying = True
                 steps_while_satisfied += 1
                 if steps_while_satisfied > options.mixing_steps:
                     break
@@ -96,8 +100,8 @@ class SampleSAT:
                 self._walksat_move(state)
             else:
                 self._annealing_move(state)
-        if latest_satisfying is not None:
-            return latest_satisfying
+        if found_satisfying:
+            return state.checkpoint_dict()
         return state.assignment_dict()
 
     # ------------------------------------------------------------------
@@ -105,9 +109,16 @@ class SampleSAT:
     # ------------------------------------------------------------------
 
     def _walksat_move(self, state: SearchState) -> None:
+        # Deliberately NOT the kernel's walksat stepper: that primitive
+        # short-circuits single-atom clauses without drawing rng.random(),
+        # whereas this sampler has always drawn it unconditionally —
+        # swapping would silently change every seeded MC-SAT stream.  The
+        # kernel still accelerates the pieces (precomputed positions, fast
+        # delta/flip).
         clause_index = state.sample_violated_clause(self.rng)
         positions = state.clause_atom_positions(clause_index)
-        if self.rng.random() <= self.options.noise:
+        # Strict comparison, matching WalkSAT: noise=0.0 is purely greedy.
+        if self.rng.random() < self.options.noise:
             position = self.rng.pick(positions)
         else:
             position = min(positions, key=state.delta_cost)

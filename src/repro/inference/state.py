@@ -1,25 +1,51 @@
-"""Incremental search state for WalkSAT-style local search.
+"""Flat-array search kernel for WalkSAT-style local search.
 
 WalkSAT needs, at every step: a uniformly random violated clause, the cost
 change each candidate flip would cause, and an O(degree) update when an atom
-is flipped.  :class:`SearchState` maintains
+is flipped.  :class:`SearchState` is that hot loop, and it is built like a
+kernel — the in-memory half of the hybrid architecture (paper, Section 3.2),
+kept deliberately close to flat, cache-friendly data:
 
-* the current truth assignment (dense arrays indexed by atom position),
-* the number of satisfied literal occurrences per clause,
-* the set of currently violated clauses (list + position map, so sampling,
-  insertion and removal are all O(1)),
-* the current soft cost, with hard clauses mapped to a large finite penalty
-  so the search can still rank flips that repair hard violations.
+* **Flat arrays.**  The truth assignment (``array('b')``) and per-clause
+  effective |weight| (``array('d')``) are dense buffers indexed by
+  atom/clause position.  The per-clause satisfied-literal counts are a
+  dense position-indexed *list*: it is read and written on every
+  adjacency entry of every flip, and CPython list indexing is about twice
+  as fast as ``array`` indexing (arrays unbox on access), which measurably
+  moves flips/sec.  Hard clauses are mapped to a large finite penalty so
+  the search can still rank flips that repair hard violations.
+* **Shared flat structure.**  The clause → literal and atom → clause
+  relations come from the MRF's cached :class:`~repro.mrf.graph.MRFFlatView`
+  (per-clause signed literal-code tuples and per-atom
+  ``(clause, polarity)`` adjacency tuples, all position-indexed), so
+  nothing is allocated per step and every state over the same MRF shares
+  one copy.  The distinct atom positions of each clause are deduplicated
+  once per MRF instead of on every step.
+* **Violated set.**  A list plus position map, so sampling, insertion and
+  removal are all O(1).  It is touched only when a clause's satisfied
+  count crosses zero, and entries are maintained in the exact order the
+  seed kernel produced, keeping seeded runs bit-for-bit reproducible
+  (see ``tests/test_search_kernel_parity.py``).
+* **Flip journal.**  Every flip appends its atom position to a journal;
+  :meth:`checkpoint` re-synchronises a retained snapshot of the
+  assignment by replaying the toggles recorded since the previous
+  checkpoint.  Callers (WalkSAT, SampleSAT) therefore track the best-seen
+  assignment in O(flips since the last improvement) instead of copying
+  the whole assignment on every improvement.  If the journal overflows
+  (more flips than atoms since the last checkpoint) it falls back to one
+  full copy.
 
-This is the in-memory half of the hybrid architecture (paper, Section 3.2);
-the RDBMS-backed variant wraps the same bookkeeping but charges simulated
-I/O per access (see :mod:`repro.inference.rdbms_walksat`).
+The seed list-of-tuples kernel is retained verbatim in
+:mod:`repro.inference.reference_kernel` as an executable specification; the
+RDBMS-backed variant wraps the same bookkeeping but charges simulated I/O
+per access (see :mod:`repro.inference.rdbms_walksat`).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from array import array
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.grounding.clause_table import GroundClause
 from repro.mrf.graph import MRF
@@ -27,7 +53,7 @@ from repro.utils.rng import RandomSource
 
 
 class SearchState:
-    """Mutable WalkSAT bookkeeping over one MRF."""
+    """Mutable WalkSAT bookkeeping over one MRF (flat-array engine)."""
 
     def __init__(
         self,
@@ -36,11 +62,10 @@ class SearchState:
         hard_penalty: Optional[float] = None,
     ) -> None:
         self.mrf = mrf
-        self.atom_ids: List[int] = list(mrf.atom_ids)
-        self._position: Dict[int, int] = {
-            atom_id: index for index, atom_id in enumerate(self.atom_ids)
-        }
-        clause_count = len(mrf.clauses)
+        view = mrf.flat_view()
+        self._view = view
+        self.atom_ids: List[int] = view.atom_ids
+        self._position: Dict[int, int] = view.atom_position
 
         soft_total = sum(abs(c.weight) for c in mrf.clauses if not c.is_hard)
         self.hard_penalty = (
@@ -48,39 +73,41 @@ class SearchState:
         )
 
         # Effective |weight| used for cost bookkeeping (hard -> large penalty).
-        self._abs_weight: List[float] = [
-            self.hard_penalty if clause.is_hard else abs(clause.weight)
-            for clause in mrf.clauses
-        ]
+        self._abs_weight = array(
+            "d",
+            [
+                self.hard_penalty if clause.is_hard else abs(clause.weight)
+                for clause in mrf.clauses
+            ],
+        )
         # A clause with negative weight is violated when satisfied.
         self._negated: List[bool] = [clause.weight < 0 for clause in mrf.clauses]
 
-        # Literal occurrences per clause as (atom position, positive) pairs.
-        self._clause_literals: List[List[Tuple[int, bool]]] = []
-        for clause in mrf.clauses:
-            literals = [
-                (self._position[abs(literal)], literal > 0) for literal in clause.literals
-            ]
-            self._clause_literals.append(literals)
+        # Shared per-MRF structure (signed-code tuples derived from the CSR
+        # buffers; see MRFFlatView).
+        self._clause_codes = view.clause_codes
+        self._clause_positions = view.clause_atom_positions
+        self._adjacency = view.adjacency
 
-        # Adjacency: atom position -> list of (clause index, positive) pairs.
-        self._adjacency: List[List[Tuple[int, bool]]] = [[] for _ in self.atom_ids]
-        for clause_index, literals in enumerate(self._clause_literals):
-            for atom_position, positive in literals:
-                self._adjacency[atom_position].append((clause_index, positive))
-
-        self.assignment: List[bool] = [False] * len(self.atom_ids)
+        atom_count = len(self.atom_ids)
+        self.assignment = array("b", bytes(atom_count))
         if initial_assignment:
+            position = self._position
+            assignment = self.assignment
             for atom_id, value in initial_assignment.items():
-                position = self._position.get(atom_id)
-                if position is not None:
-                    self.assignment[position] = bool(value)
+                index = position.get(atom_id)
+                if index is not None:
+                    assignment[index] = 1 if value else 0
 
-        self._sat_count: List[int] = [0] * clause_count
+        self._sat_count = [0] * len(mrf.clauses)
         self._violated_list: List[int] = []
         self._violated_position: Dict[int, int] = {}
-        self.cost = 0.0
+        self._journal: List[int] = []
+        self._journal_limit = atom_count
+        self._journal_stale = False
         self.flips = 0
+        # _initialise_counts sets cost, the violated set and the journal's
+        # _best snapshot from the assignment built above.
         self._initialise_counts()
 
     # ------------------------------------------------------------------
@@ -88,34 +115,50 @@ class SearchState:
     # ------------------------------------------------------------------
 
     def _initialise_counts(self) -> None:
-        self._sat_count = [0] * len(self._clause_literals)
-        self._violated_list.clear()
-        self._violated_position.clear()
-        self.cost = 0.0
-        for clause_index, literals in enumerate(self._clause_literals):
+        assignment = self.assignment
+        sat_count = self._sat_count
+        negated = self._negated
+        abs_weight = self._abs_weight
+        violated_list = self._violated_list
+        violated_position = self._violated_position
+        violated_list.clear()
+        violated_position.clear()
+        cost = 0.0
+        for clause_index, codes in enumerate(self._clause_codes):
             count = 0
-            for atom_position, positive in literals:
-                value = self.assignment[atom_position]
-                if value == positive:
+            for code in codes:
+                if code > 0:
+                    if assignment[code - 1]:
+                        count += 1
+                elif not assignment[-code - 1]:
                     count += 1
-            self._sat_count[clause_index] = count
-            if self._is_violated(clause_index):
-                self._add_violated(clause_index)
-                self.cost += self._abs_weight[clause_index]
+            sat_count[clause_index] = count
+            # Violated: positive-weight clause with no satisfied literal, or
+            # negated clause that is satisfied.
+            if (count > 0) == negated[clause_index]:
+                violated_position[clause_index] = len(violated_list)
+                violated_list.append(clause_index)
+                cost += abs_weight[clause_index]
+        self.cost = cost
+        self._journal.clear()
+        self._journal_stale = False
+        self._best = array("b", assignment)
 
     def reset(self, assignment: Optional[Mapping[int, bool]] = None) -> None:
         """Reset the assignment (default all-false) and recompute bookkeeping."""
-        self.assignment = [False] * len(self.atom_ids)
+        self.assignment = array("b", bytes(len(self.atom_ids)))
         if assignment:
+            position = self._position
+            current = self.assignment
             for atom_id, value in assignment.items():
-                position = self._position.get(atom_id)
-                if position is not None:
-                    self.assignment[position] = bool(value)
+                index = position.get(atom_id)
+                if index is not None:
+                    current[index] = 1 if value else 0
         self._initialise_counts()
 
     def randomize(self, rng: RandomSource) -> None:
         """Draw a uniformly random assignment (WalkSAT's per-try restart)."""
-        self.assignment = [rng.coin() for _ in self.atom_ids]
+        self.assignment = array("b", [rng.coin() for _ in self.atom_ids])
         self._initialise_counts()
 
     # ------------------------------------------------------------------
@@ -138,22 +181,36 @@ class SearchState:
             raise ValueError("no violated clauses to sample")
         return rng.pick(self._violated_list)
 
-    def clause_atom_positions(self, clause_index: int) -> List[int]:
-        """Distinct atom positions appearing in a clause."""
-        seen: List[int] = []
-        for atom_position, _positive in self._clause_literals[clause_index]:
-            if atom_position not in seen:
-                seen.append(atom_position)
-        return seen
+    def clause_atom_positions(self, clause_index: int) -> Sequence[int]:
+        """Distinct atom positions appearing in a clause.
+
+        Returns the precomputed per-clause tuple (first-occurrence order,
+        shared across all states over the same MRF); callers must treat it
+        as read-only.
+        """
+        return self._clause_positions[clause_index]
 
     def atom_id_at(self, position: int) -> int:
         return self.atom_ids[position]
 
     def value_of(self, atom_id: int) -> bool:
-        return self.assignment[self._position[atom_id]]
+        return bool(self.assignment[self._position[atom_id]])
 
     def assignment_dict(self) -> Dict[int, bool]:
-        return {atom_id: self.assignment[i] for i, atom_id in enumerate(self.atom_ids)}
+        assignment = self.assignment
+        return {
+            atom_id: bool(assignment[index])
+            for index, atom_id in enumerate(self.atom_ids)
+        }
+
+    def satisfaction_flags(self) -> List[bool]:
+        """Literal-level satisfaction of every clause, in clause order.
+
+        Unlike :meth:`_is_violated` this ignores weight signs; a clause is
+        satisfied when at least one of its literals is true (used by MC-SAT
+        when selecting its per-step constraint subset).
+        """
+        return [count > 0 for count in self._sat_count]
 
     def true_cost(self) -> float:
         """Cost with hard violations counted at infinity (reporting form)."""
@@ -176,60 +233,245 @@ class SearchState:
     def delta_cost(self, atom_position: int) -> float:
         """Cost change if the atom at this position were flipped."""
         value = self.assignment[atom_position]
+        sat_count = self._sat_count
+        abs_weight = self._abs_weight
+        negated = self._negated
         delta = 0.0
         for clause_index, positive in self._adjacency[atom_position]:
-            was_violated = self._is_violated(clause_index)
-            currently_true = value == positive
-            new_count = self._sat_count[clause_index] + (-1 if currently_true else 1)
-            satisfied = new_count > 0
-            now_violated = satisfied if self._negated[clause_index] else not satisfied
-            if was_violated and not now_violated:
-                delta -= self._abs_weight[clause_index]
-            elif not was_violated and now_violated:
-                delta += self._abs_weight[clause_index]
+            currently_true = value if positive else not value
+            # The violated status only changes when the satisfied count
+            # crosses zero; the direction depends on the weight sign.
+            if currently_true:
+                if sat_count[clause_index] == 1:  # would drop to zero
+                    if negated[clause_index]:
+                        delta -= abs_weight[clause_index]
+                    else:
+                        delta += abs_weight[clause_index]
+            elif sat_count[clause_index] == 0:  # would rise from zero
+                if negated[clause_index]:
+                    delta += abs_weight[clause_index]
+                else:
+                    delta -= abs_weight[clause_index]
         return delta
 
     def flip(self, atom_position: int) -> float:
         """Flip an atom, updating all bookkeeping; returns the cost delta."""
-        value = self.assignment[atom_position]
-        self.assignment[atom_position] = not value
+        assignment = self.assignment
+        value = assignment[atom_position]
+        assignment[atom_position] = 0 if value else 1
+        sat_count = self._sat_count
+        abs_weight = self._abs_weight
+        negated = self._negated
+        violated_list = self._violated_list
+        violated_position = self._violated_position
         delta = 0.0
         for clause_index, positive in self._adjacency[atom_position]:
-            was_violated = self._is_violated(clause_index)
-            currently_true = value == positive
-            self._sat_count[clause_index] += -1 if currently_true else 1
-            now_violated = self._is_violated(clause_index)
-            if was_violated and not now_violated:
-                self._remove_violated(clause_index)
-                delta -= self._abs_weight[clause_index]
-            elif not was_violated and now_violated:
-                self._add_violated(clause_index)
-                delta += self._abs_weight[clause_index]
+            currently_true = value if positive else not value
+            count = sat_count[clause_index]
+            if currently_true:
+                sat_count[clause_index] = count - 1
+                if count == 1:  # dropped to zero satisfied literals
+                    if negated[clause_index]:
+                        # Negated clause became unsatisfied: repaired.
+                        spot = violated_position.pop(clause_index, None)
+                        if spot is not None:
+                            last = violated_list.pop()
+                            if spot < len(violated_list):
+                                violated_list[spot] = last
+                                violated_position[last] = spot
+                        delta -= abs_weight[clause_index]
+                    else:
+                        if clause_index not in violated_position:
+                            violated_position[clause_index] = len(violated_list)
+                            violated_list.append(clause_index)
+                        delta += abs_weight[clause_index]
+            else:
+                sat_count[clause_index] = count + 1
+                if count == 0:  # rose from zero satisfied literals
+                    if negated[clause_index]:
+                        if clause_index not in violated_position:
+                            violated_position[clause_index] = len(violated_list)
+                            violated_list.append(clause_index)
+                        delta += abs_weight[clause_index]
+                    else:
+                        spot = violated_position.pop(clause_index, None)
+                        if spot is not None:
+                            last = violated_list.pop()
+                            if spot < len(violated_list):
+                                violated_list[spot] = last
+                                violated_position[last] = spot
+                        delta -= abs_weight[clause_index]
         self.cost += delta
         self.flips += 1
+        journal = self._journal
+        if len(journal) < self._journal_limit:
+            journal.append(atom_position)
+        else:
+            self._journal_stale = True
         return delta
 
     def flip_atom_id(self, atom_id: int) -> float:
         return self.flip(self._position[atom_id])
 
+    def make_walksat_stepper(self, rng: RandomSource, noise: float):
+        """A zero-argument closure performing one WalkSAT step per call.
+
+        This is the kernel's hottest entry point: every buffer and RNG
+        method is bound into the closure once, so a step pays a single
+        call frame and no attribute lookups.  The closure is invalidated
+        by :meth:`reset`/:meth:`randomize` (they replace the assignment
+        buffer) — drivers must create a fresh stepper after each restart.
+        Each call performs one step and returns the updated cost; stepping
+        a state with no violated clauses raises ValueError, like
+        :meth:`sample_violated_clause`.
+
+        ``random.choice`` is unrolled to its exact definition
+        (``seq[_randbelow(len(seq))]``, with ``_randbelow`` itself unrolled
+        to the rejection loop over ``getrandbits``), so the stream consumed
+        is identical to the seed kernel's ``rng.pick`` calls.
+        """
+        raw = rng.raw()
+        getrandbits = raw.getrandbits
+        rng_random = raw.random
+        assignment = self.assignment
+        sat_count = self._sat_count
+        abs_weight = self._abs_weight
+        negated = self._negated
+        adjacency = self._adjacency
+        clause_positions = self._clause_positions
+        violated_list = self._violated_list
+        violated_position = self._violated_position
+        journal = self._journal
+        journal_limit = self._journal_limit
+        journal_append = journal.append
+
+        def step() -> float:
+            # random.choice(violated_list), unrolled.
+            n = len(violated_list)
+            if not n:
+                raise ValueError("no violated clauses to sample")
+            k = n.bit_length()
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            positions = clause_positions[violated_list[r]]
+            if len(positions) == 1:
+                position = positions[0]
+            elif rng_random() < noise:
+                # random.choice(positions), unrolled.
+                n = len(positions)
+                k = n.bit_length()
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                position = positions[r]
+            else:
+                # Inline delta_cost per candidate; first strict minimum wins.
+                position = positions[0]
+                best_delta = None
+                for candidate in positions:
+                    value = assignment[candidate]
+                    delta = 0.0
+                    for clause_index, positive in adjacency[candidate]:
+                        currently_true = value if positive else not value
+                        if currently_true:
+                            if sat_count[clause_index] == 1:
+                                if negated[clause_index]:
+                                    delta -= abs_weight[clause_index]
+                                else:
+                                    delta += abs_weight[clause_index]
+                        elif sat_count[clause_index] == 0:
+                            if negated[clause_index]:
+                                delta += abs_weight[clause_index]
+                            else:
+                                delta -= abs_weight[clause_index]
+                    if best_delta is None or delta < best_delta:
+                        best_delta = delta
+                        position = candidate
+
+            # Inline flip (same bookkeeping, same ordering, as flip()).
+            value = assignment[position]
+            assignment[position] = 0 if value else 1
+            delta = 0.0
+            for clause_index, positive in adjacency[position]:
+                currently_true = value if positive else not value
+                count = sat_count[clause_index]
+                if currently_true:
+                    sat_count[clause_index] = count - 1
+                    if count == 1:
+                        if negated[clause_index]:
+                            spot = violated_position.pop(clause_index, None)
+                            if spot is not None:
+                                last = violated_list.pop()
+                                if spot < len(violated_list):
+                                    violated_list[spot] = last
+                                    violated_position[last] = spot
+                            delta -= abs_weight[clause_index]
+                        else:
+                            if clause_index not in violated_position:
+                                violated_position[clause_index] = len(violated_list)
+                                violated_list.append(clause_index)
+                            delta += abs_weight[clause_index]
+                else:
+                    sat_count[clause_index] = count + 1
+                    if count == 0:
+                        if negated[clause_index]:
+                            if clause_index not in violated_position:
+                                violated_position[clause_index] = len(violated_list)
+                                violated_list.append(clause_index)
+                            delta += abs_weight[clause_index]
+                        else:
+                            spot = violated_position.pop(clause_index, None)
+                            if spot is not None:
+                                last = violated_list.pop()
+                                if spot < len(violated_list):
+                                    violated_list[spot] = last
+                                    violated_position[last] = spot
+                            delta -= abs_weight[clause_index]
+            cost = self.cost + delta
+            self.cost = cost
+            self.flips += 1
+            if len(journal) < journal_limit:
+                journal_append(position)
+            else:
+                self._journal_stale = True
+            return cost
+
+        return step
+
     # ------------------------------------------------------------------
-    # Violated-set maintenance
+    # Checkpointing (the flip journal)
     # ------------------------------------------------------------------
 
-    def _add_violated(self, clause_index: int) -> None:
-        if clause_index in self._violated_position:
-            return
-        self._violated_position[clause_index] = len(self._violated_list)
-        self._violated_list.append(clause_index)
+    def checkpoint(self) -> None:
+        """Record the current assignment as the retained snapshot.
 
-    def _remove_violated(self, clause_index: int) -> None:
-        position = self._violated_position.pop(clause_index, None)
-        if position is None:
-            return
-        last = self._violated_list.pop()
-        if position < len(self._violated_list):
-            self._violated_list[position] = last
-            self._violated_position[last] = position
+        O(flips since the previous checkpoint): the snapshot is brought up
+        to date by replaying the journal's toggles (an atom flipped an even
+        number of times nets out).  Falls back to one full copy when the
+        journal overflowed.  ``reset``/``randomize`` re-seed the snapshot
+        to the fresh assignment.
+        """
+        journal = self._journal
+        if self._journal_stale:
+            self._best = array("b", self.assignment)
+            self._journal_stale = False
+        else:
+            best = self._best
+            for position in journal:
+                best[position] ^= 1
+        del journal[:]
+
+    def checkpoint_dict(self) -> Dict[int, bool]:
+        """The snapshot recorded by the most recent :meth:`checkpoint`."""
+        best = self._best
+        return {
+            atom_id: bool(best[index]) for index, atom_id in enumerate(self.atom_ids)
+        }
+
+    # ------------------------------------------------------------------
+    # Violated-set access
+    # ------------------------------------------------------------------
 
     def violated_clause_indices(self) -> List[int]:
         return list(self._violated_list)

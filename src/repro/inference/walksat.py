@@ -101,6 +101,7 @@ class WalkSAT:
         options = self.options
         wall = WallClock()
         trace = TimeCostTrace(options.trace_label)
+        target = options.target_cost
         best_cost = math.inf
         best_assignment: Dict[int, bool] = state.assignment_dict()
         total_flips = 0
@@ -120,34 +121,85 @@ class WalkSAT:
             else:
                 state.reset(initial_assignment)
 
+            # Improvements are tracked through the state's flip journal:
+            # checkpoint() is O(flips since the last improvement) and the
+            # dict is materialised once per try instead of per improvement.
+            try_improved = False
             if state.cost < best_cost:
                 best_cost = state.cost
-                best_assignment = state.assignment_dict()
+                state.checkpoint()
+                try_improved = True
                 trace.record(self.clock.now(), best_cost, total_flips)
 
-            for _flip in range(options.max_flips):
-                if not state.has_violations():
-                    break
-                if self._deadline_exceeded(options):
-                    break
-                clause_index = state.sample_violated_clause(self.rng)
-                atom_position = self._choose_atom(state, clause_index)
-                state.flip(atom_position)
-                total_flips += 1
-                self.clock.charge(options.flip_cost_event)
-                if state.cost < best_cost:
-                    best_cost = state.cost
-                    best_assignment = state.assignment_dict()
-                    trace.record(self.clock.now(), best_cost, total_flips)
-                    if (
-                        hitting_time is None
-                        and options.target_cost is not None
-                        and best_cost <= options.target_cost
-                    ):
-                        hitting_time = total_flips
-                if options.target_cost is not None and best_cost <= options.target_cost:
-                    reached_target = True
-                    break
+            if target is not None and best_cost <= target:
+                # A try whose starting state already meets the target is a
+                # zero-flip hit; without this, expected_hitting_time would
+                # wrongly charge it the full flip budget.
+                reached_target = True
+                if hitting_time is None:
+                    hitting_time = total_flips
+            else:
+                # Hot loop: everything per-flip is either the kernel's own
+                # stepper (sample + choose + flip in one call) or a
+                # pre-bound local, so no wrapper frames are paid per step.
+                # The violated list's identity is stable across resets, so
+                # its truthiness is the has_violations() check.  Flip costs
+                # are charged to the simulated clock in batches, flushed
+                # before every clock observation (deadline check, trace
+                # record, loop exit), so observable times are identical to
+                # charging per flip.
+                make_stepper = getattr(state, "make_walksat_stepper", None)
+                rng = self.rng
+                noise = options.noise
+                # Created after the restart: the stepper binds the current
+                # assignment buffer, which reset()/randomize() replace.
+                step = make_stepper(rng, noise) if make_stepper is not None else None
+                violated_list = state._violated_list
+                clock = self.clock
+                charge = clock.charge
+                flip_event = options.flip_cost_event
+                deadline = options.deadline_seconds
+                pending_charges = 0
+                for _flip in range(options.max_flips):
+                    if not violated_list:
+                        break
+                    if deadline is not None:
+                        if pending_charges:
+                            charge(flip_event, pending_charges)
+                            pending_charges = 0
+                        if clock.now() >= deadline:
+                            break
+                    if step is not None:
+                        cost = step()
+                    else:
+                        # Seed-kernel path (ReferenceSearchState): the
+                        # original sample/choose/flip call sequence, which
+                        # consumes the identical RNG stream.
+                        clause_index = state.sample_violated_clause(rng)
+                        state.flip(self._choose_atom(state, clause_index))
+                        cost = state.cost
+                    total_flips += 1
+                    pending_charges += 1
+                    if cost < best_cost:
+                        charge(flip_event, pending_charges)
+                        pending_charges = 0
+                        best_cost = cost
+                        state.checkpoint()
+                        try_improved = True
+                        trace.record(clock.now(), best_cost, total_flips)
+                        if (
+                            hitting_time is None
+                            and target is not None
+                            and best_cost <= target
+                        ):
+                            hitting_time = total_flips
+                    if target is not None and best_cost <= target:
+                        reached_target = True
+                        break
+                if pending_charges:
+                    charge(flip_event, pending_charges)
+            if try_improved:
+                best_assignment = state.checkpoint_dict()
             if reached_target or self._deadline_exceeded(options):
                 break
             if not state.has_violations():
@@ -173,7 +225,9 @@ class WalkSAT:
         positions = state.clause_atom_positions(clause_index)
         if len(positions) == 1:
             return positions[0]
-        if self.rng.random() <= self.options.noise:
+        # Strict comparison: noise=0.0 must be purely greedy even when the
+        # RNG returns exactly 0.0, and noise=1.0 purely random.
+        if self.rng.random() < self.options.noise:
             return self.rng.pick(positions)
         best_position = positions[0]
         best_delta = state.delta_cost(best_position)
@@ -215,8 +269,6 @@ def expected_hitting_time(
         result = WalkSAT(options, RandomSource(seed + run)).run(mrf)
         if result.hitting_time is not None:
             total += result.hitting_time
-        elif result.reached_target:
-            total += 0.0  # the random initial state was already optimal
         else:
             total += max_flips
     return total / max(runs, 1)

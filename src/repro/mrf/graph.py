@@ -8,6 +8,68 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.grounding.clause_table import GroundClause, GroundClauseStore
 
 
+class MRFFlatView:
+    """Flat, cache-friendly arrays describing an MRF's clause/atom structure.
+
+    The WalkSAT kernel (:class:`repro.inference.state.SearchState`) indexes
+    atoms and clauses by dense *positions* rather than ids.  This view maps
+    between the two and precomputes, once per MRF, the flattened relations
+    the kernel's hot loops need:
+
+    * ``clause_codes`` — the clause → literal relation as per-clause
+      tuples of signed codes: a literal over atom position ``p`` is the
+      int ``+(p + 1)`` (positive occurrence) or ``-(p + 1)`` (negative),
+      so satisfied-count initialisation iterates plain ints.
+    * ``adjacency`` — the atom → clause relation as per-atom tuples of
+      ``(clause_index, positive)`` pairs, entries in clause order (which
+      the kernel relies on for reproducible violated-set ordering).  The
+      per-flip loops unpack these pre-built pairs, reusing the stored
+      index object; a signed-code encoding here would allocate a fresh
+      int per entry when decoding (measurably slower in CPython).
+    * ``clause_atom_positions`` — the distinct atom positions of each
+      clause in first-occurrence order, deduplicated once here instead of
+      on every WalkSAT step.
+
+    A view is built lazily by :meth:`MRF.flat_view` and cached; it assumes
+    the MRF is not mutated afterwards.  All buffers are read-only shared
+    state: every :class:`SearchState` over the same MRF reuses one view.
+    """
+
+    __slots__ = (
+        "atom_ids",
+        "atom_position",
+        "clause_codes",
+        "clause_atom_positions",
+        "adjacency",
+    )
+
+    def __init__(self, mrf: "MRF") -> None:
+        self.atom_ids: List[int] = list(mrf.atom_ids)
+        position = {atom_id: index for index, atom_id in enumerate(self.atom_ids)}
+        self.atom_position: Dict[int, int] = position
+
+        clause_codes: List[Tuple[int, ...]] = []
+        clause_positions: List[Tuple[int, ...]] = []
+        adjacency_lists: List[List[Tuple[int, bool]]] = [[] for _ in self.atom_ids]
+        for clause_index, clause in enumerate(mrf.clauses):
+            codes: List[int] = []
+            distinct: List[int] = []
+            for literal in clause.literals:
+                atom_position = position[abs(literal)]
+                codes.append(atom_position + 1 if literal > 0 else -(atom_position + 1))
+                if atom_position not in distinct:
+                    distinct.append(atom_position)
+                adjacency_lists[atom_position].append((clause_index, literal > 0))
+            clause_codes.append(tuple(codes))
+            clause_positions.append(tuple(distinct))
+
+        self.clause_codes: Tuple[Tuple[int, ...], ...] = tuple(clause_codes)
+        self.clause_atom_positions: Tuple[Tuple[int, ...], ...] = tuple(clause_positions)
+        self.adjacency: Tuple[Tuple[Tuple[int, bool], ...], ...] = tuple(
+            tuple(entries) for entries in adjacency_lists
+        )
+
+
 @dataclass
 class MRF:
     """A ground MRF: atoms (nodes) and weighted ground clauses (hyperedges).
@@ -20,6 +82,7 @@ class MRF:
     clauses: List[GroundClause] = field(default_factory=list)
     atom_ids: List[int] = field(default_factory=list)
     _adjacency: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+    _flat_view: Optional[MRFFlatView] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_store(
@@ -68,6 +131,16 @@ class MRF:
     def size(self) -> int:
         """The size measure used by the partitioner (atoms + literals)."""
         return self.atom_count + self.total_literals()
+
+    def flat_view(self) -> MRFFlatView:
+        """The flat-array view of this MRF, built lazily and cached.
+
+        The view (and everything derived from it) assumes the clause list is
+        no longer mutated once the first search state has been constructed.
+        """
+        if self._flat_view is None:
+            self._flat_view = MRFFlatView(self)
+        return self._flat_view
 
     def clauses_of_atom(self, atom_id: int) -> List[int]:
         """Indices (into ``clauses``) of the clauses mentioning an atom."""

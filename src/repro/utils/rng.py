@@ -30,6 +30,15 @@ class RandomSource:
         """Return a float uniformly drawn from ``[0, 1)``."""
         return self._random.random()
 
+    def raw(self) -> random.Random:
+        """The underlying :class:`random.Random`.
+
+        Hot loops (the WalkSAT kernel) bind its methods directly to avoid
+        the wrapper's extra call frame per draw; it consumes exactly the
+        same stream as the named helpers, so seeded runs are unaffected.
+        """
+        return self._random
+
     def randint(self, low: int, high: int) -> int:
         """Return an integer uniformly drawn from ``[low, high]`` inclusive."""
         return self._random.randint(low, high)

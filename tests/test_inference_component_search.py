@@ -64,6 +64,44 @@ class TestComponentAwareWalkSAT:
         assert result.trace.best_cost == pytest.approx(example1_optimal_cost(4))
 
 
+class TestComponentTargetCost:
+    """Regression: _make_task hardcoded target_cost=0.0, ignoring the
+    caller's WalkSATOptions.target_cost."""
+
+    def test_explicit_target_cost_is_honored(self):
+        mrf = example1_mrf(4)
+        # Any assignment of one component costs at most 3 (its total
+        # |weight|), so a per-component target of 50 is met by the very
+        # first state of every try: zero flips everywhere.
+        searcher = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=500, target_cost=50.0), RandomSource(0)
+        )
+        result = searcher.run(mrf)
+        assert all(r.reached_target for r in result.component_results)
+        assert result.flips == 0
+
+    def test_default_target_remains_component_optimum(self):
+        mrf = example1_mrf(4)
+        searcher = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=2000), RandomSource(0)
+        )
+        result = searcher.run(mrf)
+        # Component cost can never reach 0 on example1 (optimum is 1), so
+        # with the default target the budget is spent searching.
+        assert result.flips > 0
+        assert result.best_cost == pytest.approx(example1_optimal_cost(4))
+
+    def test_initial_assignment_still_restricted_per_component(self):
+        mrf = example1_mrf(4)
+        optimal = {atom: True for atom in mrf.atom_ids}
+        searcher = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=400, random_restarts=False), RandomSource(1)
+        )
+        result = searcher.run(mrf, initial_assignment=optimal)
+        assert result.best_cost == pytest.approx(example1_optimal_cost(4))
+        assert result.best_assignment == optimal
+
+
 class TestGaussSeidelSearch:
     def test_example2_reaches_low_cost(self):
         mrf, side_one, side_two = example2_mrf(4)

@@ -88,6 +88,138 @@ class TestWalkSAT:
         assert 0 <= mean <= 500
 
 
+class _FixedRandom(RandomSource):
+    """``random()`` always returns a fixed value; other draws stay seeded."""
+
+    def __init__(self, value, seed=0):
+        super().__init__(seed)
+        self._value = value
+
+    def random(self):
+        return self._value
+
+
+class _NoPickRandom(_FixedRandom):
+    """Fails the test if the random (non-greedy) branch is ever taken."""
+
+    def pick(self, items):
+        raise AssertionError("random flip taken despite noise=0.0")
+
+
+def greedy_test_state():
+    """All-false state where the greedy choice is unambiguous.
+
+    Clause (1, 2) is violated.  Flipping atom 1 repairs it but breaks the
+    weight-5 clause (-1,), so greedy must flip atom 2 (delta -1 vs +4).
+    """
+    store = GroundClauseStore()
+    store.add((1, 2), 1.0)
+    store.add((-1,), 5.0)
+    from repro.inference.state import SearchState
+
+    state = SearchState(MRF.from_store(store))
+    violated = state.violated_clause_indices()
+    assert violated == [0]
+    return state
+
+
+class TestNoiseBoundary:
+    """Regression: ``rng.random() <= noise`` made noise=0.0 take a random
+    flip whenever the RNG returned exactly 0.0."""
+
+    def test_zero_noise_is_purely_greedy(self):
+        state = greedy_test_state()
+        searcher = WalkSAT(WalkSATOptions(noise=0.0), _NoPickRandom(0.0))
+        position = searcher._choose_atom(state, 0)
+        assert state.atom_id_at(position) == 2
+
+    def test_full_noise_is_purely_random(self):
+        state = greedy_test_state()
+
+        class PickFirst(_FixedRandom):
+            def pick(self, items):
+                return items[0]
+
+        # random() returns just under 1.0; noise=1.0 must take the random
+        # branch, which here picks atom 1 (the greedy choice is atom 2).
+        searcher = WalkSAT(WalkSATOptions(noise=1.0), PickFirst(1.0 - 2**-53))
+        position = searcher._choose_atom(state, 0)
+        assert state.atom_id_at(position) == 1
+
+
+class _RawStub:
+    """Stands in for rng._random inside the kernel stepper."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def getrandbits(self, _bits):
+        return 0  # always selects index 0 of the sampled sequence
+
+    def random(self):
+        return self.value
+
+
+class _StubSource:
+    def __init__(self, raw):
+        self._raw = raw
+
+    def raw(self):
+        return self._raw
+
+
+class TestKernelStepperNoiseBoundary:
+    """The same noise-boundary regression, at the kernel's hot entry point."""
+
+    def test_zero_noise_stepper_is_greedy(self):
+        state = greedy_test_state()
+        state.make_walksat_stepper(_StubSource(_RawStub(0.0)), noise=0.0)()
+        assert state.value_of(2) is True  # greedy flip
+        assert state.value_of(1) is False
+
+    def test_full_noise_stepper_is_random(self):
+        state = greedy_test_state()
+        # random() just below 1.0 with noise=1.0 takes the random branch,
+        # whose getrandbits stub picks the clause's first atom (atom 1).
+        state.make_walksat_stepper(_StubSource(_RawStub(1.0 - 2**-53)), noise=1.0)()
+        assert state.value_of(1) is True
+        assert state.value_of(2) is False
+
+    def test_stepper_raises_on_satisfied_state(self):
+        state = greedy_test_state()
+        step = state.make_walksat_stepper(_StubSource(_RawStub(0.0)), noise=0.0)
+        step()  # repairs the only violated clause
+        assert not state.has_violations()
+        with pytest.raises(ValueError):
+            step()
+
+
+class TestInitialTargetCost:
+    """Regression: a try whose *initial* state already meets target_cost
+    must report reached_target with a zero-flip hitting time."""
+
+    def test_initial_state_meeting_target(self):
+        mrf = example1_mrf(3)
+        optimal = {atom: True for atom in mrf.atom_ids}  # cost 3 (the optimum)
+        options = WalkSATOptions(
+            max_flips=1000, target_cost=3.0, random_restarts=False
+        )
+        result = WalkSAT(options, RandomSource(0)).run(mrf, optimal)
+        assert result.reached_target
+        assert result.hitting_time == 0
+        assert result.flips == 0
+        assert result.best_cost == pytest.approx(3.0)
+
+    def test_expected_hitting_time_zero_when_target_trivial(self):
+        # The cost can never exceed the total |weight| (9 here), so every
+        # random initial state is already at the target: the mean must be
+        # exactly 0 flips, not max_flips.
+        mean = expected_hitting_time(
+            example1_mrf(3), target_cost=9.0, runs=4, max_flips=200, seed=3
+        )
+        assert mean == pytest.approx(0.0)
+
+
 class TestRDBMSWalkSAT:
     def test_reaches_same_quality_but_pays_io(self):
         mrf = satisfiable_mrf()

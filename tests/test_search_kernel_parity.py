@@ -1,0 +1,160 @@
+"""Kernel parity: the flat-array SearchState vs the seed reference kernel.
+
+The flat-array rewrite must be *semantically identical* to the seed kernel:
+same costs, same flip deltas, same violated-set ordering (which seeded runs
+depend on, because the violated clause is drawn with ``rng.pick`` from that
+list), and the same best-assignment tracking.  These tests drive both
+implementations with identical randomized MRFs and identical seeds and
+compare every observable after every step.
+"""
+
+import math
+
+import pytest
+
+from repro.grounding.clause_table import GroundClause
+from repro.inference.reference_kernel import ReferenceSearchState
+from repro.inference.state import SearchState
+from repro.inference.walksat import WalkSAT, WalkSATOptions
+from repro.mrf.graph import MRF
+from repro.utils.rng import RandomSource
+
+
+def random_mrf(seed: int, atoms: int = 8, clause_count: int = 24) -> MRF:
+    """A randomized MRF with soft, negative, hard and duplicate-literal
+    clauses (built from raw GroundClauses so store-level normalisation does
+    not sanitise the adversarial cases away)."""
+    rng = RandomSource(seed)
+    clauses = []
+    for clause_id in range(1, clause_count + 1):
+        size = rng.randint(1, 3)
+        literals = []
+        for _ in range(size):
+            atom = rng.randint(1, atoms)
+            literals.append(atom if rng.coin() else -atom)
+        weight_kind = rng.randint(0, 9)
+        if weight_kind == 0:
+            weight = math.inf
+        elif weight_kind <= 3:
+            weight = -(round(rng.random() * 3, 3) + 0.1)
+        else:
+            weight = round(rng.random() * 3, 3) + 0.1
+        clauses.append(GroundClause(clause_id, tuple(literals), weight))
+    return MRF.from_clauses(clauses, extra_atoms=range(1, atoms + 1))
+
+
+def assert_states_agree(reference: ReferenceSearchState, flat: SearchState) -> None:
+    assert flat.cost == pytest.approx(reference.cost, rel=1e-12, abs=1e-12)
+    # Exact list (not set) equality: the violated-clause *ordering* feeds
+    # rng.pick, so it must be reproduced bit-for-bit.
+    assert flat._violated_list == reference._violated_list
+    assert flat.assignment_dict() == reference.assignment_dict()
+    assert flat.violated_count() == reference.violated_count()
+
+
+class TestKernelParity:
+    def test_initialisation_and_structure(self):
+        for seed in range(10):
+            mrf = random_mrf(seed)
+            reference = ReferenceSearchState(mrf)
+            flat = SearchState(mrf)
+            assert flat.hard_penalty == reference.hard_penalty
+            assert_states_agree(reference, flat)
+            for clause_index in range(mrf.clause_count):
+                assert list(flat.clause_atom_positions(clause_index)) == list(
+                    reference.clause_atom_positions(clause_index)
+                )
+
+    def test_randomize_consumes_identical_rng(self):
+        for seed in range(10):
+            mrf = random_mrf(seed + 50)
+            reference = ReferenceSearchState(mrf)
+            flat = SearchState(mrf)
+            reference.randomize(RandomSource(seed))
+            flat.randomize(RandomSource(seed))
+            assert_states_agree(reference, flat)
+
+    def test_flip_and_delta_parity_over_random_walks(self):
+        for seed in range(15):
+            mrf = random_mrf(seed, atoms=9, clause_count=30)
+            reference = ReferenceSearchState(mrf)
+            flat = SearchState(mrf)
+            reference.randomize(RandomSource(seed))
+            flat.randomize(RandomSource(seed))
+            walk = RandomSource(seed + 1000)
+            for _step in range(80):
+                for position in range(len(mrf.atom_ids)):
+                    assert flat.delta_cost(position) == pytest.approx(
+                        reference.delta_cost(position), rel=1e-12, abs=1e-12
+                    )
+                position = walk.randint(0, len(mrf.atom_ids) - 1)
+                delta_reference = reference.flip(position)
+                delta_flat = flat.flip(position)
+                assert delta_flat == pytest.approx(delta_reference, rel=1e-12, abs=1e-12)
+                assert flat.flips == reference.flips
+                assert_states_agree(reference, flat)
+            assert flat.true_cost() == pytest.approx(reference.true_cost())
+
+    def test_checkpoint_tracks_best_assignment(self):
+        mrf = random_mrf(3, atoms=6, clause_count=18)
+        reference = ReferenceSearchState(mrf)
+        flat = SearchState(mrf)
+        reference.randomize(RandomSource(3))
+        flat.randomize(RandomSource(3))
+        walk = RandomSource(99)
+        for step in range(60):
+            position = walk.randint(0, len(mrf.atom_ids) - 1)
+            reference.flip(position)
+            flat.flip(position)
+            if step % 7 == 0:
+                reference.checkpoint()
+                flat.checkpoint()
+                assert flat.checkpoint_dict() == reference.checkpoint_dict()
+        # The snapshot stays pinned at the last checkpoint, not the current
+        # state.
+        assert flat.checkpoint_dict() == reference.checkpoint_dict()
+
+    def test_checkpoint_after_journal_overflow(self):
+        """More flips than atoms between checkpoints forces the full-copy
+        fallback; the snapshot must still equal the assignment at
+        checkpoint time."""
+        mrf = random_mrf(7, atoms=4, clause_count=10)
+        flat = SearchState(mrf)
+        flat.randomize(RandomSource(7))
+        walk = RandomSource(11)
+        for _ in range(50):  # far more flips than the 4-atom journal limit
+            flat.flip(walk.randint(0, len(mrf.atom_ids) - 1))
+        flat.checkpoint()
+        assert flat.checkpoint_dict() == flat.assignment_dict()
+        flat.flip(0)
+        assert flat.checkpoint_dict() != flat.assignment_dict()
+
+    def test_walksat_runs_identically_on_both_kernels(self):
+        """End-to-end: the same seed drives WalkSAT to the same costs and
+        the same best assignment on either kernel."""
+        for seed in range(8):
+            mrf = random_mrf(seed + 200, atoms=10, clause_count=32)
+            options = WalkSATOptions(max_flips=300, max_tries=2, noise=0.5)
+            result_reference = WalkSAT(options, RandomSource(seed)).run_on_state(
+                ReferenceSearchState(mrf)
+            )
+            result_flat = WalkSAT(options, RandomSource(seed)).run_on_state(
+                SearchState(mrf)
+            )
+            assert result_flat.best_cost == pytest.approx(
+                result_reference.best_cost, rel=1e-12, abs=1e-12
+            )
+            assert result_flat.flips == result_reference.flips
+            assert result_flat.tries == result_reference.tries
+            assert result_flat.best_assignment == result_reference.best_assignment
+
+    def test_reset_parity_with_partial_assignment(self):
+        mrf = random_mrf(21)
+        reference = ReferenceSearchState(mrf)
+        flat = SearchState(mrf)
+        partial = {1: True, 3: True, 999: True}  # unknown atoms are ignored
+        reference.reset(partial)
+        flat.reset(partial)
+        assert_states_agree(reference, flat)
+        assert flat.value_of(1) is True
+        assert flat.value_of(2) is False
