@@ -1,26 +1,40 @@
-"""Search-kernel microbenchmark: flips per second, flat-array vs seed kernel.
+"""Search-kernel microbenchmark: flips per second across kernel backends.
 
-Runs the *same* WalkSAT search (same seed, same RNG stream) over the
-flat-array :class:`SearchState` and over the retained seed kernel
-(:class:`ReferenceSearchState`), on synthetic workloads, and reports
-wall-clock flips/sec plus the speedup.  Because the two kernels are
-semantically identical (see ``tests/test_search_kernel_parity.py``), both
-runs perform exactly the same flips and reach exactly the same costs — the
-benchmark asserts that parity on every workload, so the speedup is a pure
-kernel measurement, not a search-behaviour change.
+Runs the *same* WalkSAT search (same seed, same RNG stream) over the seed
+kernel (:class:`ReferenceSearchState`) and each requested kernel backend —
+the flat-array :class:`SearchState` and the numpy-vectorized
+:class:`VectorSearchState` — on synthetic workloads, and reports wall-clock
+flips/sec plus the speedups.  Because every kernel is semantically
+identical (see ``tests/test_search_kernel_parity.py``), all runs perform
+exactly the same flips and reach exactly the same costs — the benchmark
+asserts that parity on every workload, so the speedups are pure kernel
+measurements, not search-behaviour changes.
 
 Workloads:
 
 * ``example1-N`` — the paper's Example 1 (N two-atom components): tiny
-  clauses, low degree; stresses per-step overhead.
+  clauses, low degree; stresses per-step overhead.  Here the vectorized
+  backend's batched greedy stays disabled (every clause is far below the
+  batching threshold) and it should match the flat kernel.
 * ``RC`` / ``LP`` — the synthetic Relational Classification and Link
   Prediction datasets ground to real MRFs (RC fragments into many
   components, LP is one dense component); stresses adjacency traversal.
+* ``dense`` — a synthetic high-degree MRF (5-atom clauses, average atom
+  degree ~300) whose greedy batches are far above the threshold; this is
+  where the vectorized backend's shared adjacency walk pays.
+
+Backends (``--backend``):
+
+* ``flat`` — the PR-1 flat-array kernel only.
+* ``vectorized`` — the numpy backend only (exits with a skip message when
+  numpy is unavailable).
+* ``both`` (default) — flat and, when numpy is available, vectorized.
 
 Usage::
 
-    python benchmarks/bench_search_kernel.py            # full run
-    python benchmarks/bench_search_kernel.py --quick    # for scripts/check.sh
+    python benchmarks/bench_search_kernel.py                    # full run
+    python benchmarks/bench_search_kernel.py --quick            # scripts/check.sh
+    python benchmarks/bench_search_kernel.py --backend flat
 """
 
 from __future__ import annotations
@@ -36,12 +50,20 @@ for _path in (_ROOT, os.path.join(_ROOT, "src")):
         sys.path.insert(0, _path)
 
 from repro.datasets.example1 import example1_mrf
+from repro.grounding.clause_table import GroundClause
 from repro.inference.reference_kernel import ReferenceSearchState, ReferenceWalkSAT
 from repro.inference.state import SearchState
+from repro.inference.vector_kernel import NUMPY_AVAILABLE, VectorSearchState
 from repro.inference.walksat import WalkSAT, WalkSATOptions
+from repro.mrf.graph import MRF
 from repro.utils.rng import RandomSource
 
 BENCH_SEED = 0
+
+BACKEND_STATES = {
+    "flat": SearchState,
+    "vectorized": VectorSearchState,
+}
 
 
 def dataset_mrf(name: str, factor: float = 1.0):
@@ -55,12 +77,29 @@ def dataset_mrf(name: str, factor: float = 1.0):
     return engine.build_mrf()
 
 
+def dense_mrf(atoms: int = 120, clauses: int = 7000, size: int = 5, seed: int = 0) -> MRF:
+    """A high-degree MRF whose greedy batches exceed the numpy threshold."""
+    rng = RandomSource(seed)
+    out = []
+    for clause_id in range(1, clauses + 1):
+        literals = []
+        seen = set()
+        while len(literals) < size:
+            atom = rng.randint(1, atoms)
+            if atom in seen:
+                continue
+            seen.add(atom)
+            literals.append(atom if rng.coin() else -atom)
+        out.append(GroundClause(clause_id, tuple(literals), round(rng.random() * 2, 3) + 0.1))
+    return MRF.from_clauses(out, extra_atoms=range(1, atoms + 1))
+
+
 def measure(make_searcher, make_state, mrf, flips: int, repeats: int):
     """Best-of-``repeats`` wall-clock flips/sec for one search stack.
 
-    The seed stack is the seed driver loop over the seed state; the new
-    stack is the current driver over the flat-array state — each side runs
-    its own complete hot loop, exactly as it shipped.
+    The seed stack is the seed driver loop over the seed state; each
+    backend stack is the current driver over that backend's state — each
+    side runs its own complete hot loop, exactly as it ships.
     """
     options = WalkSATOptions(max_flips=flips, max_tries=1, noise=0.5)
     best_rate = 0.0
@@ -75,39 +114,50 @@ def measure(make_searcher, make_state, mrf, flips: int, repeats: int):
     return result, best_rate
 
 
-def run_benchmark(quick: bool, flips: int | None, repeats: int):
+def run_benchmark(quick: bool, flips: int | None, repeats: int, backends):
     workloads = [("example1-100" if quick else "example1-300",
-                  example1_mrf(100 if quick else 300))]
+                  example1_mrf(100 if quick else 300), None)]
     if not quick:
-        workloads.append(("RC", dataset_mrf("RC")))
-        workloads.append(("LP", dataset_mrf("LP")))
+        workloads.append(("RC", dataset_mrf("RC"), None))
+        workloads.append(("LP", dataset_mrf("LP"), None))
+        workloads.append(("dense", dense_mrf(), 4_000))
     flip_budget = flips if flips is not None else (20_000 if quick else 100_000)
 
     rows = []
     worst_speedup = float("inf")
-    for label, mrf in workloads:
+    for label, mrf, budget_override in workloads:
+        budget = budget_override if budget_override is not None else flip_budget
         seed_result, seed_rate = measure(
-            ReferenceWalkSAT, ReferenceSearchState, mrf, flip_budget, repeats
+            ReferenceWalkSAT, ReferenceSearchState, mrf, budget, repeats
         )
-        flat_result, flat_rate = measure(
-            WalkSAT, SearchState, mrf, flip_budget, repeats
-        )
-        # Identical search semantics: same flips, same best cost, same seed.
-        assert flat_result.flips == seed_result.flips, (label, flat_result.flips, seed_result.flips)
-        assert abs(flat_result.best_cost - seed_result.best_cost) < 1e-9, label
-        speedup = flat_rate / max(seed_rate, 1e-9)
-        worst_speedup = min(worst_speedup, speedup)
-        rows.append(
-            (
-                label,
-                f"{mrf.atom_count}/{mrf.clause_count}",
-                seed_result.flips,
-                f"{seed_rate:,.0f}",
-                f"{flat_rate:,.0f}",
-                f"{speedup:.2f}x",
-                f"{flat_result.best_cost:.4g}",
+        backend_rates = {}
+        for backend in backends:
+            result, rate = measure(
+                WalkSAT, BACKEND_STATES[backend], mrf, budget, repeats
             )
-        )
+            # Identical search semantics: same flips, same best cost, same
+            # seed, on every backend.
+            assert result.flips == seed_result.flips, (
+                label, backend, result.flips, seed_result.flips
+            )
+            assert abs(result.best_cost - seed_result.best_cost) < 1e-9, (label, backend)
+            backend_rates[backend] = rate
+            worst_speedup = min(worst_speedup, rate / max(seed_rate, 1e-9))
+        row = [
+            label,
+            f"{mrf.atom_count}/{mrf.clause_count}",
+            seed_result.flips,
+            f"{seed_rate:,.0f}",
+        ]
+        for backend in backends:
+            rate = backend_rates[backend]
+            row.append(f"{rate:,.0f}")
+            row.append(f"{rate / max(seed_rate, 1e-9):.2f}x")
+        if len(backends) == 2:
+            row.append(
+                f"{backend_rates['vectorized'] / max(backend_rates['flat'], 1e-9):.2f}x"
+            )
+        rows.append(tuple(row))
     return rows, worst_speedup
 
 
@@ -116,7 +166,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small example1-only workload, single repeat (for scripts/check.sh)",
+        help="small example1-only workload, reduced repeats (for scripts/check.sh)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("flat", "vectorized", "both"),
+        default="both",
+        help="which kernel backend(s) to measure against the seed kernel",
     )
     parser.add_argument("--flips", type=int, default=None, help="flip budget per run")
     parser.add_argument(
@@ -127,22 +183,39 @@ def main(argv=None) -> int:
         type=float,
         default=None,
         metavar="X",
-        help="exit non-zero unless every workload speedup is at least X",
+        help="exit non-zero unless every backend's speedup over the seed "
+        "kernel is at least X on every workload",
     )
     args = parser.parse_args(argv)
-    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
 
-    rows, worst_speedup = run_benchmark(args.quick, args.flips, repeats)
+    if args.backend == "both":
+        backends = ["flat"] + (["vectorized"] if NUMPY_AVAILABLE else [])
+        if not NUMPY_AVAILABLE:
+            print("numpy unavailable: measuring the flat backend only")
+    elif args.backend == "vectorized" and not NUMPY_AVAILABLE:
+        print("SKIP: vectorized backend requested but numpy is unavailable")
+        return 0
+    else:
+        backends = [args.backend]
+
+    rows, worst_speedup = run_benchmark(args.quick, args.flips, repeats, backends)
 
     from benchmarks.harness import emit, render_table
 
+    header = ["workload", "atoms/clauses", "flips", "seed f/s"]
+    for backend in backends:
+        header.append(f"{backend} f/s")
+        header.append("vs seed")
+    if len(backends) == 2:
+        header.append("vec/flat")
     table = render_table(
-        "Search kernel — wall-clock flips/sec (seed kernel vs flat-array kernel)",
-        ["workload", "atoms/clauses", "flips", "seed f/s", "flat f/s", "speedup", "cost"],
+        "Search kernel — wall-clock flips/sec (seed kernel vs kernel backends)",
+        header,
         rows,
     )
     emit("search_kernel", table)
-    print(f"\nworst-case speedup: {worst_speedup:.2f}x (costs identical per seed)")
+    print(f"\nworst-case speedup vs seed: {worst_speedup:.2f}x (costs identical per seed)")
     if args.assert_speedup is not None and worst_speedup < args.assert_speedup:
         print(f"FAIL: speedup below required {args.assert_speedup:.2f}x", file=sys.stderr)
         return 1

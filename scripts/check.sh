@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Repo check: byte-compile everything, run the tier-1 test suite (see
-# ROADMAP.md), then a quick search-kernel benchmark sanity run.
+# ROADMAP.md), then the kernel-parity suite and a quick search-kernel
+# benchmark for each kernel backend (the vectorized backend skips itself
+# cleanly when numpy is absent).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== compileall =="
 python -m compileall -q src
 
-echo "== tier-1 tests =="
+echo "== tier-1 tests (includes the kernel parity suite, all backends) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
 
-echo "== search-kernel benchmark (quick) =="
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick
+echo "== search-kernel benchmark (quick, flat backend) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick --backend flat
+
+echo "== search-kernel benchmark (quick, vectorized backend) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick --backend vectorized
 
 echo "== check.sh OK =="

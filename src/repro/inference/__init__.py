@@ -22,7 +22,13 @@ from repro.inference.gauss_seidel import GaussSeidelSearch
 from repro.inference.mcsat import MCSat, MarginalResult
 from repro.inference.rdbms_walksat import RDBMSWalkSAT
 from repro.inference.samplesat import SampleSAT
-from repro.inference.state import SearchState
+from repro.inference.state import (
+    KERNEL_BACKENDS,
+    SearchState,
+    available_backends,
+    make_search_state,
+    resolve_backend,
+)
 from repro.inference.tracing import FlipRateMeter, TimeCostTrace
 from repro.inference.walksat import WalkSAT, WalkSATOptions, WalkSATResult
 
@@ -31,6 +37,7 @@ __all__ = [
     "ComponentSearchResult",
     "FlipRateMeter",
     "GaussSeidelSearch",
+    "KERNEL_BACKENDS",
     "MCSat",
     "MarginalResult",
     "RDBMSWalkSAT",
@@ -40,4 +47,7 @@ __all__ = [
     "WalkSAT",
     "WalkSATOptions",
     "WalkSATResult",
+    "available_backends",
+    "make_search_state",
+    "resolve_backend",
 ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.inference.scheduling import ParallelOutcome, run_tasks, weighted_flip_allocation
+from repro.inference.state import SearchState, make_search_state
 from repro.inference.tracing import TimeCostTrace, merge_traces
 from repro.inference.walksat import WalkSAT, WalkSATOptions, WalkSATResult
 from repro.mrf.components import ComponentDecomposition, connected_components
@@ -65,6 +66,14 @@ class ComponentAwareWalkSAT:
         self.rng = rng or RandomSource(0)
         self.workers = workers
         self.cost_model = cost_model or CostModel()
+        # State-reuse lifecycle: one kernel state per component, cached with
+        # the decomposition and reset in place between rounds, instead of
+        # rebuilding every buffer each run() call.  Keyed by the identity of
+        # the last source (which also pins the component MRFs alive);
+        # assumes, like MRF.flat_view, that sources are not mutated.
+        self._cached_source: Optional[object] = None
+        self._cached_components: List[MRF] = []
+        self._cached_states: List[SearchState] = []
 
     def run(
         self,
@@ -74,12 +83,17 @@ class ComponentAwareWalkSAT:
     ) -> ComponentSearchResult:
         """Search every component and merge the per-component best states."""
         components = self._components(source)
+        states = self._component_states(components)
         budget = total_flips if total_flips is not None else self.options.max_flips
         allocation = weighted_flip_allocation(components, budget)
 
         tasks = []
-        for index, (component, flips) in enumerate(zip(components, allocation)):
-            tasks.append(self._make_task(index, component, flips, initial_assignment))
+        for index, (component, state, flips) in enumerate(
+            zip(components, states, allocation)
+        ):
+            tasks.append(
+                self._make_task(index, component, state, flips, initial_assignment)
+            )
         outcome: ParallelOutcome = run_tasks(tasks, workers=self.workers)
 
         component_results: List[WalkSATResult] = list(outcome.results)  # type: ignore[arg-type]
@@ -110,16 +124,38 @@ class ComponentAwareWalkSAT:
     def _components(
         self, source: MRF | ComponentDecomposition | Sequence[MRF]
     ) -> List[MRF]:
+        if source is self._cached_source:
+            return self._cached_components
         if isinstance(source, MRF):
-            return connected_components(source).components
-        if isinstance(source, ComponentDecomposition):
-            return list(source.components)
-        return list(source)
+            components = connected_components(source).components
+        elif isinstance(source, ComponentDecomposition):
+            components = list(source.components)
+        else:
+            components = list(source)
+        self._cached_source = source
+        self._cached_components = components
+        self._cached_states = []
+        return components
+
+    def _component_states(self, components: Sequence[MRF]) -> List[SearchState]:
+        """The cached per-component kernel states (built on first use).
+
+        Built in the calling thread so worker tasks only ever touch their
+        own, fully-constructed state.
+        """
+        if len(self._cached_states) != len(components):
+            backend = self.options.kernel_backend
+            self._cached_states = [
+                make_search_state(component, backend=backend)
+                for component in components
+            ]
+        return self._cached_states
 
     def _make_task(
         self,
         index: int,
         component: MRF,
+        state: SearchState,
         flips: int,
         initial_assignment: Optional[Mapping[int, bool]],
     ):
@@ -137,6 +173,7 @@ class ComponentAwareWalkSAT:
             random_restarts=self.options.random_restarts,
             flip_cost_event=self.options.flip_cost_event,
             trace_label=f"component-{index}",
+            kernel_backend=self.options.kernel_backend,
         )
         rng = self.rng.spawn(index + 1)
         if initial_assignment:
@@ -152,7 +189,10 @@ class ComponentAwareWalkSAT:
         def task():
             clock = SimulatedClock(self.cost_model)
             searcher = WalkSAT(options, rng, clock)
-            result = searcher.run(component, restricted)
+            # run_on_state resets/rerandomizes the cached state in place at
+            # the start of every try, so reuse is bit-for-bit identical to
+            # constructing a fresh state (the parity suite pins this).
+            result = searcher.run_on_state(state, restricted)
             return result, clock.now()
 
         return task

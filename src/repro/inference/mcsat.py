@@ -21,7 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.grounding.clause_table import GroundClause
 from repro.inference.samplesat import SampleSAT, SampleSATOptions
-from repro.inference.state import SearchState
+from repro.inference.state import KERNEL_BACKENDS, make_search_state
 from repro.mrf.graph import MRF
 from repro.utils.rng import RandomSource
 
@@ -49,12 +49,17 @@ class MCSatOptions:
     samples: int = 100
     burn_in: int = 10
     samplesat: SampleSATOptions = field(default_factory=SampleSATOptions)
+    #: Search-kernel backend for the full-MRF satisfaction evaluator (the
+    #: per-step SampleSAT states follow ``samplesat.kernel_backend``).
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.samples <= 0:
             raise ValueError("samples must be positive")
         if self.burn_in < 0:
             raise ValueError("burn_in cannot be negative")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(f"kernel_backend must be one of {KERNEL_BACKENDS}")
 
 
 class MCSat:
@@ -79,10 +84,12 @@ class MCSat:
         hard = [clause for clause in mrf.clauses if clause.is_hard]
         current = sampler.sample(hard, atom_ids, initial_assignment)
 
-        # One flat-array state over the full MRF evaluates every clause's
+        # One kernel state over the full MRF evaluates every clause's
         # satisfaction in a single pass per iteration (clause-by-clause
-        # dict probing was the old per-step cost).
-        evaluator = SearchState(mrf)
+        # dict probing was the old per-step cost); on the vectorized
+        # backend both the per-iteration reset and the flags scan are
+        # single numpy passes.
+        evaluator = make_search_state(mrf, backend=options.kernel_backend)
 
         true_counts: Dict[int, int] = {atom_id: 0 for atom_id in atom_ids}
         kept_samples = 0

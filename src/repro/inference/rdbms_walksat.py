@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.grounding.clause_table import GroundClauseStore
-from repro.inference.state import SearchState
+from repro.inference.state import make_search_state
 from repro.inference.tracing import TimeCostTrace
 from repro.inference.walksat import WalkSATOptions, WalkSATResult
 from repro.mrf.graph import MRF
@@ -92,11 +92,14 @@ class RDBMSWalkSAT:
         hard_penalty = max(
             10.0 * sum(abs(c.weight) for c in mrf.clauses if not c.is_hard), 10.0
         )
-        # The flat-array kernel mirrors the on-disk state so the Python-side
+        # The in-memory kernel mirrors the on-disk state so the Python-side
         # bookkeeping is incremental; the *simulated* clock is still charged
         # exactly what the on-disk architecture would pay (full sequential
         # clause scans per step, random page reads per candidate flip).
-        state = SearchState(mrf, assignment, hard_penalty=hard_penalty)
+        state = make_search_state(
+            mrf, assignment, hard_penalty=hard_penalty,
+            backend=self.options.kernel_backend,
+        )
         page_count = len({clause.page for clause in clause_rows})
         atom_clause_index: Dict[int, List[int]] = {atom_id: [] for atom_id in mrf.atom_ids}
         for index, clause in enumerate(clause_rows):
@@ -148,6 +151,14 @@ class RDBMSWalkSAT:
                 flips += 1
                 self.clock.charge("rdbms_flip_overhead")
             if options.target_cost is not None and best_cost <= options.target_cost:
+                break
+            # A deadline hit mid-try must also stop the restart loop; the
+            # simulated clock never rolls back, so later tries could only
+            # burn further past the deadline.
+            if (
+                options.deadline_seconds is not None
+                and self.clock.now() >= options.deadline_seconds
+            ):
                 break
 
         # Account for the final state as well.

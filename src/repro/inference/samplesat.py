@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.grounding.clause_table import GroundClause
-from repro.inference.state import SearchState
+from repro.inference.state import KERNEL_BACKENDS, SearchState, make_search_state
 from repro.mrf.graph import MRF
 from repro.utils.rng import RandomSource
 
@@ -36,6 +36,10 @@ class SampleSATOptions:
     walksat_probability: float = 0.5
     temperature: float = 0.5
     noise: float = 0.5
+    #: Search-kernel backend for the constraint states ("auto" keeps the
+    #: usual small per-step constraint MRFs on the flat kernel; see
+    #: repro.inference.state.resolve_backend).
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.walksat_probability <= 1.0:
@@ -46,6 +50,8 @@ class SampleSATOptions:
             raise ValueError("max_flips must be positive")
         if self.mixing_steps < 0:
             raise ValueError("mixing_steps cannot be negative")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(f"kernel_backend must be one of {KERNEL_BACKENDS}")
 
 
 class SampleSAT:
@@ -76,7 +82,9 @@ class SampleSAT:
             for index, clause in enumerate(clauses)
         ]
         mrf = MRF.from_clauses(constraints, extra_atoms=atom_ids)
-        state = SearchState(mrf, initial_assignment)
+        state = make_search_state(
+            mrf, initial_assignment, backend=self.options.kernel_backend
+        )
         if initial_assignment is None:
             state.randomize(self.rng)
         options = self.options
@@ -121,7 +129,11 @@ class SampleSAT:
         if self.rng.random() < self.options.noise:
             position = self.rng.pick(positions)
         else:
-            position = min(positions, key=state.delta_cost)
+            # Batched deltas share the adjacency walk across candidates on
+            # the vectorized backend; min-by-index keeps the first-minimum
+            # tie-break of the previous min(positions, key=delta_cost).
+            deltas = state.delta_cost_batch(clause_index)
+            position = positions[min(range(len(deltas)), key=deltas.__getitem__)]
         state.flip(position)
 
     def _annealing_move(self, state: SearchState) -> None:

@@ -21,21 +21,65 @@ T = TypeVar("T")
 def weighted_flip_allocation(components: Sequence[MRF], total_flips: int) -> List[int]:
     """Split a flip budget across components proportionally to their atom count.
 
-    Every non-empty component receives at least one flip, mirroring the
-    weighted round-robin scheduling of Section 4.4.
+    Largest-remainder (Hamilton) apportionment: each component's ideal
+    share is ``total_flips * |G_i| / |G|``; every component gets the floor
+    of its share, and the flips left over go one each to the largest
+    fractional remainders (ties broken by lower index, so the result is
+    deterministic).  The shares always sum to *exactly* ``total_flips`` —
+    the previous per-component ``round()`` could over- or under-spend the
+    budget by up to one flip per component.
+
+    Every non-trivial component (at least one atom and one clause) is then
+    guaranteed at least one flip, mirroring the weighted round-robin
+    scheduling of Section 3.3; the top-up flips are taken from the largest
+    shares so the total is conserved.  If the budget is smaller than the
+    number of non-trivial components the guarantee is impossible; the
+    components with the largest shares keep their single flips.
     """
     if total_flips <= 0:
         raise ValueError("total_flips must be positive")
     total_atoms = sum(component.atom_count for component in components)
     if total_atoms == 0:
         return [0 for _ in components]
-    allocation = []
-    for component in components:
-        share = int(round(total_flips * component.atom_count / total_atoms))
-        if component.atom_count > 0 and component.clause_count > 0:
-            share = max(share, 1)
-        allocation.append(share)
-    return allocation
+
+    shares: List[int] = []
+    remainders: List[Tuple[float, int]] = []
+    for index, component in enumerate(components):
+        ideal = total_flips * component.atom_count / total_atoms
+        floor = int(ideal)
+        shares.append(floor)
+        # Sort key: largest remainder first, then lower index.
+        remainders.append((-(ideal - floor), index))
+    leftover = total_flips - sum(shares)
+    for _remainder, index in sorted(remainders)[:leftover]:
+        shares[index] += 1
+
+    # Top up zero-share non-trivial components from the largest shares.  A
+    # donor is any component that can spare a flip: one holding more than a
+    # single flip, or a trivial component (no clauses to search) holding at
+    # least one.  This makes the >=1 guarantee hold whenever
+    # total_flips >= (number of non-trivial components).
+    nontrivial_flags = [
+        component.atom_count > 0 and component.clause_count > 0
+        for component in components
+    ]
+    for index, is_nontrivial in enumerate(nontrivial_flags):
+        if not is_nontrivial or shares[index] > 0:
+            continue
+        donor = max(
+            (
+                candidate
+                for candidate in range(len(shares))
+                if shares[candidate] > (1 if nontrivial_flags[candidate] else 0)
+            ),
+            key=lambda candidate: (shares[candidate], -candidate),
+            default=None,
+        )
+        if donor is None:
+            break
+        shares[donor] -= 1
+        shares[index] = 1
+    return shares
 
 
 @dataclass

@@ -35,10 +35,18 @@ kept deliberately close to flat, cache-friendly data:
   (more flips than atoms since the last checkpoint) it falls back to one
   full copy.
 
+* **In-place lifecycle.**  :meth:`reset`, :meth:`randomize` and
+  :meth:`rerandomize` rewrite the buffers in place instead of rebinding
+  them, so a stepper closure (and any numpy view over the buffers)
+  survives every WalkSAT restart — drivers build one stepper per run and
+  per-component searches cache one state per component.
+
 The seed list-of-tuples kernel is retained verbatim in
 :mod:`repro.inference.reference_kernel` as an executable specification; the
-RDBMS-backed variant wraps the same bookkeeping but charges simulated I/O
-per access (see :mod:`repro.inference.rdbms_walksat`).
+numpy-vectorized backend (:mod:`repro.inference.vector_kernel`) subclasses
+this kernel behind the same API (select with :func:`make_search_state`);
+the RDBMS-backed variant wraps the same bookkeeping but charges simulated
+I/O per access (see :mod:`repro.inference.rdbms_walksat`).
 """
 
 from __future__ import annotations
@@ -145,21 +153,39 @@ class SearchState:
         self._best = array("b", assignment)
 
     def reset(self, assignment: Optional[Mapping[int, bool]] = None) -> None:
-        """Reset the assignment (default all-false) and recompute bookkeeping."""
-        self.assignment = array("b", bytes(len(self.atom_ids)))
+        """Reset the assignment (default all-false) and recompute bookkeeping.
+
+        The assignment buffer is rewritten *in place*, so steppers created
+        by :meth:`make_walksat_stepper` stay valid across resets.
+        """
+        current = self.assignment
+        current[:] = array("b", bytes(len(current)))
         if assignment:
             position = self._position
-            current = self.assignment
             for atom_id, value in assignment.items():
                 index = position.get(atom_id)
                 if index is not None:
                     current[index] = 1 if value else 0
         self._initialise_counts()
 
+    def rerandomize(self, rng: RandomSource) -> None:
+        """Draw a uniformly random assignment *in place* (restart reuse).
+
+        Consumes exactly one ``rng.coin()`` per atom, the same stream as the
+        seed kernel's ``randomize``, but keeps the assignment buffer (and
+        therefore any stepper closure bound to it) alive.  The presence of
+        this method is the contract drivers test for when deciding whether
+        one stepper can survive WalkSAT restarts.
+        """
+        coin = rng.coin
+        assignment = self.assignment
+        for index in range(len(assignment)):
+            assignment[index] = 1 if coin() else 0
+        self._initialise_counts()
+
     def randomize(self, rng: RandomSource) -> None:
         """Draw a uniformly random assignment (WalkSAT's per-try restart)."""
-        self.assignment = array("b", [rng.coin() for _ in self.atom_ids])
-        self._initialise_counts()
+        self.rerandomize(rng)
 
     # ------------------------------------------------------------------
     # Queries
@@ -254,6 +280,18 @@ class SearchState:
                     delta -= abs_weight[clause_index]
         return delta
 
+    def delta_cost_batch(self, clause_index: int) -> List[float]:
+        """Cost deltas of flipping each distinct atom of a clause, in order.
+
+        Matches ``[delta_cost(p) for p in clause_atom_positions(clause_index)]``
+        exactly.  The vectorized backend overrides this with a batched
+        computation that shares the adjacency walk across the candidates.
+        """
+        return [
+            self.delta_cost(position)
+            for position in self._clause_positions[clause_index]
+        ]
+
     def flip(self, atom_position: int) -> float:
         """Flip an atom, updating all bookkeeping; returns the cost delta."""
         assignment = self.assignment
@@ -318,9 +356,10 @@ class SearchState:
 
         This is the kernel's hottest entry point: every buffer and RNG
         method is bound into the closure once, so a step pays a single
-        call frame and no attribute lookups.  The closure is invalidated
-        by :meth:`reset`/:meth:`randomize` (they replace the assignment
-        buffer) — drivers must create a fresh stepper after each restart.
+        call frame and no attribute lookups.  :meth:`reset`,
+        :meth:`rerandomize` and :meth:`randomize` all rewrite the bound
+        buffers in place, so one stepper survives any number of restarts
+        (the state-reuse lifecycle WalkSAT relies on).
         Each call performs one step and returns the updated cost; stepping
         a state with no violated clauses raises ValueError, like
         :meth:`sample_violated_clause`.
@@ -478,3 +517,68 @@ class SearchState:
 
     def clause(self, clause_index: int) -> GroundClause:
         return self.mrf.clauses[clause_index]
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+#: Valid values for the ``kernel_backend`` option of the search drivers.
+KERNEL_BACKENDS = ("auto", "flat", "vectorized")
+
+#: Under ``auto``, the vectorized backend is only worth its one-time numpy
+#: structure build for MRFs at least this many clauses large; throwaway MRFs
+#: (e.g. SampleSAT constraint sets built per MC-SAT step) stay on the flat
+#: kernel.  See ROADMAP.md ("Search kernel") for the full selection rule.
+VECTOR_AUTO_MIN_CLAUSES = 256
+
+
+def available_backends() -> tuple:
+    """The kernel backends usable in this environment, in preference order."""
+    from repro.inference.vector_kernel import NUMPY_AVAILABLE
+
+    return ("flat", "vectorized") if NUMPY_AVAILABLE else ("flat",)
+
+
+def resolve_backend(mrf: MRF, backend: str = "auto") -> str:
+    """Resolve a requested backend name to a concrete one for this MRF.
+
+    ``auto`` picks ``vectorized`` when numpy is importable and the MRF is
+    large enough (``VECTOR_AUTO_MIN_CLAUSES``) to amortize the vectorized
+    backend's per-MRF structure build, else ``flat``.  Both backends are
+    bit-for-bit identical in search semantics (the parity suite enforces
+    it), so the choice is purely a performance decision.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    if backend != "auto":
+        if backend == "vectorized":
+            from repro.inference.vector_kernel import NUMPY_AVAILABLE
+
+            if not NUMPY_AVAILABLE:
+                raise RuntimeError(
+                    "vectorized kernel backend requested but numpy is not available"
+                )
+        return backend
+    from repro.inference.vector_kernel import NUMPY_AVAILABLE
+
+    if NUMPY_AVAILABLE and mrf.clause_count >= VECTOR_AUTO_MIN_CLAUSES:
+        return "vectorized"
+    return "flat"
+
+
+def make_search_state(
+    mrf: MRF,
+    initial_assignment: Optional[Mapping[int, bool]] = None,
+    hard_penalty: Optional[float] = None,
+    backend: str = "auto",
+) -> "SearchState":
+    """Construct a search state on the resolved kernel backend."""
+    resolved = resolve_backend(mrf, backend)
+    if resolved == "vectorized":
+        from repro.inference.vector_kernel import VectorSearchState
+
+        return VectorSearchState(mrf, initial_assignment, hard_penalty)
+    return SearchState(mrf, initial_assignment, hard_penalty)

@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
-from repro.inference.state import SearchState
+from repro.inference.state import KERNEL_BACKENDS, SearchState, make_search_state
 from repro.inference.tracing import TimeCostTrace
 from repro.mrf.graph import MRF
 from repro.utils.clock import SimulatedClock, WallClock
@@ -40,12 +40,20 @@ class WalkSATOptions:
     random_restarts: bool = True
     flip_cost_event: str = "memory_flip"
     trace_label: str = "walksat"
+    #: Search-kernel backend: "auto" (vectorized when numpy is available and
+    #: the MRF is large enough), "flat", or "vectorized".  Both backends are
+    #: bit-for-bit identical in search semantics.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.noise <= 1.0:
             raise ValueError("noise must be within [0, 1]")
         if self.max_flips <= 0 or self.max_tries <= 0:
             raise ValueError("max_flips and max_tries must be positive")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}"
+            )
 
 
 @dataclass
@@ -89,7 +97,9 @@ class WalkSAT:
         initial_assignment: Optional[Mapping[int, bool]] = None,
     ) -> WalkSATResult:
         """Search the MRF for a low-cost assignment."""
-        state = SearchState(mrf, initial_assignment)
+        state = make_search_state(
+            mrf, initial_assignment, backend=self.options.kernel_backend
+        )
         return self.run_on_state(state, initial_assignment)
 
     def run_on_state(
@@ -109,17 +119,32 @@ class WalkSAT:
         reached_target = False
         hitting_time: Optional[int] = None
 
+        # State-reuse lifecycle: kernels exposing rerandomize() rewrite
+        # their buffers in place across restarts, so one stepper (created
+        # lazily below) survives every try.  The seed reference kernel has
+        # neither rerandomize nor a stepper and keeps its original path.
+        make_stepper = getattr(state, "make_walksat_stepper", None)
+        rerandomize = getattr(state, "rerandomize", None)
+        rng = self.rng
+        noise = options.noise
+        step = None
+
         for attempt in range(options.max_tries):
             tries += 1
             if attempt == 0:
                 if initial_assignment is None and options.random_restarts:
-                    state.randomize(self.rng)
+                    state.randomize(rng)
                 else:
                     state.reset(initial_assignment)
             elif options.random_restarts:
-                state.randomize(self.rng)
+                if rerandomize is not None:
+                    rerandomize(rng)
+                else:
+                    state.randomize(rng)
             else:
                 state.reset(initial_assignment)
+            if make_stepper is not None and (step is None or rerandomize is None):
+                step = make_stepper(rng, noise)
 
             # Improvements are tracked through the state's flip journal:
             # checkpoint() is O(flips since the last improvement) and the
@@ -148,12 +173,6 @@ class WalkSAT:
                 # before every clock observation (deadline check, trace
                 # record, loop exit), so observable times are identical to
                 # charging per flip.
-                make_stepper = getattr(state, "make_walksat_stepper", None)
-                rng = self.rng
-                noise = options.noise
-                # Created after the restart: the stepper binds the current
-                # assignment buffer, which reset()/randomize() replace.
-                step = make_stepper(rng, noise) if make_stepper is not None else None
                 violated_list = state._violated_list
                 clock = self.clock
                 charge = clock.charge

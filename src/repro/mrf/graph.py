@@ -83,6 +83,10 @@ class MRF:
     atom_ids: List[int] = field(default_factory=list)
     _adjacency: Dict[int, List[int]] = field(default_factory=dict, repr=False)
     _flat_view: Optional[MRFFlatView] = field(default=None, repr=False, compare=False)
+    # Lazily-built numpy structure shared by every vectorized search state
+    # over this MRF (owned by repro.inference.vector_kernel, cached here so
+    # its lifetime matches the MRF's, like _flat_view).
+    _vector_view: Optional[object] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_store(

@@ -220,6 +220,68 @@ class TestInitialTargetCost:
         assert mean == pytest.approx(0.0)
 
 
+class TestDeadlineAcrossRestarts:
+    """Regressions for deadline/target handling in run_on_state: the
+    deadline must be honored mid-try and must stop the restart loop, and
+    the result can never surface the pre-randomized placeholder with
+    best_cost == inf."""
+
+    def test_deadline_expired_at_entry_returns_finite_best(self):
+        clock = SimulatedClock(CostModel(memory_flip=1.0))
+        clock.advance(100.0)  # already past the deadline before the run
+        options = WalkSATOptions(
+            max_flips=1_000, max_tries=5, deadline_seconds=50.0
+        )
+        mrf = example1_mrf(5)
+        result = WalkSAT(options, RandomSource(0), clock).run(mrf)
+        assert result.flips == 0
+        assert result.tries == 1  # the deadline also stops the restarts
+        assert math.isfinite(result.best_cost)
+        # The best assignment is the first randomized state, not the
+        # pre-randomized placeholder: its recomputed cost matches.
+        recomputed = assignment_cost(mrf, result.best_assignment, hard_as_infinite=False)
+        assert recomputed == pytest.approx(result.best_cost)
+
+    def test_deadline_mid_try_stops_flips_and_restarts(self):
+        clock = SimulatedClock(CostModel(memory_flip=1.0))
+        options = WalkSATOptions(
+            max_flips=30, max_tries=4, deadline_seconds=50.0
+        )
+        result = WalkSAT(options, RandomSource(2), clock).run(example1_mrf(20))
+        # 30 flips in try one, then the deadline lands mid-try-two.
+        assert result.flips <= 51
+        assert result.tries <= 2
+        assert math.isfinite(result.best_cost)
+
+    def test_deadline_mid_try_same_result_as_single_try(self):
+        """Once the deadline passes, extra allowed tries must not change
+        the outcome."""
+        mrf = example1_mrf(10)
+
+        def run(max_tries):
+            clock = SimulatedClock(CostModel(memory_flip=1.0))
+            options = WalkSATOptions(
+                max_flips=100, max_tries=max_tries, deadline_seconds=40.0
+            )
+            return WalkSAT(options, RandomSource(3), clock).run(mrf)
+
+        single = run(1)
+        many = run(6)
+        assert single.best_cost == many.best_cost
+        assert single.best_assignment == many.best_assignment
+        assert single.flips == many.flips
+
+    def test_best_cost_finite_even_on_hard_only_mrf(self):
+        store = GroundClauseStore()
+        store.add((1, 2), math.inf)
+        store.add((-1, -2), math.inf)
+        mrf = MRF.from_store(store)
+        options = WalkSATOptions(max_flips=10, max_tries=2)
+        result = WalkSAT(options, RandomSource(0)).run(mrf)
+        assert math.isfinite(result.best_cost)
+        assert set(result.best_assignment) == set(mrf.atom_ids)
+
+
 class TestRDBMSWalkSAT:
     def test_reaches_same_quality_but_pays_io(self):
         mrf = satisfiable_mrf()
@@ -253,6 +315,24 @@ class TestRDBMSWalkSAT:
         result = RDBMSWalkSAT(database, options, RandomSource(1)).run(example1_mrf(10))
         assert database.clock.now() >= 0.5
         assert result.flips < 10_000
+
+    def test_deadline_stops_restart_loop(self):
+        """Regression: a deadline hit mid-try must end the run; with more
+        tries allowed the result must be identical to a single-try run."""
+
+        def run(max_tries):
+            options = WalkSATOptions(
+                max_flips=10_000, max_tries=max_tries, deadline_seconds=0.5
+            )
+            return RDBMSWalkSAT(Database(), options, RandomSource(1)).run(
+                example1_mrf(10)
+            )
+
+        single = run(1)
+        many = run(3)
+        assert single.best_cost == many.best_cost
+        assert single.best_assignment == many.best_assignment
+        assert single.flips == many.flips
 
 
 class TestTracing:
@@ -297,17 +377,71 @@ class TestTracing:
         assert FlipRateMeter().flips_per_second == 0.0
 
 
+def _component(atoms: int, clauses: int) -> MRF:
+    """An MRF with the given atom and clause counts (for allocation tests)."""
+    from repro.grounding.clause_table import GroundClause
+
+    clause_list = [
+        GroundClause(index + 1, (1,), 1.0) for index in range(clauses)
+    ]
+    return MRF.from_clauses(clause_list, extra_atoms=range(1, atoms + 1))
+
+
 class TestScheduling:
     def test_weighted_allocation_proportional(self):
         components = connected_components(example1_mrf(4)).components
         allocation = weighted_flip_allocation(components, 1000)
         assert len(allocation) == 4
-        assert sum(allocation) == pytest.approx(1000, abs=4)
+        assert sum(allocation) == 1000
         assert all(share >= 1 for share in allocation)
 
     def test_weighted_allocation_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             weighted_flip_allocation([], 0)
+
+    def test_allocation_conserves_budget_exactly(self):
+        """Regression: per-component round() could over- or under-spend the
+        budget by up to one flip per component.  Three equal thirds of 100
+        rounded to 33 each (99 flips); largest remainder spends exactly 100."""
+        components = [_component(1, 1), _component(1, 1), _component(1, 1)]
+        allocation = weighted_flip_allocation(components, 100)
+        assert sum(allocation) == 100
+        # Rounding-up overspend case: 5 components at 1/2 + 9/2 atoms.
+        components = [_component(3, 1) for _ in range(5)]
+        allocation = weighted_flip_allocation(components, 7)
+        assert sum(allocation) == 7
+
+    def test_allocation_property_over_random_mixes(self):
+        """Property-style: for random component mixes the shares always sum
+        to exactly total_flips, are non-negative, and every non-trivial
+        component gets >= 1 flip whenever the budget permits."""
+        rng = RandomSource(0)
+        for _trial in range(200):
+            count = rng.randint(1, 12)
+            components = [
+                _component(rng.randint(0, 50), rng.randint(0, 3))
+                for _ in range(count)
+            ]
+            total = rng.randint(1, 5000)
+            shares = weighted_flip_allocation(components, total)
+            assert len(shares) == count
+            assert sum(shares) == (
+                total if any(c.atom_count for c in components) else 0
+            )
+            assert all(share >= 0 for share in shares)
+            nontrivial = [
+                index
+                for index, component in enumerate(components)
+                if component.atom_count > 0 and component.clause_count > 0
+            ]
+            if total >= len(nontrivial):
+                assert all(shares[index] >= 1 for index in nontrivial)
+
+    def test_allocation_is_deterministic_and_proportional(self):
+        components = [_component(10, 1), _component(30, 1), _component(60, 1)]
+        shares = weighted_flip_allocation(components, 1000)
+        assert shares == [100, 300, 600]
+        assert weighted_flip_allocation(components, 1000) == shares
 
     def test_run_tasks_sequential_and_parallel(self):
         def make_task(duration):

@@ -1,11 +1,20 @@
-"""Kernel parity: the flat-array SearchState vs the seed reference kernel.
+"""Kernel parity: every kernel backend vs the seed reference kernel.
 
-The flat-array rewrite must be *semantically identical* to the seed kernel:
-same costs, same flip deltas, same violated-set ordering (which seeded runs
-depend on, because the violated clause is drawn with ``rng.pick`` from that
-list), and the same best-assignment tracking.  These tests drive both
-implementations with identical randomized MRFs and identical seeds and
-compare every observable after every step.
+The flat-array rewrite and the vectorized (numpy) backend must both be
+*semantically identical* to the seed kernel: same costs, same flip deltas,
+same violated-set ordering (which seeded runs depend on, because the
+violated clause is drawn with ``rng.pick`` from that list), and the same
+best-assignment tracking.  These tests drive every implementation with
+identical randomized MRFs and identical seeds and compare every observable
+after every step.
+
+The ``kernel`` fixture parameterizes each test over the flat backend, the
+vectorized backend (auto threshold: bulk ops numpy, greedy scalar on these
+tiny MRFs), and the vectorized backend with the batched-greedy threshold
+forced to zero so the numpy greedy/bincount path itself is proven
+bit-for-bit against the scalar loop.  The state-reuse lifecycle tests pin
+that reusing one state (and one stepper) across restarts is
+indistinguishable from building fresh states.
 """
 
 import math
@@ -13,11 +22,32 @@ import math
 import pytest
 
 from repro.grounding.clause_table import GroundClause
+from repro.inference.component_walksat import ComponentAwareWalkSAT
 from repro.inference.reference_kernel import ReferenceSearchState
-from repro.inference.state import SearchState
+from repro.inference.state import SearchState, make_search_state, resolve_backend
+from repro.inference.vector_kernel import NUMPY_AVAILABLE, VectorSearchState
 from repro.inference.walksat import WalkSAT, WalkSATOptions
 from repro.mrf.graph import MRF
 from repro.utils.rng import RandomSource
+
+
+def _forced_vector(mrf, initial_assignment=None, hard_penalty=None):
+    """Vectorized backend with every multi-atom clause on the numpy greedy."""
+    return VectorSearchState(
+        mrf, initial_assignment, hard_penalty, greedy_min_entries=0
+    )
+
+
+KERNEL_PARAMS = [pytest.param(SearchState, id="flat")]
+if NUMPY_AVAILABLE:
+    KERNEL_PARAMS.append(pytest.param(VectorSearchState, id="vectorized"))
+    KERNEL_PARAMS.append(pytest.param(_forced_vector, id="vectorized-forced-greedy"))
+
+
+@pytest.fixture(params=KERNEL_PARAMS)
+def kernel(request):
+    """A kernel-state factory with the SearchState constructor signature."""
+    return request.param
 
 
 def random_mrf(seed: int, atoms: int = 8, clause_count: int = 24) -> MRF:
@@ -43,118 +73,258 @@ def random_mrf(seed: int, atoms: int = 8, clause_count: int = 24) -> MRF:
     return MRF.from_clauses(clauses, extra_atoms=range(1, atoms + 1))
 
 
-def assert_states_agree(reference: ReferenceSearchState, flat: SearchState) -> None:
-    assert flat.cost == pytest.approx(reference.cost, rel=1e-12, abs=1e-12)
+def assert_states_agree(reference: ReferenceSearchState, state: SearchState) -> None:
+    assert state.cost == pytest.approx(reference.cost, rel=1e-12, abs=1e-12)
     # Exact list (not set) equality: the violated-clause *ordering* feeds
     # rng.pick, so it must be reproduced bit-for-bit.
-    assert flat._violated_list == reference._violated_list
-    assert flat.assignment_dict() == reference.assignment_dict()
-    assert flat.violated_count() == reference.violated_count()
+    assert state._violated_list == reference._violated_list
+    assert state.assignment_dict() == reference.assignment_dict()
+    assert state.violated_count() == reference.violated_count()
 
 
 class TestKernelParity:
-    def test_initialisation_and_structure(self):
+    def test_initialisation_and_structure(self, kernel):
         for seed in range(10):
             mrf = random_mrf(seed)
             reference = ReferenceSearchState(mrf)
-            flat = SearchState(mrf)
-            assert flat.hard_penalty == reference.hard_penalty
-            assert_states_agree(reference, flat)
+            state = kernel(mrf)
+            assert state.hard_penalty == reference.hard_penalty
+            assert_states_agree(reference, state)
             for clause_index in range(mrf.clause_count):
-                assert list(flat.clause_atom_positions(clause_index)) == list(
+                assert list(state.clause_atom_positions(clause_index)) == list(
                     reference.clause_atom_positions(clause_index)
                 )
 
-    def test_randomize_consumes_identical_rng(self):
+    def test_randomize_consumes_identical_rng(self, kernel):
         for seed in range(10):
             mrf = random_mrf(seed + 50)
             reference = ReferenceSearchState(mrf)
-            flat = SearchState(mrf)
+            state = kernel(mrf)
             reference.randomize(RandomSource(seed))
-            flat.randomize(RandomSource(seed))
-            assert_states_agree(reference, flat)
+            state.randomize(RandomSource(seed))
+            assert_states_agree(reference, state)
 
-    def test_flip_and_delta_parity_over_random_walks(self):
+    def test_flip_and_delta_parity_over_random_walks(self, kernel):
         for seed in range(15):
             mrf = random_mrf(seed, atoms=9, clause_count=30)
             reference = ReferenceSearchState(mrf)
-            flat = SearchState(mrf)
+            state = kernel(mrf)
             reference.randomize(RandomSource(seed))
-            flat.randomize(RandomSource(seed))
+            state.randomize(RandomSource(seed))
             walk = RandomSource(seed + 1000)
             for _step in range(80):
                 for position in range(len(mrf.atom_ids)):
-                    assert flat.delta_cost(position) == pytest.approx(
+                    assert state.delta_cost(position) == pytest.approx(
                         reference.delta_cost(position), rel=1e-12, abs=1e-12
                     )
                 position = walk.randint(0, len(mrf.atom_ids) - 1)
                 delta_reference = reference.flip(position)
-                delta_flat = flat.flip(position)
-                assert delta_flat == pytest.approx(delta_reference, rel=1e-12, abs=1e-12)
-                assert flat.flips == reference.flips
-                assert_states_agree(reference, flat)
-            assert flat.true_cost() == pytest.approx(reference.true_cost())
+                delta_state = state.flip(position)
+                assert delta_state == pytest.approx(
+                    delta_reference, rel=1e-12, abs=1e-12
+                )
+                assert state.flips == reference.flips
+                assert_states_agree(reference, state)
+            assert state.true_cost() == pytest.approx(reference.true_cost())
 
-    def test_checkpoint_tracks_best_assignment(self):
+    def test_delta_cost_batch_matches_scalar_deltas(self, kernel):
+        """delta_cost_batch must equal [delta_cost(p) for p in candidates]
+        bit-for-bit — this is the contract the batched greedy rides on."""
+        for seed in range(10):
+            mrf = random_mrf(seed, atoms=9, clause_count=30)
+            state = kernel(mrf)
+            state.randomize(RandomSource(seed))
+            walk = RandomSource(seed + 2000)
+            for _round in range(15):
+                for clause_index in range(mrf.clause_count):
+                    expected = [
+                        state.delta_cost(position)
+                        for position in state.clause_atom_positions(clause_index)
+                    ]
+                    assert state.delta_cost_batch(clause_index) == expected
+                state.flip(walk.randint(0, len(mrf.atom_ids) - 1))
+
+    def test_checkpoint_tracks_best_assignment(self, kernel):
         mrf = random_mrf(3, atoms=6, clause_count=18)
         reference = ReferenceSearchState(mrf)
-        flat = SearchState(mrf)
+        state = kernel(mrf)
         reference.randomize(RandomSource(3))
-        flat.randomize(RandomSource(3))
+        state.randomize(RandomSource(3))
         walk = RandomSource(99)
         for step in range(60):
             position = walk.randint(0, len(mrf.atom_ids) - 1)
             reference.flip(position)
-            flat.flip(position)
+            state.flip(position)
             if step % 7 == 0:
                 reference.checkpoint()
-                flat.checkpoint()
-                assert flat.checkpoint_dict() == reference.checkpoint_dict()
+                state.checkpoint()
+                assert state.checkpoint_dict() == reference.checkpoint_dict()
         # The snapshot stays pinned at the last checkpoint, not the current
         # state.
-        assert flat.checkpoint_dict() == reference.checkpoint_dict()
+        assert state.checkpoint_dict() == reference.checkpoint_dict()
 
-    def test_checkpoint_after_journal_overflow(self):
+    def test_checkpoint_after_journal_overflow(self, kernel):
         """More flips than atoms between checkpoints forces the full-copy
         fallback; the snapshot must still equal the assignment at
         checkpoint time."""
         mrf = random_mrf(7, atoms=4, clause_count=10)
-        flat = SearchState(mrf)
-        flat.randomize(RandomSource(7))
+        state = kernel(mrf)
+        state.randomize(RandomSource(7))
         walk = RandomSource(11)
         for _ in range(50):  # far more flips than the 4-atom journal limit
-            flat.flip(walk.randint(0, len(mrf.atom_ids) - 1))
-        flat.checkpoint()
-        assert flat.checkpoint_dict() == flat.assignment_dict()
-        flat.flip(0)
-        assert flat.checkpoint_dict() != flat.assignment_dict()
+            state.flip(walk.randint(0, len(mrf.atom_ids) - 1))
+        state.checkpoint()
+        assert state.checkpoint_dict() == state.assignment_dict()
+        state.flip(0)
+        assert state.checkpoint_dict() != state.assignment_dict()
 
-    def test_walksat_runs_identically_on_both_kernels(self):
+    def test_satisfaction_flags_parity(self, kernel):
+        """Including after scalar flips, when the vectorized backend's
+        numpy mirror may be stale and must fall back."""
+        mrf = random_mrf(9, atoms=7, clause_count=20)
+        reference = ReferenceSearchState(mrf)
+        state = kernel(mrf)
+        reference.randomize(RandomSource(9))
+        state.randomize(RandomSource(9))
+        expected = [count > 0 for count in reference._sat_count]
+        assert state.satisfaction_flags() == expected
+        walk = RandomSource(10)
+        for _ in range(20):
+            position = walk.randint(0, len(mrf.atom_ids) - 1)
+            reference.flip(position)
+            state.flip(position)
+            expected = [count > 0 for count in reference._sat_count]
+            assert state.satisfaction_flags() == expected
+
+    def test_walksat_runs_identically_on_all_kernels(self, kernel):
         """End-to-end: the same seed drives WalkSAT to the same costs and
-        the same best assignment on either kernel."""
+        the same best assignment on any kernel (multiple tries, so the
+        restart/rerandomize path is exercised too)."""
         for seed in range(8):
             mrf = random_mrf(seed + 200, atoms=10, clause_count=32)
             options = WalkSATOptions(max_flips=300, max_tries=2, noise=0.5)
             result_reference = WalkSAT(options, RandomSource(seed)).run_on_state(
                 ReferenceSearchState(mrf)
             )
-            result_flat = WalkSAT(options, RandomSource(seed)).run_on_state(
-                SearchState(mrf)
+            result_state = WalkSAT(options, RandomSource(seed)).run_on_state(
+                kernel(mrf)
             )
-            assert result_flat.best_cost == pytest.approx(
+            assert result_state.best_cost == pytest.approx(
                 result_reference.best_cost, rel=1e-12, abs=1e-12
             )
-            assert result_flat.flips == result_reference.flips
-            assert result_flat.tries == result_reference.tries
-            assert result_flat.best_assignment == result_reference.best_assignment
+            assert result_state.flips == result_reference.flips
+            assert result_state.tries == result_reference.tries
+            assert result_state.best_assignment == result_reference.best_assignment
 
-    def test_reset_parity_with_partial_assignment(self):
+    def test_reset_parity_with_partial_assignment(self, kernel):
         mrf = random_mrf(21)
         reference = ReferenceSearchState(mrf)
-        flat = SearchState(mrf)
+        state = kernel(mrf)
         partial = {1: True, 3: True, 999: True}  # unknown atoms are ignored
         reference.reset(partial)
-        flat.reset(partial)
-        assert_states_agree(reference, flat)
-        assert flat.value_of(1) is True
-        assert flat.value_of(2) is False
+        state.reset(partial)
+        assert_states_agree(reference, state)
+        assert state.value_of(1) is True
+        assert state.value_of(2) is False
+
+
+class TestStateReuseLifecycle:
+    """reset/rerandomize rewrite buffers in place, so one state — and one
+    stepper closure — survives any number of restarts with results
+    bit-for-bit identical to building everything fresh."""
+
+    def test_lifecycle_keeps_buffer_identity(self, kernel):
+        state = kernel(random_mrf(31))
+        buffer = state.assignment
+        violated = state._violated_list
+        state.randomize(RandomSource(1))
+        state.reset({1: True})
+        state.rerandomize(RandomSource(2))
+        assert state.assignment is buffer
+        assert state._violated_list is violated
+
+    def test_rerandomize_matches_fresh_randomize(self, kernel):
+        for seed in range(6):
+            mrf = random_mrf(seed + 400)
+            reused = kernel(mrf)
+            rng = RandomSource(seed)
+            for _restart in range(4):
+                fresh = kernel(mrf)
+                # One shared stream for the reused state, a cloned prefix
+                # consumer for the fresh one: randomize must consume exactly
+                # one coin per atom either way.
+                fresh_rng = RandomSource(seed)
+                for _ in range(_restart * len(mrf.atom_ids)):
+                    fresh_rng.coin()
+                reused.rerandomize(rng)
+                fresh.randomize(fresh_rng)
+                assert reused.assignment_dict() == fresh.assignment_dict()
+                assert reused.cost == fresh.cost
+                assert reused._violated_list == fresh._violated_list
+
+    def test_one_stepper_survives_restarts(self, kernel):
+        """Stepping a reused state (stepper created once) must replay the
+        exact trajectory of a fresh state + fresh stepper per restart."""
+        for seed in range(6):
+            mrf = random_mrf(seed + 500, atoms=9, clause_count=28)
+            reused = kernel(mrf)
+            rng_reused = RandomSource(seed)
+            rng_fresh = RandomSource(seed)
+            reused.rerandomize(rng_reused)
+            fresh = kernel(mrf)
+            fresh.rerandomize(rng_fresh)
+            step_reused = reused.make_walksat_stepper(rng_reused, noise=0.5)
+            for _restart in range(3):
+                step_fresh = fresh.make_walksat_stepper(rng_fresh, noise=0.5)
+                for _ in range(60):
+                    if not reused.has_violations():
+                        break
+                    assert step_reused() == step_fresh()
+                    assert reused.assignment_dict() == fresh.assignment_dict()
+                    assert reused._violated_list == fresh._violated_list
+                reused.rerandomize(rng_reused)
+                fresh = kernel(mrf)
+                fresh.rerandomize(rng_fresh)
+
+    def test_component_state_cache_is_bit_identical(self):
+        """ComponentAwareWalkSAT reuses one state per component across
+        run() calls; every run must equal a cold searcher's run exactly."""
+        mrf = random_mrf(77, atoms=12, clause_count=36)
+        options = WalkSATOptions(max_flips=200, max_tries=2)
+        caching = ComponentAwareWalkSAT(options, RandomSource(3))
+        first = caching.run(mrf, total_flips=400)
+        second = caching.run(mrf, total_flips=400)  # cached states, reset in place
+        cold = ComponentAwareWalkSAT(options, RandomSource(3)).run(mrf, total_flips=400)
+        for warm in (first, second):
+            assert warm.best_cost == cold.best_cost
+            assert warm.flips == cold.flips
+            assert warm.best_assignment == cold.best_assignment
+        # The cache really was reused (same state objects, same components).
+        assert caching._cached_states  # populated
+        assert caching.run(mrf, total_flips=400).best_cost == cold.best_cost
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+class TestBackendSelection:
+    def test_resolve_backend_explicit(self):
+        mrf = random_mrf(1)
+        assert resolve_backend(mrf, "flat") == "flat"
+        assert resolve_backend(mrf, "vectorized") == "vectorized"
+        with pytest.raises(ValueError):
+            resolve_backend(mrf, "simd")
+
+    def test_auto_picks_flat_for_small_mrfs(self):
+        small = random_mrf(2, atoms=6, clause_count=12)
+        assert resolve_backend(small, "auto") == "flat"
+        assert isinstance(make_search_state(small), SearchState)
+        assert not isinstance(make_search_state(small), VectorSearchState)
+
+    def test_auto_picks_vectorized_for_large_mrfs(self):
+        big = random_mrf(3, atoms=40, clause_count=400)
+        assert resolve_backend(big, "auto") == "vectorized"
+        assert isinstance(make_search_state(big), VectorSearchState)
+
+    def test_explicit_vectorized_state_on_small_mrf(self):
+        small = random_mrf(4, atoms=6, clause_count=12)
+        state = make_search_state(small, backend="vectorized")
+        assert isinstance(state, VectorSearchState)
