@@ -18,4 +18,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kerne
 echo "== search-kernel benchmark (quick, vectorized backend) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick --backend vectorized
 
+echo "== table-2 grounding benchmark (quick, row execution backend) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_table2_grounding.py --quick --backend row
+
+echo "== table-2 grounding benchmark (quick, columnar execution backend) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_table2_grounding.py --quick --backend columnar
+
 echo "== check.sh OK =="

@@ -68,6 +68,13 @@ def _add_program_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--execution-backend",
+        choices=("auto", "row", "columnar"),
+        default="auto",
+        help="relational engine execution model for grounding queries "
+        "(auto picks columnar for large tables when numpy is available)",
+    )
     parser.add_argument("--max-flips", type=int, default=100_000, help="total WalkSAT flip budget")
     parser.add_argument("--workers", type=int, default=1, help="parallel component searches")
     parser.add_argument(
@@ -92,6 +99,7 @@ def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
 def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
     return InferenceConfig(
         seed=arguments.seed,
+        execution_backend=arguments.execution_backend,
         max_flips=arguments.max_flips,
         workers=arguments.workers,
         use_partitioning=not arguments.no_partitioning,

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.errors import ConfigurationError
+from repro.rdbms.executor import EXECUTION_BACKENDS
 from repro.rdbms.optimizer import OptimizerOptions
 from repro.utils.clock import CostModel
 
@@ -19,8 +20,11 @@ class InferenceConfig:
     ``grounding_strategy`` is ``"bottom-up"`` (the Tuffy approach, default)
     or ``"top-down"`` (the Alchemy-style nested-loop baseline);
     ``optimizer_options`` exposes the relational planner's lesion knobs;
-    ``use_lazy_closure`` applies the Appendix A.3 active closure to the
-    ground clauses before search.
+    ``execution_backend`` selects the relational engine's execution model
+    (``"auto"`` engages the columnar batch engine above the measured
+    table-size crossover; ``"row"`` / ``"columnar"`` force one — results
+    are identical either way); ``use_lazy_closure`` applies the Appendix
+    A.3 active closure to the ground clauses before search.
 
     Search
     ------
@@ -42,6 +46,7 @@ class InferenceConfig:
     # Grounding.
     grounding_strategy: str = "bottom-up"
     optimizer_options: OptimizerOptions = field(default_factory=OptimizerOptions)
+    execution_backend: str = "auto"
     use_lazy_closure: bool = False
     merge_duplicate_clauses: bool = True
     # Search.
@@ -65,6 +70,11 @@ class InferenceConfig:
         if self.grounding_strategy not in ("bottom-up", "top-down"):
             raise ConfigurationError(
                 f"unknown grounding strategy {self.grounding_strategy!r}"
+            )
+        if self.execution_backend not in EXECUTION_BACKENDS:
+            raise ConfigurationError(
+                f"unknown execution backend {self.execution_backend!r}; "
+                f"expected one of {EXECUTION_BACKENDS}"
             )
         if self.max_flips <= 0:
             raise ConfigurationError("max_flips must be positive")

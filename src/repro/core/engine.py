@@ -57,6 +57,7 @@ class TuffyEngine:
         self.database = database or Database(
             clock=SimulatedClock(self.config.cost_model),
             optimizer_options=self.config.optimizer_options,
+            execution_backend=self.config.execution_backend,
         )
         self.memory_model = MemoryModel()
         self.timer = Timer()
@@ -82,6 +83,7 @@ class TuffyEngine:
                     optimizer_options=config.optimizer_options,
                     merge_duplicates=config.merge_duplicate_clauses,
                     memory_model=self.memory_model,
+                    execution_backend=config.execution_backend,
                 )
                 result = grounder.ground(clauses, atoms)
             else:

@@ -10,8 +10,15 @@ Two grounders are provided:
 * :class:`~repro.grounding.bottom_up.BottomUpGrounder` — Tuffy's approach:
   each clause is compiled (Algorithm 2) into a relational query over the
   per-predicate atom tables and executed by the :mod:`repro.rdbms` engine,
-  so join ordering, join algorithms and predicate pushdown are chosen by the
-  optimizer.
+  so join ordering, join algorithms and predicate pushdown are chosen by
+  the optimizer.  Each query runs on the engine's resolved *execution
+  backend* (``auto | row | columnar``); on the columnar backend, query
+  results stay as numpy columns end to end — per-literal evidence outcomes
+  are evaluated over whole aid/truth columns at once and the surviving
+  signed-literal rows are bulk-appended through
+  :meth:`~repro.grounding.clause_table.GroundClauseStore.add_batch`.  Both
+  backends produce bit-identical :class:`~repro.grounding.result.GroundingResult`s
+  (``tests/test_grounding_columnar_parity.py``).
 * :class:`~repro.grounding.top_down.TopDownGrounder` — the Alchemy-style
   baseline: nested loops over variable bindings with per-binding lookups.
 

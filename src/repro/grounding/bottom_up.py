@@ -5,12 +5,22 @@ relational engine, compiles every first-order clause into a conjunctive
 query (Algorithm 2) and lets the engine's optimizer choose join order and
 join algorithms.  The query results are turned into ground clauses with the
 evidence-pruning rules of Appendix A.3 applied.
+
+Each clause's query runs on the executor's resolved *execution backend*
+(``auto`` | ``row`` | ``columnar``, see :mod:`repro.rdbms.executor`).  On
+the columnar backend the per-literal evidence-outcome logic
+(:func:`repro.grounding.pruning.literal_outcome`) is evaluated over whole
+aid/truth columns at once and the surviving signed-literal rows are bulk
+appended through :meth:`~repro.grounding.clause_table.GroundClauseStore.add_batch`
+— no per-row Python work between the relational engine and the clause
+store.  Both consumers are bit-for-bit identical: same clauses, same
+order, same statistics (the grounding parity suite enforces this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.grounding.atoms import AtomRegistry
 from repro.grounding.clause_table import GroundClauseStore
@@ -24,12 +34,20 @@ from repro.grounding.pruning import LiteralOutcome, literal_outcome
 from repro.grounding.result import ClauseGroundingStats, GroundingResult
 from repro.logic.clauses import WeightedClause
 from repro.logic.predicates import Predicate
+from repro.rdbms.column_batch import NULL_CODE
 from repro.rdbms.database import Database
-from repro.rdbms.optimizer import OptimizerOptions
+from repro.rdbms.executor import ColumnarQueryResult, QueryResult
+from repro.rdbms.operators import HashJoin, NestedLoopJoin, iter_plan
+from repro.rdbms.optimizer import OptimizerOptions, PlannedQuery
 from repro.rdbms.schema import TableSchema
 from repro.rdbms.types import ColumnType
 from repro.utils.memory import MemoryModel
 from repro.utils.timer import Stopwatch
+
+try:  # gated dependency, mirroring repro.rdbms.column_batch
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
 
 
 def predicate_table_schema(predicate: Predicate) -> TableSchema:
@@ -40,6 +58,23 @@ def predicate_table_schema(predicate: Predicate) -> TableSchema:
     )
     columns.append(("truth", ColumnType.TRUTH))
     return TableSchema.of(*columns)
+
+
+def plan_intermediate_tuples(root) -> int:
+    """Tuples pushed through a plan's join operators during one execution.
+
+    Hash joins report build + probe rows, nested-loop joins report pair
+    comparisons — the intermediate state a real RDBMS holds on behalf of
+    the grounding process (the paper's Table 4 asymmetry).  Both execution
+    backends maintain these counters identically.
+    """
+    total = 0
+    for operator in iter_plan(root):
+        if isinstance(operator, HashJoin):
+            total += operator.build_rows + operator.probe_rows
+        elif isinstance(operator, NestedLoopJoin):
+            total += operator.comparisons
+    return total
 
 
 @dataclass
@@ -64,6 +99,11 @@ class BottomUpGrounder:
         the size of the *result* (ground clauses), because intermediate
         join state lives inside the RDBMS, not in the inference process —
         this is the asymmetry behind the paper's Table 4.
+    execution_backend:
+        ``auto`` | ``row`` | ``columnar``; ``None`` defers to the
+        database executor's configured backend.  Resolved per clause query
+        (``auto`` engages the columnar engine only above the measured
+        table-size crossover).
     """
 
     database: Optional[Database] = None
@@ -71,6 +111,7 @@ class BottomUpGrounder:
     merge_duplicates: bool = True
     persist_clause_table: bool = True
     memory_model: Optional[MemoryModel] = None
+    execution_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.database is None:
@@ -107,7 +148,7 @@ class BottomUpGrounder:
             clauses=store,
             seconds=total.total,
             per_clause=per_clause,
-            intermediate_tuples=0,
+            intermediate_tuples=sum(stats.intermediate_tuples for stats in per_clause),
             strategy="bottom-up",
         )
         return result
@@ -153,6 +194,8 @@ class BottomUpGrounder:
     ) -> ClauseGroundingStats:
         stopwatch = Stopwatch()
         produced = 0
+        pruned = 0
+        intermediate = 0
         with stopwatch.measure():
             compilation = self._compiler.compile(clause)
             if compilation.query is None:
@@ -163,36 +206,125 @@ class BottomUpGrounder:
                     seconds=stopwatch.total,
                     sql=None,
                 )
-            result = self.database.execute(compilation.query, self.optimizer_options)
-            aid_positions = [
-                result.schema.position(literal.aid_output) for literal in compilation.literals
-            ]
-            truth_positions = [
-                result.schema.position(literal.truth_output) for literal in compilation.literals
-            ]
-            signs = [literal.literal.positive for literal in compilation.literals]
-            for row in result.rows:
-                literals: List[int] = []
-                satisfied = False
-                for aid_position, truth_position, positive in zip(
-                    aid_positions, truth_positions, signs
-                ):
-                    outcome = literal_outcome(row[truth_position], positive)
-                    if outcome is LiteralOutcome.SATISFIES:
-                        satisfied = True
-                        break
-                    if outcome is LiteralOutcome.UNKNOWN:
-                        atom_id = row[aid_position]
-                        literals.append(atom_id if positive else -atom_id)
-                if satisfied:
-                    store.record_satisfied_by_evidence()
-                    continue
-                store.add(literals, clause.weight, clause.name)
-                produced += 1
+            planned = self.database.plan(compilation.query, self.optimizer_options)
+            backend = self.database.executor.resolve_backend(
+                planned, self.execution_backend
+            )
+            if backend == "columnar":
+                result = self.database.executor.execute_batch(planned)
+                produced, pruned = self._consume_columns(
+                    clause, compilation, result, store
+                )
+            else:
+                result = self.database.executor.execute(planned, backend="row")
+                produced, pruned = self._consume_rows(clause, compilation, result, store)
+            intermediate = plan_intermediate_tuples(planned.root)
         return ClauseGroundingStats(
             clause_name=clause.name or str(clause),
             ground_clauses=produced,
-            pruned_bindings=0,
+            pruned_bindings=pruned,
             seconds=stopwatch.total,
             sql=compilation.sql,
+            intermediate_tuples=intermediate,
         )
+
+    def _consume_rows(
+        self,
+        clause: WeightedClause,
+        compilation: ClauseCompilation,
+        result: QueryResult,
+        store: GroundClauseStore,
+    ) -> Tuple[int, int]:
+        """Row-at-a-time consumer: the executable specification.
+
+        Matches the top-down grounder's accounting: ``produced`` counts
+        bindings that stored (or merged into) a ground clause, ``pruned``
+        counts bindings decided entirely by the evidence — satisfied
+        outcomes, clauses that became empty after dropping decided
+        literals, and tautologies.
+        """
+        produced = 0
+        pruned = 0
+        aid_positions = [
+            result.schema.position(literal.aid_output) for literal in compilation.literals
+        ]
+        truth_positions = [
+            result.schema.position(literal.truth_output) for literal in compilation.literals
+        ]
+        signs = [literal.literal.positive for literal in compilation.literals]
+        for row in result.rows:
+            literals: List[int] = []
+            satisfied = False
+            for aid_position, truth_position, positive in zip(
+                aid_positions, truth_positions, signs
+            ):
+                outcome = literal_outcome(row[truth_position], positive)
+                if outcome is LiteralOutcome.SATISFIES:
+                    satisfied = True
+                    break
+                if outcome is LiteralOutcome.UNKNOWN:
+                    atom_id = row[aid_position]
+                    literals.append(atom_id if positive else -atom_id)
+            if satisfied:
+                store.record_satisfied_by_evidence()
+                pruned += 1
+                continue
+            if store.add(literals, clause.weight, clause.name) is not None:
+                produced += 1
+            else:
+                pruned += 1
+        return produced, pruned
+
+    def _consume_columns(
+        self,
+        clause: WeightedClause,
+        compilation: ClauseCompilation,
+        result: ColumnarQueryResult,
+        store: GroundClauseStore,
+    ) -> Tuple[int, int]:
+        """Batched consumer: literal outcomes over whole aid/truth columns.
+
+        Bit-for-bit identical to :meth:`_consume_rows`: rows are consumed
+        in result order, per-row literals in literal order, and the store
+        sees the same ``add`` sequence (via ``add_batch``) and the same
+        satisfied-by-evidence count.
+        """
+        row_count = len(result)
+        if row_count == 0:
+            return 0, 0
+        encoder = result.encoder
+        # The evidence truth values are True/False/None; their dictionary
+        # codes (MISSING when a value never occurs) classify every literal
+        # of every row with two comparisons per literal column.
+        true_code = encoder.lookup(True)
+        false_code = encoder.lookup(False)
+        satisfied = np.zeros(row_count, dtype=bool)
+        unknown_columns: List["np.ndarray"] = []
+        signed_columns: List["np.ndarray"] = []
+        for literal in compilation.literals:
+            truth_codes = result.column_codes(literal.truth_output)
+            positive = literal.literal.positive
+            satisfied |= truth_codes == (true_code if positive else false_code)
+            unknown_columns.append(truth_codes == NULL_CODE)
+            aids = np.asarray(
+                encoder.decode(result.column_codes(literal.aid_output)),
+                dtype=np.int64,
+            )
+            signed_columns.append(aids if positive else -aids)
+        satisfied_count = int(satisfied.sum())
+        if satisfied_count:
+            store.record_satisfied_by_evidence(satisfied_count)
+        if satisfied_count == row_count:
+            return 0, satisfied_count
+        alive = ~satisfied
+        # (row, literal) matrices; row-major flattening preserves the
+        # row-order/literal-order nesting of the row consumer.
+        keep = np.stack(unknown_columns, axis=1)[alive]
+        signed = np.stack(signed_columns, axis=1)[alive]
+        produced = store.add_batch(
+            signed[keep],
+            keep.sum(axis=1),
+            clause.weight,
+            clause.name,
+        )
+        return produced, row_count - produced

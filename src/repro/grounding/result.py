@@ -11,13 +11,22 @@ from repro.grounding.clause_table import GroundClauseStore
 
 @dataclass
 class ClauseGroundingStats:
-    """Per first-order-clause grounding statistics."""
+    """Per first-order-clause grounding statistics.
+
+    ``pruned_bindings`` counts the bindings whose ground clause was already
+    satisfied by the evidence (Appendix A.3 pruning); ``intermediate_tuples``
+    counts the tuples the clause's relational query pushed through its join
+    operators (hash-join build+probe rows, nested-loop comparisons) — the
+    state that lives inside the RDBMS rather than the inference process,
+    the asymmetry behind the paper's Table 4.
+    """
 
     clause_name: str
     ground_clauses: int
     pruned_bindings: int
     seconds: float
     sql: Optional[str] = None
+    intermediate_tuples: int = 0
 
 
 @dataclass
@@ -43,6 +52,11 @@ class GroundingResult:
     def query_atom_count(self) -> int:
         return len(self.atoms.query_atom_ids())
 
+    @property
+    def pruned_bindings(self) -> int:
+        """Total bindings pruned as satisfied-by-evidence, across clauses."""
+        return sum(stats.pruned_bindings for stats in self.per_clause)
+
     def summary(self) -> Dict[str, float]:
         """A flat dictionary used by reports and benchmarks."""
         return {
@@ -53,5 +67,6 @@ class GroundingResult:
             "ground_clauses": self.ground_clause_count,
             "literals": self.clauses.total_literals(),
             "hard_clauses": self.clauses.hard_clause_count(),
+            "pruned_bindings": self.pruned_bindings,
             "intermediate_tuples": self.intermediate_tuples,
         }

@@ -10,13 +10,28 @@ substitute for PostgreSQL: it provides
   (:mod:`storage`) used both for realistic scan costs and for the
   RDBMS-backed search variant (Tuffy-mm),
 * expression trees for filters and join conditions (:mod:`expressions`),
-* physical iterator operators — sequential scan, filter, project,
-  nested-loop / hash / sort-merge join, distinct, sort, aggregate
-  (:mod:`operators`),
+  each compilable to a per-row evaluator (``bind``) or a vectorized numpy
+  mask (``bind_batch``),
+* physical operators — sequential scan, filter, project, nested-loop /
+  hash / sort-merge join, distinct, sort, aggregate (:mod:`operators`) —
+  executable under two models off the same plan: the tuple-at-a-time
+  iterator model (the executable specification) and the batch-at-a-time
+  columnar model over :class:`~repro.rdbms.column_batch.ColumnBatch`
+  arrays (dictionary-encoded columns + selection vectors, joins emitting
+  gather indices),
 * table statistics and cardinality estimation (:mod:`stats`),
 * a query optimizer with the lesion-study knobs from Table 6 of the paper
   (:mod:`optimizer`), and
-* a :class:`~repro.rdbms.database.Database` facade tying it all together.
+* an executor resolving the ``auto | row | columnar`` execution-backend
+  seam per plan (:mod:`executor`, mirroring the search kernel's
+  ``resolve_backend``) behind a :class:`~repro.rdbms.database.Database`
+  facade tying it all together.
+
+Both execution backends are *order-identical* — same rows, same order,
+same operator counters and I/O charges — so every consumer, including the
+grounding pipeline's bit-identical-results guarantee, is backend-agnostic;
+the columnar engine is purely a performance choice (see
+``tests/test_rdbms_columnar.py`` and ROADMAP.md "Execution backend").
 
 The engine is deliberately scoped to what MLN grounding needs: conjunctive
 select-project-join queries with equality predicates, constant filters and
@@ -24,7 +39,14 @@ duplicate elimination.  It does not aim to be a general SQL system.
 """
 
 from repro.rdbms.catalog import Catalog
+from repro.rdbms.column_batch import ColumnBatch, ColumnarContext, ValueEncoder
 from repro.rdbms.database import Database
+from repro.rdbms.executor import (
+    EXECUTION_BACKENDS,
+    Executor,
+    available_execution_backends,
+    resolve_execution_backend,
+)
 from repro.rdbms.expressions import (
     And,
     ColumnRef,
@@ -45,12 +67,16 @@ __all__ = [
     "BufferPool",
     "Catalog",
     "Column",
+    "ColumnBatch",
     "ColumnRef",
     "ColumnType",
+    "ColumnarContext",
     "Comparison",
     "ConjunctiveQuery",
     "Const",
     "Database",
+    "EXECUTION_BACKENDS",
+    "Executor",
     "Expression",
     "Not",
     "Optimizer",
@@ -59,4 +85,7 @@ __all__ = [
     "StorageManager",
     "Table",
     "TableSchema",
+    "ValueEncoder",
+    "available_execution_backends",
+    "resolve_execution_backend",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.rdbms.catalog import Catalog
-from repro.rdbms.executor import Executor, QueryResult
+from repro.rdbms.executor import ColumnarQueryResult, Executor, QueryResult
 from repro.rdbms.indexes import HashIndex, IndexCatalog, SortedIndex
 from repro.rdbms.optimizer import ConjunctiveQuery, Optimizer, OptimizerOptions, PlannedQuery
 from repro.rdbms.schema import TableSchema
@@ -31,6 +31,7 @@ class Database:
         buffer_pool_pages: int = 4096,
         clock: Optional[SimulatedClock] = None,
         optimizer_options: Optional[OptimizerOptions] = None,
+        execution_backend: str = "auto",
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.buffer_pool = BufferPool(buffer_pool_pages, clock=self.clock)
@@ -41,7 +42,7 @@ class Database:
         self.optimizer = Optimizer(
             self.catalog.tables(), self.statistics, optimizer_options or OptimizerOptions()
         )
-        self.executor = Executor()
+        self.executor = Executor(execution_backend)
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -62,10 +63,16 @@ class Database:
         return name in self.catalog
 
     def bulk_load(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk-load rows into a table and refresh its statistics."""
+        """Bulk-load rows into a table, invalidating its cached statistics.
+
+        Statistics are recomputed lazily by the optimizer's
+        ``get_or_analyze`` on the next query that touches the table, so
+        loads into tables no query ever reads (e.g. the persisted ground
+        clause table) never pay the analyze scan.
+        """
         table = self.catalog.table(name)
         count = table.bulk_load(rows)
-        self.statistics.analyze(table)
+        self.statistics.invalidate(name)
         return count
 
     def analyze(self, name: str) -> TableStatistics:
@@ -87,10 +94,20 @@ class Database:
         return self.optimizer.plan(query, options)
 
     def execute(
-        self, query: ConjunctiveQuery, options: Optional[OptimizerOptions] = None
+        self,
+        query: ConjunctiveQuery,
+        options: Optional[OptimizerOptions] = None,
+        backend: Optional[str] = None,
     ) -> QueryResult:
         planned = self.optimizer.plan(query, options)
-        return self.executor.execute(planned)
+        return self.executor.execute(planned, backend=backend)
+
+    def execute_batch(
+        self, query: ConjunctiveQuery, options: Optional[OptimizerOptions] = None
+    ) -> ColumnarQueryResult:
+        """Plan and run a query on the columnar engine, returning columns."""
+        planned = self.optimizer.plan(query, options)
+        return self.executor.execute_batch(planned)
 
     def execute_into(
         self,
@@ -98,10 +115,11 @@ class Database:
         target_table: str,
         options: Optional[OptimizerOptions] = None,
         truncate: bool = False,
+        backend: Optional[str] = None,
     ) -> QueryResult:
         planned = self.optimizer.plan(query, options)
         target = self.catalog.table(target_table)
-        return self.executor.execute_into(planned, target, truncate=truncate)
+        return self.executor.execute_into(planned, target, truncate=truncate, backend=backend)
 
     def explain(
         self, query: ConjunctiveQuery, options: Optional[OptimizerOptions] = None

@@ -4,6 +4,15 @@ Expressions are evaluated against a row and a schema (column names resolve to
 positions at bind time for speed).  The grounding compiler only produces
 comparisons, conjunctions and negations, but the full set here keeps the
 engine usable as a standalone component and exercised by its own tests.
+
+Each node also supports ``bind_batch``, the columnar twin of ``bind``: it
+compiles the expression to a vectorized evaluator over a
+:class:`~repro.rdbms.column_batch.ColumnBatch`, returning a boolean numpy
+mask (predicates) or a code array (value nodes).  Equality and null-safe
+comparisons run directly on dictionary codes — code equality is value
+equality because the encoder is shared — while ordering comparisons decode
+back to values, preserving the row engine's Python comparison semantics
+exactly (including "NULL compares False" for the standard operators).
 """
 
 from __future__ import annotations
@@ -11,10 +20,54 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Sequence, Tuple
 
+from repro.rdbms.column_batch import NULL_CODE
 from repro.rdbms.schema import TableSchema
 from repro.rdbms.types import format_value
 
+try:  # gated dependency, mirroring repro.rdbms.column_batch
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
 BoundEvaluator = Callable[[Tuple[Any, ...]], Any]
+
+#: A compiled batch evaluator: ColumnBatch -> bool mask | code array | scalar code.
+BatchEvaluator = Callable[[Any], Any]
+
+
+def _as_code_array(result: Any, batch, encoder) -> Any:
+    """Coerce a batch evaluation result to codes (array or scalar).
+
+    Boolean masks (nested predicates used as comparison operands) are
+    re-encoded through the shared dictionary so True/False compare like the
+    Python values they are.
+    """
+    if isinstance(result, np.ndarray) and result.dtype == bool:
+        true_code = encoder.encode_scalar(True)
+        false_code = encoder.encode_scalar(False)
+        return np.where(result, true_code, false_code)
+    return result
+
+
+def _as_mask(result: Any, batch, encoder) -> "np.ndarray":
+    """Coerce a batch evaluation result to a boolean mask (Python truthiness)."""
+    n = batch.length
+    if isinstance(result, np.ndarray):
+        if result.dtype == bool:
+            return result
+        return np.fromiter(
+            (bool(value) for value in encoder.decode_list(result)), dtype=bool, count=n
+        )
+    return np.full(n, bool(encoder.decode_scalar(result)), dtype=bool)
+
+
+def _decoded_values(result: Any, batch, encoder) -> List[Any]:
+    """Decode a batch evaluation result to a per-row list of Python values."""
+    if isinstance(result, np.ndarray):
+        if result.dtype == bool:
+            return result.tolist()
+        return encoder.decode_list(result)
+    return [encoder.decode_scalar(result)] * batch.length
 
 
 class Expression:
@@ -22,6 +75,10 @@ class Expression:
 
     def bind(self, schema: TableSchema) -> BoundEvaluator:
         """Return a fast row -> value evaluator for the given schema."""
+        raise NotImplementedError
+
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        """Return a vectorized ColumnBatch evaluator for the given schema."""
         raise NotImplementedError
 
     def referenced_columns(self) -> List[str]:
@@ -43,6 +100,10 @@ class Const(Expression):
         value = self.value
         return lambda row: value
 
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        code = encoder.encode_scalar(self.value)
+        return lambda batch: code
+
     def referenced_columns(self) -> List[str]:
         return []
 
@@ -59,6 +120,10 @@ class ColumnRef(Expression):
     def bind(self, schema: TableSchema) -> BoundEvaluator:
         position = schema.position(self.name)
         return lambda row: row[position]
+
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        position = schema.position(self.name)
+        return lambda batch: batch.column_codes(position)
 
     def referenced_columns(self) -> List[str]:
         return [self.name]
@@ -120,6 +185,55 @@ class Comparison(Expression):
 
         return evaluate
 
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        left = self.left.bind_batch(schema, encoder)
+        right = self.right.bind_batch(schema, encoder)
+        operator = self.operator
+
+        if operator in ("=", "!=", "is_distinct_from", "is_not_distinct_from"):
+            # Equality-family comparisons run directly on dictionary codes:
+            # shared-encoder code equality is exactly Python value equality.
+            null_safe = operator in _NULL_SAFE_COMPARATORS
+            negated = operator in ("!=", "is_distinct_from")
+
+            def evaluate(batch) -> "np.ndarray":
+                left_codes = _as_code_array(left(batch), batch, encoder)
+                right_codes = _as_code_array(right(batch), batch, encoder)
+                if negated:
+                    result = left_codes != right_codes
+                else:
+                    result = left_codes == right_codes
+                if not null_safe:
+                    # Standard comparisons are False when either side is NULL.
+                    result = (
+                        result
+                        & (left_codes != NULL_CODE)
+                        & (right_codes != NULL_CODE)
+                    )
+                if not isinstance(result, np.ndarray):
+                    result = np.full(batch.length, bool(result), dtype=bool)
+                return result
+
+            return evaluate
+
+        # Ordering comparisons: code order is first-occurrence order, not
+        # value order, so decode and compare with Python semantics.
+        compare = _COMPARATORS[operator]
+
+        def evaluate_ordering(batch) -> "np.ndarray":
+            left_values = _decoded_values(left(batch), batch, encoder)
+            right_values = _decoded_values(right(batch), batch, encoder)
+            return np.fromiter(
+                (
+                    a is not None and b is not None and compare(a, b)
+                    for a, b in zip(left_values, right_values)
+                ),
+                dtype=bool,
+                count=batch.length,
+            )
+
+        return evaluate_ordering
+
     def referenced_columns(self) -> List[str]:
         return self.left.referenced_columns() + self.right.referenced_columns()
 
@@ -144,6 +258,19 @@ class IsNull(Expression):
         negated = self.negated
         return lambda row: (operand(row) is not None) if negated else (operand(row) is None)
 
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        operand = self.operand.bind_batch(schema, encoder)
+        negated = self.negated
+
+        def evaluate(batch) -> "np.ndarray":
+            codes = _as_code_array(operand(batch), batch, encoder)
+            result = (codes != NULL_CODE) if negated else (codes == NULL_CODE)
+            if not isinstance(result, np.ndarray):
+                result = np.full(batch.length, bool(result), dtype=bool)
+            return result
+
+        return evaluate
+
     def referenced_columns(self) -> List[str]:
         return self.operand.referenced_columns()
 
@@ -165,6 +292,17 @@ class And(Expression):
     def bind(self, schema: TableSchema) -> BoundEvaluator:
         bound = [operand.bind(schema) for operand in self.operands]
         return lambda row: all(evaluate(row) for evaluate in bound)
+
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        bound = [operand.bind_batch(schema, encoder) for operand in self.operands]
+
+        def evaluate(batch) -> "np.ndarray":
+            result = np.ones(batch.length, dtype=bool)
+            for operand in bound:
+                result &= _as_mask(operand(batch), batch, encoder)
+            return result
+
+        return evaluate
 
     def referenced_columns(self) -> List[str]:
         names: List[str] = []
@@ -192,6 +330,17 @@ class Or(Expression):
         bound = [operand.bind(schema) for operand in self.operands]
         return lambda row: any(evaluate(row) for evaluate in bound)
 
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        bound = [operand.bind_batch(schema, encoder) for operand in self.operands]
+
+        def evaluate(batch) -> "np.ndarray":
+            result = np.zeros(batch.length, dtype=bool)
+            for operand in bound:
+                result |= _as_mask(operand(batch), batch, encoder)
+            return result
+
+        return evaluate
+
     def referenced_columns(self) -> List[str]:
         names: List[str] = []
         for operand in self.operands:
@@ -213,6 +362,10 @@ class Not(Expression):
     def bind(self, schema: TableSchema) -> BoundEvaluator:
         operand = self.operand.bind(schema)
         return lambda row: not operand(row)
+
+    def bind_batch(self, schema: TableSchema, encoder) -> BatchEvaluator:
+        operand = self.operand.bind_batch(schema, encoder)
+        return lambda batch: ~_as_mask(operand(batch), batch, encoder)
 
     def referenced_columns(self) -> List[str]:
         return self.operand.referenced_columns()

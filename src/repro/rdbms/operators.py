@@ -1,9 +1,22 @@
-"""Physical query operators (iterator model).
+"""Physical query operators (iterator + batch models).
 
 Every operator exposes ``output_schema`` (a
 :class:`~repro.rdbms.schema.TableSchema` whose column names are alias
-qualified, e.g. ``t0.aid``) and is iterable, yielding plain tuples.  The
-executor simply drains the root operator.
+qualified, e.g. ``t0.aid``) and supports two execution models off the same
+plan tree:
+
+* the **iterator model** — operators are iterable, yielding plain tuples;
+  the executor drains the root operator.  This is the executable
+  specification of the engine's semantics.
+* the **batch model** — ``batch(context)`` evaluates the whole subtree as
+  :class:`~repro.rdbms.column_batch.ColumnBatch` column arrays: scans
+  materialize (cached, dictionary-encoded) columns once per table, filters
+  evaluate vectorized masks, joins emit gather indices instead of
+  concatenated tuples.  Batch evaluation is *order-identical* to the
+  iterator model (same rows, same order, same operator counters, same I/O
+  charges for plans without ``Limit``), which the columnar parity suite
+  enforces — the grounding pipeline depends on it for bit-identical
+  results across backends.
 
 The three join algorithms — nested-loop, hash and sort-merge — are all
 implemented because the paper's lesion study (Table 6) shows that the choice
@@ -15,9 +28,39 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.rdbms.column_batch import (
+    ColumnBatch,
+    ColumnarContext,
+    composite_codes,
+    concat_batches,
+    empty_batch,
+    first_occurrence_indices,
+    hash_join_indices,
+)
 from repro.rdbms.expressions import Expression
 from repro.rdbms.schema import Column, TableSchema
 from repro.rdbms.table import Table
+
+try:  # gated dependency, mirroring repro.rdbms.column_batch
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+#: Upper bound on the number of candidate pairs a columnar nested-loop join
+#: materialises at once (the index arrays are processed in outer-row blocks).
+NESTED_LOOP_BLOCK_PAIRS = 1 << 18
+
+
+def iter_plan(root: "PhysicalOperator") -> Iterator["PhysicalOperator"]:
+    """Every operator of a plan tree (root included), in no particular order."""
+    stack = [root]
+    while stack:
+        operator = stack.pop()
+        yield operator
+        for attribute in ("child", "left", "right"):
+            node = getattr(operator, attribute, None)
+            if isinstance(node, PhysicalOperator):
+                stack.append(node)
 
 
 class PhysicalOperator:
@@ -32,9 +75,39 @@ class PhysicalOperator:
         """Materialise the full output (convenience for tests and executor)."""
         return list(iter(self))
 
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        """Evaluate the subtree as a column batch.
+
+        The base implementation is the row-engine fallback: drain the
+        operator through the iterator model and re-encode the result.  It
+        keeps the batch model total over every operator (``Aggregate`` and
+        future additions) at row-engine speed.
+        """
+        return context.batch_from_rows(self.output_schema, self.rows())
+
     def explain(self, indent: int = 0) -> str:
         """A one-operator-per-line textual plan, like ``EXPLAIN``."""
         raise NotImplementedError
+
+
+def _value_sort_non_null(
+    batch: ColumnBatch, key_positions: Sequence[int], encoder
+) -> "np.ndarray":
+    """Row positions with no NULL key, stably sorted by decoded key values.
+
+    Sort-merge needs *value* order (the merge compares keys with ``<``),
+    which dictionary codes cannot provide, so this decodes the keys and
+    sorts with Python — the same comparisons, stability and cost profile as
+    the iterator model's sort.
+    """
+    decoded = [encoder.decode_list(batch.column_codes(p)) for p in key_positions]
+    valid = [
+        i
+        for i in range(batch.length)
+        if all(column[i] is not None for column in decoded)
+    ]
+    valid.sort(key=lambda i: tuple(column[i] for column in decoded))
+    return np.asarray(valid, dtype=np.intp)
 
 
 def _qualified_schema(table: Table, alias: str) -> TableSchema:
@@ -61,6 +134,14 @@ class TableScan(PhysicalOperator):
             self.rows_scanned += 1
             yield row
 
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        if self.charge_io and self.table.storage is not None:
+            # The column cache makes re-materialisation free, but every scan
+            # still pays the same per-page charges as a row scan.
+            self.table.storage.charge_scan(self.table.name)
+        self.rows_scanned += len(self.table)
+        return ColumnBatch(self.output_schema, context.table_columns(self.table))
+
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
         return f"{pad}SeqScan {self.table.name} AS {self.alias} (rows={len(self.table)})"
@@ -82,6 +163,13 @@ class Filter(PhysicalOperator):
             if evaluate(row):
                 self.rows_out += 1
                 yield row
+
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        child = self.child.batch(context)
+        evaluate = self.expression.bind_batch(self.child.output_schema, context.encoder)
+        result = child.filter(evaluate(child))
+        self.rows_out += result.length
+        return result
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -119,6 +207,11 @@ class Project(PhysicalOperator):
         for row in self.child:
             yield tuple(row[position] for position in positions)
 
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        return self.child.batch(context).select_columns(
+            self._positions, self.output_schema
+        )
+
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
         return (
@@ -152,6 +245,45 @@ class NestedLoopJoin(PhysicalOperator):
                 combined = outer + inner
                 if evaluate is None or evaluate(combined):
                     yield combined
+
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        # The iterator model materialises the inner (right) side before
+        # draining the outer side; evaluating right first preserves the
+        # page-access order for I/O accounting parity.
+        inner = self.right.batch(context).materialize()
+        outer = self.left.batch(context).materialize()
+        outer_count, inner_count = outer.length, inner.length
+        self.comparisons += outer_count * inner_count
+        schema = self.output_schema
+        if outer_count == 0 or inner_count == 0:
+            return empty_batch(schema)
+        evaluate = (
+            self.condition.bind_batch(schema, context.encoder)
+            if self.condition is not None
+            else None
+        )
+        inner_range = np.arange(inner_count, dtype=np.intp)
+        block = max(1, NESTED_LOOP_BLOCK_PAIRS // inner_count)
+        kept_left: List["np.ndarray"] = []
+        kept_right: List["np.ndarray"] = []
+        for start in range(0, outer_count, block):
+            stop = min(start + block, outer_count)
+            left_idx = np.repeat(np.arange(start, stop, dtype=np.intp), inner_count)
+            right_idx = np.tile(inner_range, stop - start)
+            if evaluate is not None:
+                chunk = concat_batches(
+                    outer.take(left_idx), inner.take(right_idx), schema
+                )
+                mask = evaluate(chunk)
+                left_idx = left_idx[mask]
+                right_idx = right_idx[mask]
+            kept_left.append(left_idx)
+            kept_right.append(right_idx)
+        return concat_batches(
+            outer.take(np.concatenate(kept_left)),
+            inner.take(np.concatenate(kept_right)),
+            schema,
+        )
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -214,6 +346,24 @@ class HashJoin(PhysicalOperator):
                 combined = row + match
                 if evaluate is None or evaluate(combined):
                     yield combined
+
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        # Build (right) side first, like the iterator model.
+        build = self.right.batch(context).materialize()
+        probe = self.left.batch(context).materialize()
+        self.probe_rows += probe.length
+        left_idx, right_idx, build_count = hash_join_indices(
+            [probe.column_codes(p) for p in self._left_positions],
+            [build.column_codes(p) for p in self._right_positions],
+        )
+        self.build_rows += build_count
+        combined = concat_batches(
+            probe.take(left_idx), build.take(right_idx), self.output_schema
+        )
+        if self.residual is not None:
+            evaluate = self.residual.bind_batch(self.output_schema, context.encoder)
+            combined = combined.filter(evaluate(combined))
+        return combined
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -303,6 +453,28 @@ class SortMergeJoin(PhysicalOperator):
             left_index = left_end
             right_index = right_end
 
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        left = self.left.batch(context).materialize()
+        right = self.right.batch(context).materialize()
+        left_sorted = _value_sort_non_null(left, self._left_positions, context.encoder)
+        right_sorted = _value_sort_non_null(right, self._right_positions, context.encoder)
+        # On the sorted sides equal keys are contiguous, so probing the
+        # sorted left against grouped sorted right reproduces the merge
+        # loop's output order (left-run-major, right rows in sorted order).
+        left_pairs, right_pairs, _ = hash_join_indices(
+            [left.column_codes(p)[left_sorted] for p in self._left_positions],
+            [right.column_codes(p)[right_sorted] for p in self._right_positions],
+        )
+        combined = concat_batches(
+            left.take(left_sorted[left_pairs]),
+            right.take(right_sorted[right_pairs]),
+            self.output_schema,
+        )
+        if self.residual is not None:
+            evaluate = self.residual.bind_batch(self.output_schema, context.encoder)
+            combined = combined.filter(evaluate(combined))
+        return combined
+
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
         keys = ", ".join(
@@ -331,6 +503,15 @@ class Distinct(PhysicalOperator):
             seen.add(row)
             yield row
 
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        child = self.child.batch(context).materialize()
+        if child.length == 0:
+            return child
+        group_ids = composite_codes(
+            [child.column_codes(i) for i in range(len(child.columns))]
+        )
+        return child.take(first_occurrence_indices(group_ids))
+
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
         return f"{pad}Distinct\n" + self.child.explain(indent + 1)
@@ -349,6 +530,18 @@ class Sort(PhysicalOperator):
         rows = self.child.rows()
         rows.sort(key=lambda row: tuple(row[position] for position in self._positions))
         return iter(rows)
+
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        child = self.child.batch(context).materialize()
+        # Sort on decoded values (code order is first-occurrence order) with
+        # Python's stable sort, matching the iterator model bit for bit.
+        decoded = [
+            context.encoder.decode_list(child.column_codes(p)) for p in self._positions
+        ]
+        order = sorted(
+            range(child.length), key=lambda i: tuple(column[i] for column in decoded)
+        )
+        return child.take(np.asarray(order, dtype=np.intp))
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -372,6 +565,13 @@ class Limit(PhysicalOperator):
                 return
             produced += 1
             yield row
+
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        # Batch evaluation is eager: the child runs fully (so its counters
+        # and I/O charges differ from the early-stopping iterator model)
+        # and the batch is truncated afterwards.  Output rows are identical.
+        child = self.child.batch(context)
+        return child.take(np.arange(min(self.count, child.length), dtype=np.intp))
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -457,6 +657,9 @@ class Materialize(PhysicalOperator):
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
         return iter(self._rows)
+
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        return context.batch_from_rows(self.output_schema, self._rows)
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent

@@ -36,6 +36,9 @@ class TableSchema:
         object.__setattr__(
             self, "_positions", {column.name: index for index, column in enumerate(self.columns)}
         )
+        object.__setattr__(
+            self, "_coercers", tuple(column.column_type.coerce for column in self.columns)
+        )
 
     @classmethod
     def of(cls, *specs: Tuple[str, ColumnType]) -> "TableSchema":
@@ -68,9 +71,8 @@ class TableSchema:
             raise SchemaError(
                 f"row has {len(row)} values, schema has {len(self.columns)} columns"
             )
-        return tuple(
-            column.column_type.coerce(value) for column, value in zip(self.columns, row)
-        )
+        coercers: Tuple = getattr(self, "_coercers")
+        return tuple(coerce(value) for coerce, value in zip(coercers, row))
 
     def project(self, names: Iterable[str]) -> "TableSchema":
         """A new schema containing only the named columns, in the given order."""

@@ -162,11 +162,24 @@ class StorageManager:
         return page.page_number, len(page.rows) - 1
 
     def bulk_load(self, table_name: str, rows: Sequence[Tuple[Any, ...]]) -> None:
-        """Append many rows, charging one write per newly filled page."""
-        for row in rows:
-            page_number, slot = self.append_row(table_name, row)
-            if slot == 0:
+        """Append many rows, charging one write per newly started page.
+
+        Pages are filled slice-at-a-time rather than row-at-a-time; the
+        resulting page layout and write charges are identical to repeated
+        :meth:`append_row` calls.
+        """
+        pages = self._pages.setdefault(table_name, [])
+        page_size = self.page_size
+        loaded = 0
+        while loaded < len(rows):
+            if not pages or len(pages[-1]) >= page_size:
+                pages.append(Page(table_name, len(pages)))
                 self.buffer_pool.stats.page_writes += 1
+            page = pages[-1]
+            space = page_size - len(page.rows)
+            chunk = rows[loaded : loaded + space]
+            page.rows.extend(chunk)
+            loaded += len(chunk)
 
     def page_count(self, table_name: str) -> int:
         return len(self._pages.get(table_name, []))
@@ -179,6 +192,16 @@ class StorageManager:
         for page in self._pages.get(table_name, []):
             self.buffer_pool.access(page, sequential=True)
             yield from page.rows
+
+    def charge_scan(self, table_name: str) -> None:
+        """Charge a full sequential scan without yielding rows.
+
+        The columnar backend reads tables from its cached column arrays but
+        must pay the same per-page costs as a row scan; this walks the pages
+        through the buffer pool exactly like :meth:`scan` does.
+        """
+        for page in self._pages.get(table_name, []):
+            self.buffer_pool.access(page, sequential=True)
 
     def read_row(self, table_name: str, page_number: int, slot: int) -> Tuple[Any, ...]:
         """Random access to a single row, charging a random page read."""

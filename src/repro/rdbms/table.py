@@ -29,6 +29,9 @@ class Table:
         self.schema = schema
         self.storage = storage
         self.rows: List[Tuple[Any, ...]] = []
+        #: Bumped on every mutation; the columnar executor keys its encoded
+        #: column cache on it to detect stale materialisations.
+        self.version = 0
         if storage is not None:
             storage.create_table(name)
 
@@ -40,6 +43,7 @@ class Table:
         """Validate, coerce and append a single row."""
         validated = self.schema.validate_row(row)
         self.rows.append(validated)
+        self.version += 1
         if self.storage is not None:
             self.storage.append_row(self.name, validated)
         return validated
@@ -49,19 +53,35 @@ class Table:
 
         Returns the number of rows loaded.
         """
-        count = 0
-        validated_rows = []
-        for row in rows:
-            validated = self.schema.validate_row(row)
-            self.rows.append(validated)
-            validated_rows.append(validated)
-            count += 1
+        validate = self.schema.validate_row
+        validated_rows = [validate(row) for row in rows]
+        count = len(validated_rows)
+        self.rows.extend(validated_rows)
+        if count:
+            self.version += 1
         if self.storage is not None and validated_rows:
             self.storage.bulk_load(self.name, validated_rows)
         return count
 
+    def bulk_load_validated(self, rows: List[Tuple[Any, ...]]) -> int:
+        """Append rows that already conform to the schema, skipping coercion.
+
+        For internal producers that construct correctly-typed tuples (the
+        ground-clause persistence path); behaves exactly like
+        :meth:`bulk_load` otherwise.  The caller is responsible for the
+        type contract.
+        """
+        count = len(rows)
+        self.rows.extend(rows)
+        if count:
+            self.version += 1
+        if self.storage is not None and rows:
+            self.storage.bulk_load(self.name, rows)
+        return count
+
     def truncate(self) -> None:
         self.rows.clear()
+        self.version += 1
         if self.storage is not None:
             self.storage.drop_table(self.name)
             self.storage.create_table(self.name)

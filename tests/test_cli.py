@@ -38,6 +38,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dataset", "UNKNOWN"])
 
+    def test_execution_backend_choices(self):
+        arguments = build_parser().parse_args(
+            ["dataset", "RC", "--execution-backend", "columnar"]
+        )
+        assert arguments.execution_backend == "columnar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "RC", "--execution-backend", "gpu"])
+
 
 class TestStatsCommand:
     def test_prints_table1_fields(self, program_files):
@@ -50,6 +58,34 @@ class TestStatsCommand:
 
 
 class TestInferCommand:
+    def test_map_inference_on_forced_columnar_backend(self, program_files):
+        pytest.importorskip("numpy")
+        program, evidence = program_files
+        outputs = {}
+        for backend in ("row", "columnar"):
+            output = io.StringIO()
+            status = main(
+                [
+                    "infer",
+                    "-i",
+                    program,
+                    "-e",
+                    evidence,
+                    "--max-flips",
+                    "2000",
+                    "--execution-backend",
+                    backend,
+                ],
+                stream=output,
+            )
+            assert status == 0
+            text = output.getvalue()
+            atoms_section = text.split("\n#\n")[0]
+            cost_lines = [line for line in text.splitlines() if "cost" in line]
+            outputs[backend] = (atoms_section, cost_lines)
+        # Identical inferred atoms and cost; only wall-clock lines may differ.
+        assert outputs["row"] == outputs["columnar"]
+
     def test_map_inference_prints_atoms_and_summary(self, program_files):
         program, evidence = program_files
         output = io.StringIO()

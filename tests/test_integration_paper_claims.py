@@ -42,15 +42,20 @@ def rc_dataset():
 
 class TestGroundingClaims:
     def test_bottom_up_cheaper_than_top_down_in_work_done(self, rc_dataset):
-        """Top-down grounding enumerates far more intermediate bindings than
-        the relational plans touch rows — the source of the Table 2 gap."""
+        """Top-down grounding enumerates more intermediate bindings than the
+        relational plans push through their joins — the source of the Table 2
+        gap.  Bottom-up intermediate tuples are measured from the join
+        operators (hash build/probe rows, nested-loop comparisons); they live
+        inside the RDBMS, not the inference process, which is the Table 4
+        memory asymmetry."""
         program = rc_dataset.program
         clauses = program.clauses()
         top_down = TopDownGrounder().ground(clauses, program.build_atom_registry())
         bottom_up = BottomUpGrounder().ground(clauses, program.build_atom_registry())
         assert bottom_up.ground_clause_count == top_down.ground_clause_count
         assert top_down.intermediate_tuples > 2 * top_down.ground_clause_count
-        assert bottom_up.intermediate_tuples == 0
+        assert bottom_up.intermediate_tuples > 0
+        assert bottom_up.intermediate_tuples < top_down.intermediate_tuples
 
     def test_nested_loop_lesion_slows_grounding(self, rc_dataset):
         """Table 6: forcing nested-loop joins makes grounding dramatically
