@@ -1,0 +1,221 @@
+"""MC-SAT microbenchmark: sampling iterations per second across kernel backends.
+
+Runs the *same* seeded MC-SAT chain (same RNG stream, same marginals) through
+the scalar sampling loop (``kernel_backend="flat"`` — the executable
+specification, equivalent to the pre-pipeline per-clause Python loop) and the
+vectorized sampling pipeline (``kernel_backend="vectorized"`` — batched
+clause selection, pooled SampleSAT constraint states, vector marginal
+accumulation), and reports wall-clock MC-SAT iterations/sec plus the
+speedup.  Because the pipelines are bit-identical (see
+``tests/test_mcsat_parity.py``), every run draws exactly the same sample
+sequence and produces exactly the same probabilities — the benchmark asserts
+that on every workload, so the speedups are pure pipeline measurements.
+
+What is measured: the per-iteration *pipeline* cost — satisfaction
+evaluation, clause selection, constraint-state construction and marginal
+accumulation — around a fixed SampleSAT move budget.  The move loop itself
+is shared verbatim by both backends (it consumes the RNG stream
+step-by-step and cannot be batched), so the benchmark bounds it
+(``--max-flips`` / ``--mixing-steps``, defaults 300/50) to keep the
+measured quantity the thing the pipeline optimises; ``--max-flips 3000
+--mixing-steps 200`` reproduces the samplers' production defaults.
+
+Workloads:
+
+* ``example1-N`` — the paper's Example 1 at N two-atom components (3N
+  clauses): many small clauses, so per-iteration selection/rebuild overhead
+  dominates; this is where the scalar loop hurts most.
+* ``RC`` — the synthetic Relational Classification dataset ground to its
+  real MRF (~3.2k clauses, mixed positive/negative weights).
+
+Usage::
+
+    python benchmarks/bench_mcsat_throughput.py                     # full run
+    python benchmarks/bench_mcsat_throughput.py --quick             # scripts/check.sh
+    python benchmarks/bench_mcsat_throughput.py --backend vectorized --assert-speedup 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _path in (_ROOT, os.path.join(_ROOT, "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.datasets.example1 import example1_mrf
+from repro.inference.mcsat import MCSat, MCSatOptions
+from repro.inference.samplesat import SampleSATOptions
+from repro.inference.vector_kernel import NUMPY_AVAILABLE
+from repro.utils.rng import RandomSource
+
+BENCH_SEED = 0
+
+
+def dataset_mrf(name: str, factor: float = 1.0):
+    """Ground one of the synthetic datasets to an MRF (lazy heavy imports)."""
+    from benchmarks.harness import default_config, fresh_dataset
+    from repro.core import TuffyEngine
+
+    dataset = fresh_dataset(name, factor)
+    engine = TuffyEngine(dataset.program, default_config(max_flips=10))
+    engine.ground()
+    return engine.build_mrf()
+
+
+def measure(mrf, backend: str, samples: int, burn_in: int, samplesat, repeats: int):
+    """Best-of-``repeats`` wall-clock MC-SAT iterations/sec for one backend."""
+    iterations = samples + burn_in
+    best_rate = 0.0
+    result = None
+    for _ in range(repeats):
+        options = MCSatOptions(
+            samples=samples,
+            burn_in=burn_in,
+            samplesat=samplesat,
+            kernel_backend=backend,
+        )
+        sampler = MCSat(options, RandomSource(BENCH_SEED))
+        started = time.perf_counter()
+        result = sampler.run(mrf)
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        best_rate = max(best_rate, iterations / elapsed)
+    return result, best_rate
+
+
+def run_benchmark(quick: bool, samples: int, burn_in: int, samplesat, repeats, backends):
+    if quick:
+        workloads = [("example1-900", example1_mrf(900))]
+    else:
+        workloads = [
+            ("example1-300", example1_mrf(300)),
+            ("example1-900", example1_mrf(900)),
+            ("RC", dataset_mrf("RC")),
+        ]
+
+    rows = []
+    worst_speedup = float("inf")
+    for label, mrf in workloads:
+        results = {}
+        rates = {}
+        for backend in backends:
+            result, rate = measure(mrf, backend, samples, burn_in, samplesat, repeats)
+            results[backend] = result
+            rates[backend] = rate
+        if len(backends) == 2:
+            # Identical seeded chains: the pipelines must agree bit-for-bit.
+            assert (
+                results["flat"].probabilities == results["vectorized"].probabilities
+            ), (label, "backend marginals diverged")
+            worst_speedup = min(
+                worst_speedup, rates["vectorized"] / max(rates["flat"], 1e-9)
+            )
+        row = [label, f"{mrf.atom_count}/{mrf.clause_count}", samples + burn_in]
+        for backend in backends:
+            row.append(f"{rates[backend]:,.1f}")
+        if len(backends) == 2:
+            row.append(f"{rates['vectorized'] / max(rates['flat'], 1e-9):.2f}x")
+        rows.append(tuple(row))
+    return rows, worst_speedup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="example1-only workload, reduced samples/repeats (for scripts/check.sh)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("flat", "vectorized", "both"),
+        default="both",
+        help="which sampling pipeline(s) to measure; 'vectorized' also times "
+        "the scalar loop so the speedup can be reported (and exits with a "
+        "skip message when numpy is unavailable)",
+    )
+    parser.add_argument("--samples", type=int, default=None, help="kept MC-SAT samples per run")
+    parser.add_argument("--burn-in", type=int, default=5, help="burn-in iterations per run")
+    parser.add_argument(
+        "--max-flips",
+        type=int,
+        default=300,
+        help="SampleSAT flip budget per iteration (shared by both backends)",
+    )
+    parser.add_argument(
+        "--mixing-steps",
+        type=int,
+        default=50,
+        help="SampleSAT mixing steps per iteration (shared by both backends)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per backend (best-of)"
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the vectorized pipeline is at least X "
+        "times faster than the scalar loop on every workload",
+    )
+    args = parser.parse_args(argv)
+
+    if args.backend == "flat" and args.assert_speedup is not None:
+        parser.error("--assert-speedup needs the vectorized backend (use --backend vectorized)")
+    if args.backend in ("vectorized", "both") and not NUMPY_AVAILABLE:
+        if args.backend == "vectorized":
+            print("SKIP: vectorized kernel backend requested but numpy is unavailable")
+            return 0
+        if args.assert_speedup is not None:
+            print("SKIP: --assert-speedup needs the vectorized backend but numpy is unavailable")
+            return 0
+        print("numpy unavailable: measuring the scalar pipeline only")
+        backends = ["flat"]
+    elif args.backend == "flat":
+        backends = ["flat"]
+    else:
+        backends = ["flat", "vectorized"]
+
+    samples = args.samples if args.samples is not None else (25 if args.quick else 50)
+    repeats = args.repeats if args.repeats is not None else 3
+    samplesat = SampleSATOptions(
+        max_flips=args.max_flips, mixing_steps=args.mixing_steps
+    )
+
+    rows, worst_speedup = run_benchmark(
+        args.quick, samples, args.burn_in, samplesat, repeats, backends
+    )
+
+    from benchmarks.harness import emit, render_table
+
+    header = ["workload", "atoms/clauses", "iterations"]
+    header.extend(f"{backend} it/s" for backend in backends)
+    if len(backends) == 2:
+        header.append("vec/flat")
+    table = render_table(
+        "MC-SAT sampling — wall-clock iterations/sec (scalar loop vs vectorized pipeline)",
+        header,
+        rows,
+    )
+    emit("mcsat_throughput_quick" if args.quick else "mcsat_throughput", table)
+    if len(backends) == 2:
+        print(
+            f"\nworst-case vectorized-vs-scalar speedup: {worst_speedup:.2f}x "
+            "(marginals identical per seed)"
+        )
+        if args.assert_speedup is not None and worst_speedup < args.assert_speedup:
+            print(
+                f"FAIL: speedup below required {args.assert_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,12 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kerne
 echo "== search-kernel benchmark (quick, vectorized backend) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick --backend vectorized
 
+echo "== mc-sat throughput benchmark (quick, flat backend) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_mcsat_throughput.py --quick --backend flat
+
+echo "== mc-sat throughput benchmark (quick, vectorized backend) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_mcsat_throughput.py --quick --backend vectorized --assert-speedup 2
+
 echo "== table-2 grounding benchmark (quick, row execution backend) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_table2_grounding.py --quick --backend row
 

@@ -88,6 +88,7 @@ class AlchemyEngine:
             target_cost=config.target_cost,
             deadline_seconds=config.deadline_seconds,
             trace_label="alchemy",
+            kernel_backend=config.kernel_backend,
         )
         with self.timer.measure("search"):
             outcome = WalkSAT(options, RandomSource(config.seed), clock).run(mrf)

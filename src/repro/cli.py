@@ -75,6 +75,14 @@ def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
         help="relational engine execution model for grounding queries "
         "(auto picks columnar for large tables when numpy is available)",
     )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=("auto", "flat", "vectorized"),
+        default="auto",
+        help="search-kernel implementation for MAP search and MC-SAT sampling "
+        "(auto picks the vectorized kernel for large MRFs when numpy is "
+        "available; results are bit-identical across backends)",
+    )
     parser.add_argument("--max-flips", type=int, default=100_000, help="total WalkSAT flip budget")
     parser.add_argument("--workers", type=int, default=1, help="parallel component searches")
     parser.add_argument(
@@ -100,6 +108,7 @@ def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
     return InferenceConfig(
         seed=arguments.seed,
         execution_backend=arguments.execution_backend,
+        kernel_backend=arguments.kernel_backend,
         max_flips=arguments.max_flips,
         workers=arguments.workers,
         use_partitioning=not arguments.no_partitioning,

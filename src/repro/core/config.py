@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.errors import ConfigurationError
+from repro.inference.state import KERNEL_BACKENDS
 from repro.rdbms.executor import EXECUTION_BACKENDS
 from repro.rdbms.optimizer import OptimizerOptions
 from repro.utils.clock import CostModel
@@ -35,6 +36,12 @@ class InferenceConfig:
     ``memory_budget_bytes`` — when set — bounds partition sizes, triggering
     Algorithm 3 plus Gauss-Seidel sweeps for components that exceed it.
     ``workers`` sets the number of parallel component searches.
+    ``kernel_backend`` selects the search-kernel implementation behind
+    every search driver the engine constructs (WalkSAT, component search,
+    Gauss-Seidel, MC-SAT and its SampleSAT states): ``"auto"`` engages the
+    numpy-vectorized kernel above the measured MRF-size crossover,
+    ``"flat"`` / ``"vectorized"`` force one — seeded results are
+    bit-identical either way (mirroring ``execution_backend``).
 
     Marginal inference
     ------------------
@@ -60,6 +67,7 @@ class InferenceConfig:
     workers: int = 1
     target_cost: Optional[float] = None
     deadline_seconds: Optional[float] = None
+    kernel_backend: str = "auto"
     # Marginal inference.
     mcsat_samples: int = 100
     mcsat_burn_in: int = 10
@@ -75,6 +83,11 @@ class InferenceConfig:
             raise ConfigurationError(
                 f"unknown execution backend {self.execution_backend!r}; "
                 f"expected one of {EXECUTION_BACKENDS}"
+            )
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"expected one of {KERNEL_BACKENDS}"
             )
         if self.max_flips <= 0:
             raise ConfigurationError("max_flips must be positive")

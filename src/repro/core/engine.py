@@ -30,6 +30,7 @@ from repro.grounding.top_down import TopDownGrounder
 from repro.inference.component_walksat import ComponentAwareWalkSAT
 from repro.inference.gauss_seidel import GaussSeidelSearch
 from repro.inference.mcsat import MCSat, MCSatOptions
+from repro.inference.samplesat import SampleSATOptions
 from repro.inference.tracing import TimeCostTrace, merge_traces
 from repro.inference.walksat import WalkSAT, WalkSATOptions
 from repro.mrf.components import ComponentDecomposition, connected_components
@@ -150,6 +151,7 @@ class TuffyEngine:
             target_cost=config.target_cost,
             deadline_seconds=config.deadline_seconds,
             trace_label="tuffy-p",
+            kernel_backend=config.kernel_backend,
         )
         with self.timer.measure("search"):
             outcome = WalkSAT(options, rng, clock).run(mrf)
@@ -210,6 +212,7 @@ class TuffyEngine:
                         max_tries=config.max_tries,
                         noise=config.noise,
                         trace_label="tuffy",
+                        kernel_backend=config.kernel_backend,
                     ),
                     rng=rng,
                     workers=config.workers,
@@ -241,6 +244,7 @@ class TuffyEngine:
                         max_flips=config.max_flips,
                         noise=config.noise,
                         trace_label=f"gauss-seidel-{index}",
+                        kernel_backend=config.kernel_backend,
                     ),
                     rng=rng.spawn(1000 + index),
                     rounds=config.gauss_seidel_rounds,
@@ -284,7 +288,12 @@ class TuffyEngine:
         grounding = self.ground()
         mrf = self.build_mrf()
         sampler = MCSat(
-            MCSatOptions(samples=config.mcsat_samples, burn_in=config.mcsat_burn_in),
+            MCSatOptions(
+                samples=config.mcsat_samples,
+                burn_in=config.mcsat_burn_in,
+                kernel_backend=config.kernel_backend,
+                samplesat=SampleSATOptions(kernel_backend=config.kernel_backend),
+            ),
             RandomSource(config.seed),
         )
         with self.timer.measure("search"):

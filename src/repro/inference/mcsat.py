@@ -8,9 +8,31 @@ world near-uniformly from the assignments satisfying every clause in ``M``
 using SampleSAT.  Averaging atom truth values across samples estimates the
 marginal probabilities.
 
-Negative-weight ground clauses are handled by selecting them, when currently
-*unsatisfied*, as constraints requiring the clause to stay unsatisfied — the
-clause's negation, a conjunction of unit literals, is added to ``M``.
+Negative-weight ground clauses are selected, when currently *unsatisfied*,
+as constraints requiring the clause to stay unsatisfied — the clause's
+negation, a conjunction of unit literals, is added to ``M``.  Hard clauses
+of either sign are *always* constrained, without consuming randomness: a
+``+inf`` clause must stay satisfied, a ``-inf`` clause must stay
+unsatisfied regardless of the current world (a hard negative clause the
+current world satisfies marks a zero-probability world the chain must leave,
+not a constraint to drop).
+
+Two interchangeable sampling pipelines run behind the ``kernel_backend``
+seam (selected per MRF by :func:`repro.inference.state.resolve_backend`,
+like every search driver):
+
+* the **scalar loop** (:meth:`MCSat._run_scalar` + :meth:`_select_clauses`)
+  — the executable specification: a Python pass over the clause list per
+  iteration, dict-based world hand-off, per-atom marginal counting;
+* the **vectorized pipeline** (:meth:`MCSat._run_batched`) — per-run numpy
+  selection tables combined with the evaluator's satisfaction mask
+  (:class:`_BatchedSelection`), pooled constraint-state construction
+  (:class:`repro.inference.samplesat.ConstraintPool`), and marginal
+  accumulation as one int-vector add per kept sample.
+
+Both consume the identical RNG stream — selection draws ``rng.random()``
+only for eligible clauses, in clause order — so seeded marginals are
+bit-for-bit identical across backends (``tests/test_mcsat_parity.py``).
 """
 
 from __future__ import annotations
@@ -20,8 +42,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.grounding.clause_table import GroundClause
-from repro.inference.samplesat import SampleSAT, SampleSATOptions
-from repro.inference.state import KERNEL_BACKENDS, make_search_state
+from repro.inference.samplesat import (
+    ConstraintPool,
+    SampleSAT,
+    SampleSATOptions,
+    hard_constraint_prefix,
+)
+from repro.inference.state import (
+    KERNEL_BACKENDS,
+    SearchState,
+    make_search_state,
+    resolve_backend,
+)
 from repro.mrf.graph import MRF
 from repro.utils.rng import RandomSource
 
@@ -49,8 +81,11 @@ class MCSatOptions:
     samples: int = 100
     burn_in: int = 10
     samplesat: SampleSATOptions = field(default_factory=SampleSATOptions)
-    #: Search-kernel backend for the full-MRF satisfaction evaluator (the
-    #: per-step SampleSAT states follow ``samplesat.kernel_backend``).
+    #: Search-kernel backend for the sampling pipeline: drives both the
+    #: full-MRF satisfaction evaluator and, when it resolves to
+    #: ``vectorized`` for the MRF, the batched selection/accumulation
+    #: pipeline (the per-step SampleSAT states follow
+    #: ``samplesat.kernel_backend``).
     kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
@@ -60,6 +95,58 @@ class MCSatOptions:
             raise ValueError("burn_in cannot be negative")
         if self.kernel_backend not in KERNEL_BACKENDS:
             raise ValueError(f"kernel_backend must be one of {KERNEL_BACKENDS}")
+
+
+class _BatchedSelection:
+    """Per-run numpy tables for MC-SAT clause selection.
+
+    Built once per :meth:`MCSat.run`: the soft clauses' parent indices,
+    their signs, and their selection probabilities ``1 - exp(-|w|)``.  The
+    probabilities are computed with ``math.exp`` — the same libm call the
+    scalar loop makes — because ``np.exp`` may differ in the last ulp and a
+    draw landing between the two values would silently fork the seeded
+    stream.
+
+    Each iteration, :meth:`select` combines the tables with the evaluator's
+    satisfaction mask into the eligible set (positive and satisfied, or
+    negative and unsatisfied), draws ``rng.random()`` once per eligible
+    clause *in clause order* (the exact stream the scalar loop consumes),
+    and returns the selected parent indices for the constraint pool.
+    """
+
+    def __init__(self, mrf: MRF) -> None:
+        import numpy as np
+
+        self._np = np
+        soft_indices: List[int] = []
+        positive: List[bool] = []
+        probabilities: List[float] = []
+        for index, clause in enumerate(mrf.clauses):
+            if clause.is_hard or clause.weight == 0:
+                continue
+            soft_indices.append(index)
+            positive.append(clause.weight > 0)
+            probabilities.append(1.0 - math.exp(-abs(clause.weight)))
+        self.soft_indices = np.asarray(soft_indices, dtype=np.intp)
+        self.positive = np.asarray(positive, dtype=bool)
+        self.probabilities = np.asarray(probabilities, dtype=np.float64)
+
+    def select(self, rng: RandomSource, satisfied: "object") -> "object":
+        """Parent indices of the selected soft clauses (ascending)."""
+        np = self._np
+        soft_satisfied = satisfied[self.soft_indices]
+        positive = self.positive
+        eligible = np.nonzero(
+            (positive & soft_satisfied) | (~positive & ~soft_satisfied)
+        )[0]
+        count = int(eligible.size)
+        if not count:
+            return eligible
+        rng_random = rng.raw().random
+        draws = np.fromiter(
+            (rng_random() for _ in range(count)), dtype=np.float64, count=count
+        )
+        return self.soft_indices[eligible[draws < self.probabilities[eligible]]]
 
 
 class MCSat:
@@ -77,19 +164,34 @@ class MCSat:
         """Estimate marginal probabilities of every atom in the MRF."""
         options = self.options
         sampler = SampleSAT(options.samplesat, self.rng.spawn(97))
-        atom_ids = list(mrf.atom_ids)
-
-        # Initial state: satisfy the hard clauses (the sampler treats them as
-        # constraints) starting from all-false.
-        hard = [clause for clause in mrf.clauses if clause.is_hard]
-        current = sampler.sample(hard, atom_ids, initial_assignment)
-
         # One kernel state over the full MRF evaluates every clause's
-        # satisfaction in a single pass per iteration (clause-by-clause
-        # dict probing was the old per-step cost); on the vectorized
+        # satisfaction in a single pass per iteration; on the vectorized
         # backend both the per-iteration reset and the flags scan are
         # single numpy passes.
         evaluator = make_search_state(mrf, backend=options.kernel_backend)
+        if resolve_backend(mrf, options.kernel_backend) == "vectorized":
+            return self._run_batched(mrf, sampler, evaluator, initial_assignment)
+        return self._run_scalar(mrf, sampler, evaluator, initial_assignment)
+
+    # ------------------------------------------------------------------
+    # The scalar pipeline (executable specification)
+    # ------------------------------------------------------------------
+
+    def _run_scalar(
+        self,
+        mrf: MRF,
+        sampler: SampleSAT,
+        evaluator: SearchState,
+        initial_assignment: Optional[Mapping[int, bool]],
+    ) -> MarginalResult:
+        options = self.options
+        atom_ids = list(mrf.atom_ids)
+
+        # Initial state: enforce the hard constraints starting from
+        # ``initial_assignment`` (or all-false).
+        current = sampler.sample(
+            hard_constraint_prefix(mrf.clauses), atom_ids, initial_assignment
+        )
 
         true_counts: Dict[int, int] = {atom_id: 0 for atom_id in atom_ids}
         kept_samples = 0
@@ -117,36 +219,89 @@ class MCSat:
         return MarginalResult(probabilities, kept_samples, options.burn_in)
 
     # ------------------------------------------------------------------
+    # The vectorized pipeline
+    # ------------------------------------------------------------------
+
+    def _run_batched(
+        self,
+        mrf: MRF,
+        sampler: SampleSAT,
+        evaluator: SearchState,
+        initial_assignment: Optional[Mapping[int, bool]],
+    ) -> MarginalResult:
+        """The batched sampling loop: numpy selection, pooled states,
+        vector accumulation.  Consumes the identical RNG stream and returns
+        bit-identical probabilities to :meth:`_run_scalar`; every stage is
+        a bulk operation over position-aligned buffers (the constraint
+        states share the parent MRF's atom order, so worlds hand off as
+        flat 0/1 buffers instead of dicts)."""
+        import numpy as np
+
+        options = self.options
+        pool = ConstraintPool(mrf, sampler.options.kernel_backend)
+        selection = _BatchedSelection(mrf)
+
+        state = pool.prefix_state(initial_assignment)
+        if initial_assignment is None:
+            found = sampler.sample_prepared(state)
+        else:
+            found = sampler.run_moves(state)
+        current = state.checkpoint_values() if found else state.assignment
+
+        true_counts = np.zeros(len(mrf.atom_ids), dtype=np.int64)
+        kept_samples = 0
+        total_iterations = options.samples + options.burn_in
+        for iteration in range(total_iterations):
+            # ``current`` aliases the previous constraint state's buffer;
+            # it is consumed (by the reset) before the pool may reuse and
+            # rewrite that state below.
+            evaluator.reset_from_values(current)
+            selected = selection.select(self.rng, evaluator.satisfaction_array())
+            state = pool.state_for(selected)
+            found = sampler.sample_prepared(state)
+            current = state.checkpoint_values() if found else state.assignment
+            if iteration >= options.burn_in:
+                kept_samples += 1
+                true_counts += np.frombuffer(current, dtype=np.int8)
+
+        counts = true_counts.tolist()
+        probabilities = {
+            atom_id: counts[index] / kept_samples if kept_samples else 0.0
+            for index, atom_id in enumerate(mrf.atom_ids)
+        }
+        return MarginalResult(probabilities, kept_samples, options.burn_in)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
     def _select_clauses(
         self, clauses: Sequence[GroundClause], satisfied_flags: Sequence[bool]
     ) -> List[GroundClause]:
-        """The random clause subset M for one MC-SAT step.
+        """The random clause subset M for one MC-SAT step (scalar spec).
 
         ``satisfied_flags`` gives the literal-level satisfaction of every
         clause under the current world, in clause order (as produced by
-        :meth:`SearchState.satisfaction_flags`).
+        :meth:`SearchState.satisfaction_flags`).  Hard clauses form the
+        always-selected prefix and consume no randomness; soft clauses are
+        then considered in clause order, drawing ``rng.random()`` once per
+        eligible clause — the stream contract the batched selection
+        reproduces.
         """
-        selected: List[GroundClause] = []
-        next_id = 1
+        selected = hard_constraint_prefix(clauses)
+        next_id = len(selected) + 1
         for clause, satisfied in zip(clauses, satisfied_flags):
-            if clause.is_hard and clause.weight > 0:
-                selected.append(GroundClause(next_id, clause.literals, 1.0, clause.source))
-                next_id += 1
+            weight = clause.weight
+            if clause.is_hard:
                 continue
-            if clause.weight > 0 and satisfied:
-                if self.rng.random() < 1.0 - math.exp(-clause.weight):
+            if weight > 0 and satisfied:
+                if self.rng.random() < 1.0 - math.exp(-weight):
                     selected.append(
                         GroundClause(next_id, clause.literals, 1.0, clause.source)
                     )
                     next_id += 1
-            elif clause.weight < 0 and not satisfied:
-                keep_probability = 1.0 - math.exp(-abs(clause.weight))
-                if math.isinf(clause.weight):
-                    keep_probability = 1.0
-                if self.rng.random() < keep_probability:
+            elif weight < 0 and not satisfied:
+                if self.rng.random() < 1.0 - math.exp(-abs(weight)):
                     # Require the clause to remain unsatisfied: every literal
                     # must stay false, i.e. add the negation of each literal
                     # as a unit constraint.

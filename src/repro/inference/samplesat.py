@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.grounding.clause_table import GroundClause
 from repro.inference.state import KERNEL_BACKENDS, SearchState, make_search_state
-from repro.mrf.graph import MRF
+from repro.mrf.graph import MRF, MRFFlatView
 from repro.utils.rng import RandomSource
 
 
@@ -87,11 +87,36 @@ class SampleSAT:
         )
         if initial_assignment is None:
             state.randomize(self.rng)
-        options = self.options
+        if self.run_moves(state):
+            return state.checkpoint_dict()
+        return state.assignment_dict()
 
-        # The most recent satisfying assignment is retained through the
-        # kernel's flip journal (one checkpoint per satisfying step is O(1)
-        # amortised) instead of a full dict copy per step.
+    def sample_prepared(self, state: SearchState) -> bool:
+        """Randomize and run the move loop on a prepared constraint state.
+
+        The bulk-pipeline entry point: MC-SAT assembles the constraint state
+        through a :class:`ConstraintPool` (reusing cached structure) and
+        hands it here.  Consumes exactly the same RNG stream as
+        :meth:`sample` without an initial assignment — one coin per atom for
+        the restart, then the move loop — so pooled and spec paths are
+        seed-for-seed interchangeable.  Returns whether a satisfying
+        assignment was found; the state's checkpoint snapshot holds the most
+        recent satisfying assignment when it was.
+        """
+        state.randomize(self.rng)
+        return self.run_moves(state)
+
+    def run_moves(self, state: SearchState) -> bool:
+        """The SampleSAT move loop over an initialised constraint state.
+
+        Mixes WalkSAT and annealing moves until the flip budget runs out or
+        the chain has kept moving for ``mixing_steps`` steps after reaching
+        a satisfying assignment.  The most recent satisfying assignment is
+        retained through the kernel's flip journal (one checkpoint per
+        satisfying step is O(1) amortised) instead of a full dict copy per
+        step; returns whether one was ever found.
+        """
+        options = self.options
         found_satisfying = False
         steps_while_satisfied = 0
         for _step in range(options.max_flips):
@@ -108,9 +133,7 @@ class SampleSAT:
                 self._walksat_move(state)
             else:
                 self._annealing_move(state)
-        if found_satisfying:
-            return state.checkpoint_dict()
-        return state.assignment_dict()
+        return found_satisfying
 
     # ------------------------------------------------------------------
     # Moves
@@ -141,3 +164,305 @@ class SampleSAT:
         delta = state.delta_cost(position)
         if delta <= 0 or self.rng.random() < math.exp(-delta / self.options.temperature):
             state.flip(position)
+
+
+# ----------------------------------------------------------------------
+# Pooled constraint-state construction (MC-SAT's per-iteration fast path)
+# ----------------------------------------------------------------------
+
+
+def hard_constraint_prefix(clauses: Sequence[GroundClause]) -> List[GroundClause]:
+    """The always-selected constraint prefix of an MC-SAT step.
+
+    In clause order: a hard positive clause is kept as-is (it must stay
+    satisfied), a hard negative clause contributes the unit negation of each
+    of its literals (it must stay unsatisfied).  Constraints are renumbered
+    from 1 and weighted 1.0, the form SampleSAT expects.  Every selection —
+    including the initial state's — starts with exactly this prefix; this
+    function is the single source of that expansion (the scalar selection
+    spec and :class:`ConstraintPool` both consume it).
+    """
+    prefix: List[GroundClause] = []
+    for clause in clauses:
+        if not clause.is_hard:
+            continue
+        if clause.weight > 0:
+            prefix.append(
+                GroundClause(len(prefix) + 1, clause.literals, 1.0, clause.source)
+            )
+        else:
+            for literal in clause.literals:
+                prefix.append(
+                    GroundClause(len(prefix) + 1, (-literal,), 1.0, clause.source)
+                )
+    return prefix
+
+
+class _SoftTemplate:
+    """Prebuilt constraint pieces for one soft clause of the parent MRF.
+
+    Selecting a positive-weight clause contributes the clause itself as one
+    constraint; selecting a negative-weight clause contributes one unit
+    constraint per literal (the literal's negation).  Either way the pieces
+    — signed-code tuples, distinct-position tuples and weight-1 clause
+    objects — are fixed per parent clause, so they are built once and
+    concatenated per iteration.
+    """
+
+    __slots__ = ("codes", "positions", "clauses")
+
+    def __init__(self, codes, positions, clauses) -> None:
+        self.codes = codes
+        self.positions = positions
+        self.clauses = clauses
+
+
+class ConstraintPool:
+    """Reusable constraint-state machinery over one MRF's atom universe.
+
+    MC-SAT builds one SampleSAT constraint state per iteration, always over
+    the *same* atom universe (the parent MRF's atoms) and always containing
+    the same always-selected hard-clause prefix.  The spec path rebuilds
+    everything from scratch each time (``MRF.from_clauses`` + a fresh flat
+    view + a fresh search state); this pool caches what never changes —
+
+    * the atom order and position map (shared with the parent's flat view),
+    * the hard prefix's codes/positions/adjacency and weight-1 clauses,
+    * per-soft-clause constraint templates (:class:`_SoftTemplate`),
+
+    and assembles each iteration's state directly from those pieces.  The
+    assembled structure is element-for-element identical to what the spec
+    path builds — same atom order, same constraint order (hard prefix first,
+    then selected soft clauses in parent clause order), same adjacency entry
+    order — so seeded SampleSAT streams are bit-identical (the MC-SAT
+    parity suite pins this).  When an iteration selects nothing beyond the
+    prefix, one cached prefix state is reused and re-randomized in place,
+    mirroring the kernel's state-reuse lifecycle.
+    """
+
+    def __init__(self, mrf: MRF, kernel_backend: str = "auto") -> None:
+        view = mrf.flat_view()
+        self._backend = kernel_backend
+        self._atom_ids = view.atom_ids
+        self._atom_position = view.atom_position
+
+        # The prefix constraints come from the one authoritative expansion;
+        # only their flat encoding (codes in the parent's atom order) is
+        # derived here.
+        prefix_clauses = hard_constraint_prefix(mrf.clauses)
+        position = view.atom_position
+        prefix_codes: List[Tuple[int, ...]] = []
+        prefix_positions: List[Tuple[int, ...]] = []
+        for constraint in prefix_clauses:
+            codes = tuple(
+                position[literal] + 1 if literal > 0 else -(position[-literal] + 1)
+                for literal in constraint.literals
+            )
+            distinct: List[int] = []
+            for code in codes:
+                atom_position = abs(code) - 1
+                if atom_position not in distinct:
+                    distinct.append(atom_position)
+            prefix_codes.append(codes)
+            prefix_positions.append(tuple(distinct))
+
+        templates: Dict[int, _SoftTemplate] = {}
+        for index, clause in enumerate(mrf.clauses):
+            codes = view.clause_codes[index]
+            if clause.is_hard:
+                continue
+            if clause.weight > 0:
+                templates[index] = _SoftTemplate(
+                    (codes,),
+                    (view.clause_atom_positions[index],),
+                    (GroundClause(clause.clause_id, clause.literals, 1.0, clause.source),),
+                )
+            elif clause.weight < 0:
+                templates[index] = _SoftTemplate(
+                    tuple((-code,) for code in codes),
+                    tuple((abs(code) - 1,) for code in codes),
+                    tuple(
+                        GroundClause(clause.clause_id, (-literal,), 1.0, clause.source)
+                        for literal in clause.literals
+                    ),
+                )
+        self._prefix_codes = prefix_codes
+        self._prefix_positions = prefix_positions
+        self._prefix_clauses = prefix_clauses
+        self._templates = templates
+
+        adjacency: List[List[Tuple[int, bool]]] = [[] for _ in self._atom_ids]
+        for clause_index, codes in enumerate(prefix_codes):
+            for code in codes:
+                if code > 0:
+                    adjacency[code - 1].append((clause_index, True))
+                else:
+                    adjacency[-code - 1].append((clause_index, False))
+        self._prefix_adjacency: Tuple[Tuple[Tuple[int, bool], ...], ...] = tuple(
+            tuple(entries) for entries in adjacency
+        )
+        self._prefix_state: Optional[SearchState] = None
+        # Literal-array fragments for ConstraintVectorView assembly, built
+        # lazily on the first constraint set that resolves to the
+        # vectorized backend (flat-only runs never pay for them).
+        self._lit_fragments: Optional[dict] = None
+
+    @property
+    def prefix_clauses(self) -> List[GroundClause]:
+        """The always-selected constraint prefix (read-only)."""
+        return self._prefix_clauses
+
+    def prefix_state(
+        self, initial_assignment: Optional[Mapping[int, bool]] = None
+    ) -> SearchState:
+        """The cached state over the prefix-only constraint set.
+
+        Built on first use; later calls reuse it, resetting in place when an
+        initial assignment is given (callers about to randomize skip that).
+        """
+        if self._prefix_state is None:
+            mrf = self._shell_mrf(
+                self._prefix_codes,
+                self._prefix_positions,
+                self._prefix_clauses,
+                self._prefix_adjacency,
+            )
+            self._attach_vector_view(mrf, ())
+            self._prefix_state = make_search_state(
+                mrf,
+                initial_assignment,
+                hard_penalty=self._constraint_penalty(len(self._prefix_clauses)),
+                backend=self._backend,
+            )
+        elif initial_assignment is not None:
+            self._prefix_state.reset(initial_assignment)
+        return self._prefix_state
+
+    def state_for(self, selected_soft: Sequence[int]) -> SearchState:
+        """A constraint state for the prefix plus the selected soft clauses.
+
+        ``selected_soft`` holds parent-MRF clause indices of the selected
+        soft clauses, ascending (i.e. parent clause order).  An empty
+        selection reuses the cached prefix state.
+        """
+        if not len(selected_soft):
+            return self.prefix_state()
+        codes = list(self._prefix_codes)
+        positions = list(self._prefix_positions)
+        clauses = list(self._prefix_clauses)
+        adjacency: List[List[Tuple[int, bool]]] = [
+            list(entries) for entries in self._prefix_adjacency
+        ]
+        clause_index = len(codes)
+        templates = self._templates
+        for index in selected_soft:
+            template = templates[index]
+            positions.extend(template.positions)
+            clauses.extend(template.clauses)
+            for constraint_codes in template.codes:
+                codes.append(constraint_codes)
+                for code in constraint_codes:
+                    if code > 0:
+                        adjacency[code - 1].append((clause_index, True))
+                    else:
+                        adjacency[-code - 1].append((clause_index, False))
+                clause_index += 1
+        mrf = self._shell_mrf(codes, positions, clauses, adjacency)
+        self._attach_vector_view(mrf, selected_soft)
+        return make_search_state(
+            mrf,
+            hard_penalty=self._constraint_penalty(len(clauses)),
+            backend=self._backend,
+        )
+
+    @staticmethod
+    def _constraint_penalty(clause_count: int) -> float:
+        """The hard penalty a fresh state over weight-1.0 constraints computes.
+
+        Bit-identical to the spec path's ``max(10.0 * soft_total, 10.0)``
+        (``soft_total`` is an exact integer-valued float there), passed
+        explicitly so the pooled path skips the per-clause weight sum.
+        """
+        return max(10.0 * clause_count, 10.0)
+
+    def _attach_vector_view(self, mrf: MRF, selected_soft: Sequence[int]) -> None:
+        """Pre-seed the shell's numpy view when it will run vectorized.
+
+        Concatenates literal-array fragments cached per parent clause
+        instead of letting ``VectorMRFView`` re-scan every literal of the
+        throwaway constraint MRF; a no-op for shells that resolve to the
+        flat kernel.
+        """
+        from repro.inference.state import resolve_backend
+
+        if resolve_backend(mrf, self._backend) != "vectorized":
+            return
+        from repro.inference.vector_kernel import ConstraintVectorView, np
+
+        fragments = self._lit_fragments
+        if fragments is None:
+            fragments = self._lit_fragments = self._build_lit_fragments()
+        lit_pos = list(fragments["prefix_pos"])
+        lit_expect = list(fragments["prefix_expect"])
+        lit_clause = list(fragments["prefix_clause"])
+        clause_index = len(self._prefix_codes)
+        template_fragments = fragments["templates"]
+        for index in selected_soft:
+            pos, expect, sizes = template_fragments[index]
+            lit_pos.extend(pos)
+            lit_expect.extend(expect)
+            for size in sizes:
+                lit_clause.extend([clause_index] * size)
+                clause_index += 1
+        mrf._vector_view = ConstraintVectorView(
+            mrf._flat_view,
+            np.asarray(lit_pos, dtype=np.intp),
+            np.asarray(lit_expect, dtype=np.int8),
+            np.asarray(lit_clause, dtype=np.intp),
+            clause_index,
+        )
+
+    def _build_lit_fragments(self) -> dict:
+        """Per-parent-clause literal-array pieces for the numpy view."""
+
+        def expand(code_groups):
+            pos: List[int] = []
+            expect: List[int] = []
+            sizes: List[int] = []
+            for constraint_codes in code_groups:
+                sizes.append(len(constraint_codes))
+                for code in constraint_codes:
+                    if code > 0:
+                        pos.append(code - 1)
+                        expect.append(1)
+                    else:
+                        pos.append(-code - 1)
+                        expect.append(0)
+            return pos, expect, sizes
+
+        prefix_pos, prefix_expect, prefix_sizes = expand(self._prefix_codes)
+        prefix_clause: List[int] = []
+        for clause_index, size in enumerate(prefix_sizes):
+            prefix_clause.extend([clause_index] * size)
+        return {
+            "prefix_pos": prefix_pos,
+            "prefix_expect": prefix_expect,
+            "prefix_clause": prefix_clause,
+            "templates": {
+                index: expand(template.codes)
+                for index, template in self._templates.items()
+            },
+        }
+
+    def _shell_mrf(self, codes, positions, clauses, adjacency) -> MRF:
+        """An MRF shell over prebuilt flat structure (no adjacency dict).
+
+        The shell skips ``MRF.from_clauses``'s atom-set union/sort and
+        id-level adjacency build; only the flat view (which is all the
+        search kernel reads) is populated.
+        """
+        mrf = MRF(clauses=clauses, atom_ids=self._atom_ids)
+        mrf._flat_view = MRFFlatView.from_parts(
+            self._atom_ids, self._atom_position, codes, positions, adjacency
+        )
+        return mrf

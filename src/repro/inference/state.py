@@ -75,10 +75,11 @@ class SearchState:
         self.atom_ids: List[int] = view.atom_ids
         self._position: Dict[int, int] = view.atom_position
 
-        soft_total = sum(abs(c.weight) for c in mrf.clauses if not c.is_hard)
-        self.hard_penalty = (
-            hard_penalty if hard_penalty is not None else max(10.0 * soft_total, 10.0)
-        )
+        if hard_penalty is not None:
+            self.hard_penalty = hard_penalty
+        else:
+            soft_total = sum(abs(c.weight) for c in mrf.clauses if not c.is_hard)
+            self.hard_penalty = max(10.0 * soft_total, 10.0)
 
         # Effective |weight| used for cost bookkeeping (hard -> large penalty).
         self._abs_weight = array(
@@ -186,6 +187,22 @@ class SearchState:
     def randomize(self, rng: RandomSource) -> None:
         """Draw a uniformly random assignment (WalkSAT's per-try restart)."""
         self.rerandomize(rng)
+
+    def reset_from_values(self, values: Sequence[int]) -> None:
+        """Reset from a position-aligned 0/1 buffer (same atom order).
+
+        The bulk counterpart of :meth:`reset`: callers that already hold an
+        assignment buffer in this state's atom order (e.g. MC-SAT handing a
+        SampleSAT result to the satisfaction evaluator over the same atom
+        universe) skip the per-atom dict probing entirely.
+        """
+        assignment = self.assignment
+        if len(values) != len(assignment):
+            raise ValueError(
+                f"buffer length {len(values)} does not match atom count {len(assignment)}"
+            )
+        assignment[:] = array("b", values)
+        self._initialise_counts()
 
     # ------------------------------------------------------------------
     # Queries
@@ -507,6 +524,17 @@ class SearchState:
         return {
             atom_id: bool(best[index]) for index, atom_id in enumerate(self.atom_ids)
         }
+
+    def checkpoint_values(self) -> Sequence[int]:
+        """The checkpoint snapshot as a position-aligned 0/1 buffer.
+
+        The bulk counterpart of :meth:`checkpoint_dict` (same atom order as
+        :attr:`assignment`); callers must treat it as read-only, and a later
+        :meth:`checkpoint`/:meth:`reset` may rewrite it in place.  This is
+        the hand-off contract the MC-SAT pipeline feeds into
+        :meth:`reset_from_values`.
+        """
+        return self._best
 
     # ------------------------------------------------------------------
     # Violated-set access

@@ -199,6 +199,37 @@ def vector_view(mrf: MRF) -> VectorMRFView:
     return view
 
 
+class ConstraintVectorView(VectorMRFView):
+    """A :class:`VectorMRFView` assembled from prebuilt literal arrays.
+
+    Used by the SampleSAT constraint pool for its throwaway per-iteration
+    constraint MRFs: the literal arrays are concatenated from fragments
+    cached per parent clause instead of re-scanned literal by literal, and
+    ``negated`` is constant (constraints are all weight-1.0 clauses).
+
+    Batched-greedy tables are disabled: their one-time per-clause adjacency
+    scan and gather-table build cannot amortize over a constraint state
+    that lives for a single SampleSAT call.  Disabling them is a pure
+    performance decision — the scalar greedy it falls back to is
+    bit-identical (the kernel parity suite proves both paths equal).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, flat_view, lit_pos, lit_expect, lit_clause, clause_count) -> None:
+        self._flat = flat_view
+        self.clause_count = clause_count
+        self.lit_pos = lit_pos
+        self.lit_expect = lit_expect
+        self.lit_clause = lit_clause
+        self.negated = np.zeros(clause_count, dtype=bool)
+        self._greedy_tables = {}
+        self._atom_updates = None
+
+    def greedy_tables(self, min_entries: int) -> Dict[int, tuple]:
+        return {}
+
+
 class VectorSearchState(SearchState):
     """Flat-array kernel with numpy-accelerated bulk paths (see module doc).
 
@@ -287,6 +318,23 @@ class VectorSearchState(SearchState):
         # scalar flips outside the mirror-maintaining paths invalidate it.
         self._sat_np_flips = self.flips
 
+    def rerandomize(self, rng: RandomSource) -> None:
+        """Uniformly random assignment, bulk-written through the numpy view.
+
+        Consumes exactly one ``rng.random()`` per atom — the same underlying
+        draw the scalar kernel's per-atom ``rng.coin()`` makes (``coin`` is
+        ``random() < 0.5``), so seeded streams are unchanged; only the
+        per-atom Python loop is replaced by one ``fromiter`` + comparison.
+        """
+        raw_random = rng.raw().random
+        count = len(self.assignment)
+        draws = np.fromiter(
+            (raw_random() for _ in range(count)), dtype=np.float64, count=count
+        )
+        # _assign_np exists after __init__'s _initialise_counts call.
+        self._assign_np[:] = draws < 0.5
+        self._initialise_counts()
+
     # ------------------------------------------------------------------
     # Mirror maintenance
     # ------------------------------------------------------------------
@@ -322,6 +370,16 @@ class VectorSearchState(SearchState):
         if self._mirror_synced():
             return (self._sat_np > 0).tolist()
         return super().satisfaction_flags()
+
+    def satisfaction_array(self) -> "np.ndarray":
+        """:meth:`satisfaction_flags` as a numpy bool array (fresh copy).
+
+        The MC-SAT batched selection combines this directly with its
+        per-clause eligibility masks, skipping the list materialisation.
+        """
+        if self._mirror_synced():
+            return self._sat_np > 0
+        return np.asarray(super().satisfaction_flags(), dtype=bool)
 
     def delta_cost_batch(self, clause_index: int) -> List[float]:
         table = self._greedy.get(clause_index)

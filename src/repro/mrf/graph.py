@@ -43,6 +43,31 @@ class MRFFlatView:
         "adjacency",
     )
 
+    @classmethod
+    def from_parts(
+        cls,
+        atom_ids: List[int],
+        atom_position: Dict[int, int],
+        clause_codes: Sequence[Tuple[int, ...]],
+        clause_atom_positions: Sequence[Tuple[int, ...]],
+        adjacency: Sequence[Sequence[Tuple[int, bool]]],
+    ) -> "MRFFlatView":
+        """Assemble a view from prebuilt pieces, bypassing the per-literal scan.
+
+        Callers (the SampleSAT constraint pool) derive the pieces from an
+        existing view over the same atom universe, so the invariants — codes
+        reference positions in ``atom_ids`` order, adjacency entries appear
+        in clause order — must already hold.  All arguments are adopted
+        without copying and must be treated as read-only afterwards.
+        """
+        view = cls.__new__(cls)
+        view.atom_ids = atom_ids
+        view.atom_position = atom_position
+        view.clause_codes = clause_codes
+        view.clause_atom_positions = clause_atom_positions
+        view.adjacency = adjacency
+        return view
+
     def __init__(self, mrf: "MRF") -> None:
         self.atom_ids: List[int] = list(mrf.atom_ids)
         position = {atom_id: index for index, atom_id in enumerate(self.atom_ids)}

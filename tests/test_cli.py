@@ -46,6 +46,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dataset", "RC", "--execution-backend", "gpu"])
 
+    def test_kernel_backend_choices(self):
+        arguments = build_parser().parse_args(
+            ["dataset", "RC", "--kernel-backend", "vectorized"]
+        )
+        assert arguments.kernel_backend == "vectorized"
+        assert build_parser().parse_args(["dataset", "RC"]).kernel_backend == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "RC", "--kernel-backend", "simd"])
+
 
 class TestStatsCommand:
     def test_prints_table1_fields(self, program_files):
@@ -122,6 +131,27 @@ class TestInferCommand:
         )
         assert status == 0
         assert "# marginal probabilities" in output.getvalue()
+
+    def test_marginal_inference_on_forced_kernel_backends(self, program_files):
+        pytest.importorskip("numpy")
+        program, evidence = program_files
+        outputs = {}
+        for backend in ("flat", "vectorized"):
+            output = io.StringIO()
+            status = main(
+                [
+                    "infer", "-i", program, "-e", evidence,
+                    "--marginal", "--mcsat-samples", "12",
+                    "--kernel-backend", backend,
+                ],
+                stream=output,
+            )
+            assert status == 0
+            text = output.getvalue()
+            outputs[backend] = text.split("\n#\n")[0]  # the probability lines
+        # Bit-identical seeded sampling pipelines -> identical printed
+        # marginals; only wall-clock summary lines may differ.
+        assert outputs["flat"] == outputs["vectorized"]
 
 
 class TestDatasetCommand:

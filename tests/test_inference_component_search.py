@@ -6,7 +6,7 @@ import pytest
 
 from repro.datasets.example1 import example1_mrf, example1_optimal_cost
 from repro.datasets.example2 import example2_mrf
-from repro.grounding.clause_table import GroundClauseStore
+from repro.grounding.clause_table import GroundClause, GroundClauseStore
 from repro.inference.component_walksat import ComponentAwareWalkSAT
 from repro.inference.gauss_seidel import GaussSeidelSearch
 from repro.inference.mcsat import MCSat, MCSatOptions
@@ -199,3 +199,73 @@ class TestMCSat:
             MCSatOptions(samples=0)
         with pytest.raises(ValueError):
             MCSatOptions(burn_in=-1)
+        with pytest.raises(ValueError):
+            MCSatOptions(kernel_backend="simd")
+
+
+class TestMCSatClauseSelection:
+    """Selection edge cases around hard and negative weights (the spec's
+    ``_select_clauses``): hard clauses of either sign are constrained
+    without consuming randomness, and a hard negative clause is constrained
+    even when the current world satisfies it (regression: it used to be
+    silently dropped from M, and the unsatisfied case burned an rng draw on
+    a keep probability that is always 1)."""
+
+    @staticmethod
+    def _select(clauses, flags, seed=0):
+        rng = RandomSource(seed)
+        before = rng.raw().getstate()
+        selected = MCSat(rng=rng)._select_clauses(clauses, flags)
+        return selected, before == rng.raw().getstate()
+
+    def test_hard_negative_satisfied_is_constrained_to_stay_unsatisfied(self):
+        clause = GroundClause(1, (1, -2), -math.inf)
+        selected, untouched = self._select([clause], [True])
+        assert [c.literals for c in selected] == [(-1,), (2,)]
+        assert all(c.weight == 1.0 for c in selected)
+        assert untouched  # hard clauses never consume randomness
+
+    def test_hard_negative_unsatisfied_is_constrained_without_a_draw(self):
+        clause = GroundClause(1, (1, -2), -math.inf)
+        selected, untouched = self._select([clause], [False])
+        assert [c.literals for c in selected] == [(-1,), (2,)]
+        assert untouched
+
+    def test_hard_positive_is_selected_without_a_draw(self):
+        clause = GroundClause(1, (1, 2), math.inf)
+        for satisfied in (True, False):
+            selected, untouched = self._select([clause], [satisfied])
+            assert [c.literals for c in selected] == [(1, 2)]
+            assert untouched
+
+    def test_soft_negative_unsatisfied_draws_exactly_once(self):
+        # Large |weight|: keep probability 1 - exp(-3) ~ 0.95, so seed 0's
+        # first draw selects it; the unit negations follow in literal order.
+        clause = GroundClause(1, (1, -2), -3.0)
+        selected, untouched = self._select([clause], [False])
+        assert not untouched
+        assert [c.literals for c in selected] == [(-1,), (2,)]
+        reference = RandomSource(0)
+        reference.random()  # exactly one draw consumed
+        rng = RandomSource(0)
+        MCSat(rng=rng)._select_clauses([clause], [False])
+        assert rng.raw().getstate() == reference.raw().getstate()
+
+    def test_soft_negative_satisfied_is_skipped_without_a_draw(self):
+        clause = GroundClause(1, (1, -2), -3.0)
+        selected, untouched = self._select([clause], [True])
+        assert selected == []
+        assert untouched
+
+    def test_hard_negative_clause_respected_end_to_end(self):
+        """With (1 v 2) hard-negative, every sampled world must keep both
+        atoms false no matter how hard the soft clauses push them true."""
+        clauses = [
+            GroundClause(1, (1, 2), -math.inf),
+            GroundClause(2, (1,), 2.0),
+            GroundClause(3, (2,), 1.5),
+        ]
+        mrf = MRF.from_clauses(clauses)
+        result = MCSat(MCSatOptions(samples=40, burn_in=5), RandomSource(0)).run(mrf)
+        assert result.probability(1) == pytest.approx(0.0)
+        assert result.probability(2) == pytest.approx(0.0)
