@@ -163,6 +163,9 @@ def main(argv=None) -> int:
         help="exit non-zero unless the vectorized pipeline is at least X "
         "times faster than the scalar loop on every workload",
     )
+    from benchmarks.harness import add_json_out_argument
+
+    add_json_out_argument(parser)
     args = parser.parse_args(argv)
 
     if args.backend == "flat" and args.assert_speedup is not None:
@@ -203,6 +206,21 @@ def main(argv=None) -> int:
         rows,
     )
     emit("mcsat_throughput_quick" if args.quick else "mcsat_throughput", table)
+    if args.json_out:
+        from benchmarks.harness import emit_json
+
+        emit_json(
+            "mcsat_throughput",
+            [dict(zip(header, row)) for row in rows],
+            path=args.json_out,
+            metadata={
+                "quick": args.quick,
+                "backends": backends,
+                "worst_speedup_vec_vs_flat": (
+                    worst_speedup if len(backends) == 2 else None
+                ),
+            },
+        )
     if len(backends) == 2:
         print(
             f"\nworst-case vectorized-vs-scalar speedup: {worst_speedup:.2f}x "

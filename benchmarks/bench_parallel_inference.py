@@ -1,0 +1,292 @@
+"""Parallel component inference — wall-clock speedup of the process pool.
+
+The paper's Table 7 parallelism claim: with the MRF split into components,
+loading them in batches and searching them with a worker pool scales with
+the number of cores.  ``bench_table7_loading_parallelism.py`` reports the
+*simulated* model of that claim; this benchmark measures the real thing —
+the ``parallel_backend = processes`` pool (shared-memory component buffers,
+one forked worker per core) against the ``serial`` backend on the same
+seeded search:
+
+* **IE** — the many-component regime (one small component per citation),
+  where the pool should approach linear speedup on multi-core machines
+  (the check target is >= 1.8x at 4 workers);
+* **ring** — a single-component MRF, where ``auto`` resolves to ``serial``
+  and a *forced* ``processes`` run measures the pool's overhead (spin-up +
+  shared-memory packing + one task round-trip); the bound is <= 10% over
+  serial.
+
+Every run is asserted bit-identical to the serial result (the determinism
+contract of ``repro.parallel``), so the numbers compare identical work.
+Wall-clock speedups are machine-dependent: on a single-CPU machine the
+process measurements are skipped cleanly (there is nothing to win) unless
+``--force`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.core import InferenceConfig, TuffyEngine
+from repro.grounding.clause_table import GroundClauseStore
+from repro.inference.component_walksat import ComponentAwareWalkSAT
+from repro.inference.walksat import WalkSATOptions
+from repro.mrf.graph import MRF
+from repro.utils.rng import RandomSource
+
+BENCH_SEED = 0
+
+
+def ie_components(factor: float):
+    """The IE workload's component list (ground once, reuse everywhere)."""
+    from benchmarks.harness import fresh_dataset
+
+    dataset = fresh_dataset("IE", factor)
+    engine = TuffyEngine(dataset.program, InferenceConfig(seed=BENCH_SEED))
+    return engine.detect_components().components
+
+
+def ring_mrf(n_atoms: int) -> MRF:
+    """One connected component: a weighted ring with conflicting unit clauses.
+
+    The optimum is strictly positive (every atom is pushed both ways), so
+    WalkSAT spends its whole budget — the honest baseline for measuring
+    pool overhead against.
+    """
+    store = GroundClauseStore()
+    for atom in range(1, n_atoms + 1):
+        succ = atom % n_atoms + 1
+        store.add((atom, succ), 1.0)
+        store.add((-atom, -succ), 1.0)
+        store.add((atom,), 0.5)
+    return MRF.from_store(store)
+
+
+def measure(components, flips, backend, workers, repeats):
+    """Best-of wall seconds (and the result) of one configuration."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        searcher = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=flips),
+            RandomSource(BENCH_SEED),
+            workers=workers,
+            parallel_backend=backend,
+        )
+        started = time.perf_counter()
+        result = searcher.run(components, total_flips=flips)
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads and budgets (for scripts/check.sh)",
+    )
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts for the processes backend",
+    )
+    parser.add_argument("--flips", type=int, default=None, help="total flip budget")
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per configuration"
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="measure the processes backend even on a single-CPU machine",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the processes backend reaches X speedup "
+        "at the highest worker count on IE AND stays within 10%% of serial "
+        "on the single-component workload (skipped when the machine has "
+        "fewer CPUs than workers)",
+    )
+    from benchmarks.harness import add_json_out_argument, emit, emit_json, render_table
+
+    add_json_out_argument(parser)
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(token) for token in args.workers.split(",") if token.strip()]
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    flips = args.flips if args.flips is not None else (300_000 if args.quick else 2_000_000)
+    ring_flips = 200_000 if args.quick else 1_000_000
+    cpus = os.cpu_count() or 1
+
+    from repro.parallel import processes_available
+
+    run_processes = processes_available() and (cpus >= 2 or args.force)
+    if not processes_available():
+        print("SKIP processes backend: fork start method unavailable")
+    elif not run_processes:
+        print(
+            "SKIP processes measurements: single-CPU machine "
+            "(nothing to win; use --force to measure anyway)"
+        )
+
+    rows = []
+    json_rows = []
+
+    # --- IE: many components -------------------------------------------------
+    components = ie_components(0.5 if args.quick else 1.0)
+    serial_result, serial_seconds = measure(components, flips, "serial", 1, repeats)
+    rows.append(
+        ("IE", len(components), "serial", 1, f"{serial_seconds:.3f}", "1.00x", "1.00x")
+    )
+    json_rows.append(
+        {
+            "workload": "IE",
+            "components": len(components),
+            "backend": "serial",
+            "workers": 1,
+            "wall_seconds": serial_seconds,
+            "speedup_vs_serial": 1.0,
+        }
+    )
+    ie_speedup_at_max = None
+    if run_processes:
+        for workers in worker_counts:
+            result, seconds = measure(components, flips, "processes", workers, repeats)
+            assert result.best_assignment == serial_result.best_assignment, (
+                "processes result diverged from serial"
+            )
+            assert result.best_cost == serial_result.best_cost
+            speedup = serial_seconds / seconds
+            simulated = (
+                result.simulated_seconds / result.parallel_simulated_seconds
+                if result.parallel_simulated_seconds > 0
+                else 1.0
+            )
+            rows.append(
+                (
+                    "IE",
+                    len(components),
+                    "processes",
+                    workers,
+                    f"{seconds:.3f}",
+                    f"{speedup:.2f}x",
+                    f"{simulated:.2f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": "IE",
+                    "components": len(components),
+                    "backend": "processes",
+                    "workers": workers,
+                    "wall_seconds": seconds,
+                    "speedup_vs_serial": speedup,
+                    "simulated_speedup": simulated,
+                }
+            )
+            ie_speedup_at_max = speedup
+
+    # --- ring: a single component (pool-overhead bound) ----------------------
+    ring = [ring_mrf(60 if args.quick else 120)]
+    ring_serial_result, ring_serial_seconds = measure(
+        ring, ring_flips, "serial", 1, repeats
+    )
+    rows.append(
+        ("ring", 1, "serial", 1, f"{ring_serial_seconds:.3f}", "1.00x", "1.00x")
+    )
+    json_rows.append(
+        {
+            "workload": "ring",
+            "components": 1,
+            "backend": "serial",
+            "workers": 1,
+            "wall_seconds": ring_serial_seconds,
+            "speedup_vs_serial": 1.0,
+        }
+    )
+    overhead = None
+    if run_processes:
+        # auto would fall back to serial here; force the pool to price it.
+        result, seconds = measure(ring, ring_flips, "processes", max(worker_counts), repeats)
+        assert result.best_assignment == ring_serial_result.best_assignment
+        assert result.best_cost == ring_serial_result.best_cost
+        overhead = seconds / ring_serial_seconds - 1.0
+        rows.append(
+            (
+                "ring",
+                1,
+                "processes (forced)",
+                max(worker_counts),
+                f"{seconds:.3f}",
+                f"{ring_serial_seconds / seconds:.2f}x",
+                f"overhead {overhead * 100:+.1f}%",
+            )
+        )
+        json_rows.append(
+            {
+                "workload": "ring",
+                "components": 1,
+                "backend": "processes",
+                "workers": max(worker_counts),
+                "wall_seconds": seconds,
+                "speedup_vs_serial": ring_serial_seconds / seconds,
+                "overhead_vs_serial": overhead,
+            }
+        )
+
+    table = render_table(
+        "Parallel component inference — wall-clock (serial vs multiprocess pool)",
+        ["workload", "components", "backend", "workers", "seconds", "vs serial", "simulated"],
+        rows,
+    )
+    emit("parallel_inference_quick" if args.quick else "parallel_inference", table)
+    if args.json_out:
+        emit_json(
+            "parallel",
+            json_rows,
+            path=args.json_out,
+            metadata={
+                "quick": args.quick,
+                "cpus": cpus,
+                "flips": flips,
+                "processes_measured": run_processes,
+            },
+        )
+
+    if args.assert_speedup is not None:
+        if not run_processes or cpus < max(worker_counts):
+            print(
+                f"SKIP --assert-speedup: {cpus} CPU(s) < {max(worker_counts)} workers "
+                "(wall-clock parallel speedup is unobservable here)"
+            )
+            return 0
+        failed = False
+        if ie_speedup_at_max is None or ie_speedup_at_max < args.assert_speedup:
+            print(
+                f"FAIL: IE speedup {ie_speedup_at_max} below required "
+                f"{args.assert_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+        if overhead is not None and overhead > 0.10:
+            print(
+                f"FAIL: single-component pool overhead {overhead * 100:.1f}% "
+                "exceeds the 10% bound",
+                file=sys.stderr,
+            )
+            failed = True
+        return 1 if failed else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -186,6 +186,9 @@ def main(argv=None) -> int:
         help="exit non-zero unless every backend's speedup over the seed "
         "kernel is at least X on every workload",
     )
+    from benchmarks.harness import add_json_out_argument
+
+    add_json_out_argument(parser)
     args = parser.parse_args(argv)
     repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
 
@@ -215,6 +218,26 @@ def main(argv=None) -> int:
         rows,
     )
     emit("search_kernel", table)
+    if args.json_out:
+        from benchmarks.harness import emit_json
+
+        # Unique keys per backend (the display header repeats "vs seed").
+        json_header = ["workload", "atoms/clauses", "flips", "seed f/s"]
+        for backend in backends:
+            json_header.append(f"{backend} f/s")
+            json_header.append(f"{backend} vs seed")
+        if len(backends) == 2:
+            json_header.append("vec/flat")
+        emit_json(
+            "search_kernel",
+            [dict(zip(json_header, row)) for row in rows],
+            path=args.json_out,
+            metadata={
+                "quick": args.quick,
+                "backends": backends,
+                "worst_speedup_vs_seed": worst_speedup,
+            },
+        )
     print(f"\nworst-case speedup vs seed: {worst_speedup:.2f}x (costs identical per seed)")
     if args.assert_speedup is not None and worst_speedup < args.assert_speedup:
         print(f"FAIL: speedup below required {args.assert_speedup:.2f}x", file=sys.stderr)

@@ -197,6 +197,9 @@ def main(argv=None) -> int:
         help="exit non-zero unless the columnar backend is at least X times "
         "faster than the row engine on some dataset",
     )
+    from benchmarks.harness import add_json_out_argument
+
+    add_json_out_argument(parser)
     args = parser.parse_args(argv)
 
     if args.backend == "row" and args.assert_speedup is not None:
@@ -242,6 +245,23 @@ def main(argv=None) -> int:
     else:
         artifact = "table2_grounding_backends"
     emit(artifact, table)
+    if args.json_out:
+        from benchmarks.harness import emit_json
+
+        emit_json(
+            "table2_grounding",
+            [
+                {"dataset": name, "ground_clauses": clause_count, **timings}
+                for name, timings, clause_count in rows
+            ],
+            path=args.json_out,
+            metadata={
+                "quick": args.quick,
+                "backends": backends,
+                "scale": scale,
+                "with_top_down": with_top_down,
+            },
+        )
 
     if len(backends) == 2:
         best = max(

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Repo check: byte-compile everything, run the tier-1 test suite (see
-# ROADMAP.md), then the kernel-parity suite and a quick search-kernel
-# benchmark for each kernel backend (the vectorized backend skips itself
-# cleanly when numpy is absent).
+# ROADMAP.md), then the kernel-parity suite and a quick benchmark per
+# backend seam — search kernel (flat/vectorized; the vectorized backend
+# skips itself cleanly when numpy is absent), execution backend
+# (row/columnar), and parallel backend (serial/processes; wall-clock
+# speedup asserted only on machines with the cores to show it).
+# Benchmarks with --json-out refresh benchmarks/results/BENCH_*.json so
+# the perf trajectory is tracked across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,18 +20,33 @@ echo "== search-kernel benchmark (quick, flat backend) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick --backend flat
 
 echo "== search-kernel benchmark (quick, vectorized backend) =="
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick --backend vectorized
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_search_kernel.py --quick --backend vectorized --json-out benchmarks/results/BENCH_search_kernel.json
 
 echo "== mc-sat throughput benchmark (quick, flat backend) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_mcsat_throughput.py --quick --backend flat
 
 echo "== mc-sat throughput benchmark (quick, vectorized backend) =="
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_mcsat_throughput.py --quick --backend vectorized --assert-speedup 2
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_mcsat_throughput.py --quick --backend vectorized --assert-speedup 2 --json-out benchmarks/results/BENCH_mcsat_throughput.json
 
 echo "== table-2 grounding benchmark (quick, row execution backend) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_table2_grounding.py --quick --backend row
 
 echo "== table-2 grounding benchmark (quick, columnar execution backend) =="
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_table2_grounding.py --quick --backend columnar
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_table2_grounding.py --quick --backend columnar --json-out benchmarks/results/BENCH_table2_grounding.json
+
+echo "== parallel parity suite (serial/threads/processes, workers 1/2/4) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q tests/test_parallel_parity.py tests/test_parallel_scheduling.py
+
+# Wall-clock parallel speedup needs real cores: the bench measures the
+# serial backend everywhere, skips the processes measurements cleanly on
+# single-CPU machines, and asserts the >=1.8x IE speedup (plus the <=10%
+# single-component pool-overhead bound) only when the CPUs are there.
+CPUS="$(python -c 'import os; print(os.cpu_count() or 1)')"
+echo "== parallel inference benchmark (quick, serial + processes; ${CPUS} CPU(s)) =="
+if [ "${CPUS}" -ge 4 ]; then
+  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_parallel_inference.py --quick --assert-speedup 1.8 --json-out benchmarks/results/BENCH_parallel.json
+else
+  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_parallel_inference.py --quick --json-out benchmarks/results/BENCH_parallel.json
+fi
 
 echo "== check.sh OK =="

@@ -86,6 +86,14 @@ def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-flips", type=int, default=100_000, help="total WalkSAT flip budget")
     parser.add_argument("--workers", type=int, default=1, help="parallel component searches")
     parser.add_argument(
+        "--parallel-backend",
+        choices=("auto", "serial", "threads", "processes"),
+        default="auto",
+        help="how per-component searches run (auto engages the shared-memory "
+        "multiprocess pool when workers > 1 and the MRF has several "
+        "components; results are bit-identical across backends)",
+    )
+    parser.add_argument(
         "--no-partitioning",
         action="store_true",
         help="disable component-aware search (the paper's Tuffy-p mode)",
@@ -111,6 +119,7 @@ def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
         kernel_backend=arguments.kernel_backend,
         max_flips=arguments.max_flips,
         workers=arguments.workers,
+        parallel_backend=arguments.parallel_backend,
         use_partitioning=not arguments.no_partitioning,
         memory_budget_bytes=(
             arguments.memory_budget_kb * 1024 if arguments.memory_budget_kb else None

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.core.errors import ConfigurationError
 from repro.inference.state import KERNEL_BACKENDS
+from repro.parallel import PARALLEL_BACKENDS
 from repro.rdbms.executor import EXECUTION_BACKENDS
 from repro.rdbms.optimizer import OptimizerOptions
 from repro.utils.clock import CostModel
@@ -35,7 +36,16 @@ class InferenceConfig:
     component-aware search (Tuffy vs Tuffy-p in the paper), and
     ``memory_budget_bytes`` — when set — bounds partition sizes, triggering
     Algorithm 3 plus Gauss-Seidel sweeps for components that exceed it.
-    ``workers`` sets the number of parallel component searches.
+    ``workers`` sets the number of parallel component searches and
+    ``parallel_backend`` the vehicle that runs them (``"auto"`` engages
+    the shared-memory multiprocess pool whenever there is parallelism to
+    exploit — more than one worker and more than one component — and
+    falls back to ``"serial"`` otherwise; ``"serial"`` / ``"threads"`` /
+    ``"processes"`` force one).  Results are bit-identical across
+    parallel backends and worker counts; only wall-clock time changes.
+    (One caveat: when ``deadline_seconds`` is set, a higher worker count
+    may complete *more* components before the deadline — deterministic
+    per worker count, identical across backends.)
     ``kernel_backend`` selects the search-kernel implementation behind
     every search driver the engine constructs (WalkSAT, component search,
     Gauss-Seidel, MC-SAT and its SampleSAT states): ``"auto"`` engages the
@@ -65,6 +75,7 @@ class InferenceConfig:
     bytes_per_state_unit: int = 64
     gauss_seidel_rounds: int = 3
     workers: int = 1
+    parallel_backend: str = "auto"
     target_cost: Optional[float] = None
     deadline_seconds: Optional[float] = None
     kernel_backend: str = "auto"
@@ -95,6 +106,11 @@ class InferenceConfig:
             raise ConfigurationError("noise must be within [0, 1]")
         if self.workers <= 0:
             raise ConfigurationError("workers must be positive")
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown parallel backend {self.parallel_backend!r}; "
+                f"expected one of {PARALLEL_BACKENDS}"
+            )
         if self.memory_budget_bytes is not None and self.memory_budget_bytes <= 0:
             raise ConfigurationError("memory_budget_bytes must be positive when set")
         if self.gauss_seidel_rounds <= 0:

@@ -28,8 +28,8 @@ from repro.grounding.lazy import active_closure
 from repro.grounding.result import GroundingResult
 from repro.grounding.top_down import TopDownGrounder
 from repro.inference.component_walksat import ComponentAwareWalkSAT
-from repro.inference.gauss_seidel import GaussSeidelSearch
 from repro.inference.mcsat import MCSat, MCSatOptions
+from repro.parallel.merge import gauss_seidel_refine
 from repro.inference.samplesat import SampleSATOptions
 from repro.inference.tracing import TimeCostTrace, merge_traces
 from repro.inference.walksat import WalkSAT, WalkSATOptions
@@ -211,12 +211,14 @@ class TuffyEngine:
                         max_flips=config.max_flips,
                         max_tries=config.max_tries,
                         noise=config.noise,
+                        deadline_seconds=config.deadline_seconds,
                         trace_label="tuffy",
                         kernel_backend=config.kernel_backend,
                     ),
                     rng=rng,
                     workers=config.workers,
                     cost_model=config.cost_model,
+                    parallel_backend=config.parallel_backend,
                 )
                 component_outcome = searcher.run(small_components, total_flips=config.max_flips)
                 assignment.update(component_outcome.best_assignment)
@@ -239,7 +241,12 @@ class TuffyEngine:
             for index, component in enumerate(oversized):
                 partitioner = GreedyPartitioner(size_bound if size_bound is not None else math.inf)
                 partitioning = partitioner.partition(component)
-                gauss_seidel = GaussSeidelSearch(
+                # Partition-parallel first pass + Gauss-Seidel cut repair
+                # (deterministic on every parallel backend; see
+                # repro.parallel.merge.gauss_seidel_refine).
+                outcome = gauss_seidel_refine(
+                    component,
+                    partitioning.atom_partitions,
                     options=WalkSATOptions(
                         max_flips=config.max_flips,
                         noise=config.noise,
@@ -249,8 +256,9 @@ class TuffyEngine:
                     rng=rng.spawn(1000 + index),
                     rounds=config.gauss_seidel_rounds,
                     clock=SimulatedClock(config.cost_model),
+                    parallel_backend=config.parallel_backend,
+                    workers=config.workers,
                 )
-                outcome = gauss_seidel.run(component, partitioning.atom_partitions)
                 assignment.update(outcome.best_assignment)
                 total_cost += outcome.best_cost
                 total_flips += outcome.flips
@@ -283,7 +291,15 @@ class TuffyEngine:
     # ------------------------------------------------------------------
 
     def run_marginal(self) -> InferenceResult:
-        """Estimate marginal probabilities with MC-SAT (Appendix A.5)."""
+        """Estimate marginal probabilities with MC-SAT (Appendix A.5).
+
+        Like the MAP pipeline, marginal inference decomposes over the
+        MRF's connected components (each is an independent MC-SAT chain
+        with a seed-derived RNG stream): with partitioning enabled the
+        components are sampled through the ``parallel_backend`` seam, so
+        multi-component workloads use every worker.  Results are
+        bit-identical across parallel backends and worker counts.
+        """
         config = self.config
         grounding = self.ground()
         mrf = self.build_mrf()
@@ -296,8 +312,18 @@ class TuffyEngine:
             ),
             RandomSource(config.seed),
         )
+        decomposition = (
+            self.detect_components() if config.use_partitioning else None
+        )
         with self.timer.measure("search"):
-            marginals = sampler.run(mrf)
+            if decomposition is not None and decomposition.component_count > 1:
+                marginals = sampler.run_components(
+                    decomposition.components,
+                    parallel_backend=config.parallel_backend,
+                    workers=config.workers,
+                )
+            else:
+                marginals = sampler.run(mrf)
         assignment = marginals.most_likely()
         from repro.mrf.cost import assignment_cost
 

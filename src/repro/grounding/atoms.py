@@ -38,11 +38,35 @@ class AtomRecord:
 
 
 class AtomRegistry:
-    """Assigns dense ids to ground atoms and records evidence truth values."""
+    """Assigns dense ids to ground atoms and records evidence truth values.
+
+    The registry carries a **version counter**, bumped whenever its
+    logical contents change (a new atom, or a truth value moving from
+    unknown to fixed).  Consumers that materialise derived state from the
+    registry — the bottom-up grounder's atom tables and, through them, the
+    columnar engine's encoded-column cache — key their caches on
+    ``(identity_token, version)`` so repeated ``ground()`` calls over an
+    unchanged registry skip the rebuild entirely.
+    """
+
+    _next_token = 0
 
     def __init__(self) -> None:
         self._records: List[AtomRecord] = []
         self._by_key: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        self._version = 0
+        AtomRegistry._next_token += 1
+        self._identity_token = AtomRegistry._next_token
+
+    @property
+    def version(self) -> int:
+        """Monotone counter of logical mutations (new atoms, truth changes)."""
+        return self._version
+
+    @property
+    def identity_token(self) -> int:
+        """A process-unique id for this registry (never reused, unlike ``id()``)."""
+        return self._identity_token
 
     # ------------------------------------------------------------------
     # Registration
@@ -61,12 +85,15 @@ class AtomRegistry:
             atom_id = len(self._records) + 1
             self._records.append(AtomRecord(atom_id, atom, truth))
             self._by_key[key] = atom_id
+            self._version += 1
             return atom_id
         record = self._records[atom_id - 1]
         if truth is not None:
             if record.truth is not None and record.truth != truth:
                 raise ValueError(f"conflicting evidence for atom {atom}")
-            record.truth = truth
+            if record.truth is None:
+                record.truth = truth
+                self._version += 1
         return atom_id
 
     def register_evidence(self, atom: GroundAtom, truth: bool) -> int:

@@ -176,15 +176,26 @@ class BottomUpGrounder:
         for predicate in predicates.values():
             table_name = predicate_table_name(predicate)
             schema = predicate_table_schema(predicate)
+            # Atom tables are a pure function of the registry's contents,
+            # so they (and everything keyed on their version — notably the
+            # columnar engine's encoded-column cache) can be reused across
+            # ground() calls as long as the registry has not changed.  The
+            # stamp pins the source registry and its version; any direct
+            # table mutation clears it.
+            stamp = ("atom-registry", atoms.identity_token, atoms.version)
             if self.database.has_table(table_name):
-                self.database.table(table_name).truncate()
+                table = self.database.table(table_name)
+                if table.contents_stamp == stamp:
+                    continue
+                table.truncate()
             else:
-                self.database.create_table(table_name, schema)
+                table = self.database.create_table(table_name, schema)
             rows = [
                 (record.atom_id, *record.atom.argument_values(), record.truth)
                 for record in atoms.records_for_predicate(predicate)
             ]
             self.database.bulk_load(table_name, rows)
+            table.stamp_contents(stamp)
 
     def _ground_clause(
         self,

@@ -8,8 +8,17 @@ already-optimal components.
 
 ``ComponentAwareWalkSAT`` runs WalkSAT on each component with a weighted
 round-robin flip budget, keeps the best state found *per component*, and
-combines them into a global assignment.  Components can be processed in
-parallel; the result carries both wall-clock and simulated timings.
+combines them into a global assignment.  Component tasks run behind the
+``parallel_backend`` seam (``auto`` | ``serial`` | ``threads`` |
+``processes``, see :mod:`repro.parallel`): each component's search draws
+its RNG from a stream derived only from the run seed and the component
+index, so the merged result is bit-for-bit identical on every backend and
+worker count (deadline-bounded runs: identical across backends, and per
+worker count — more workers finish more components before the deadline).
+The ``processes``
+backend ships component structure through shared memory and searches on
+all cores (the real Table 7 parallelism); results carry wall-clock and
+simulated timings either way.
 """
 
 from __future__ import annotations
@@ -18,13 +27,17 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.inference.scheduling import ParallelOutcome, run_tasks, weighted_flip_allocation
+from repro.inference.scheduling import (
+    ParallelOutcome,
+    run_components,
+    weighted_flip_allocation,
+)
 from repro.inference.state import SearchState, make_search_state
-from repro.inference.tracing import TimeCostTrace, merge_traces
-from repro.inference.walksat import WalkSAT, WalkSATOptions, WalkSATResult
+from repro.inference.tracing import TimeCostTrace
+from repro.inference.walksat import WalkSATOptions, WalkSATResult
 from repro.mrf.components import ComponentDecomposition, connected_components
 from repro.mrf.graph import MRF
-from repro.utils.clock import CostModel, SimulatedClock
+from repro.utils.clock import CostModel
 from repro.utils.rng import RandomSource
 
 
@@ -40,6 +53,7 @@ class ComponentSearchResult:
     simulated_seconds: float
     parallel_simulated_seconds: float
     trace: TimeCostTrace = field(default_factory=TimeCostTrace)
+    skipped_components: List[int] = field(default_factory=list)
 
     @property
     def component_count(self) -> int:
@@ -61,16 +75,19 @@ class ComponentAwareWalkSAT:
         rng: Optional[RandomSource] = None,
         workers: int = 1,
         cost_model: Optional[CostModel] = None,
+        parallel_backend: str = "auto",
     ) -> None:
         self.options = options or WalkSATOptions()
         self.rng = rng or RandomSource(0)
         self.workers = workers
         self.cost_model = cost_model or CostModel()
+        self.parallel_backend = parallel_backend
         # State-reuse lifecycle: one kernel state per component, cached with
         # the decomposition and reset in place between rounds, instead of
         # rebuilding every buffer each run() call.  Keyed by the identity of
         # the last source (which also pins the component MRFs alive);
-        # assumes, like MRF.flat_view, that sources are not mutated.
+        # assumes, like MRF.flat_view, that sources are not mutated.  The
+        # processes backend keeps the equivalent cache inside each worker.
         self._cached_source: Optional[object] = None
         self._cached_components: List[MRF] = []
         self._cached_states: List[SearchState] = []
@@ -82,30 +99,59 @@ class ComponentAwareWalkSAT:
         initial_assignment: Optional[Mapping[int, bool]] = None,
     ) -> ComponentSearchResult:
         """Search every component and merge the per-component best states."""
+        from repro.parallel.merge import merge_walksat_results
+        from repro.parallel.pool import ComponentOutcome, ComponentTask
+
         components = self._components(source)
-        states = self._component_states(components)
         budget = total_flips if total_flips is not None else self.options.max_flips
         allocation = weighted_flip_allocation(components, budget)
 
-        tasks = []
-        for index, (component, state, flips) in enumerate(
-            zip(components, states, allocation)
-        ):
+        tasks: List[ComponentTask] = []
+        for index, (component, flips) in enumerate(zip(components, allocation)):
             tasks.append(
-                self._make_task(index, component, state, flips, initial_assignment)
+                ComponentTask(
+                    index=index,
+                    kind="walksat",
+                    seed=self.rng.spawn(index + 1).seed,
+                    walksat=self._component_options(index, flips),
+                    cost_model=self.cost_model,
+                    initial_assignment=self._restricted(component, initial_assignment),
+                )
             )
-        outcome: ParallelOutcome = run_tasks(tasks, workers=self.workers)
+
+        def placeholder(index: int) -> ComponentOutcome:
+            # A component the deadline kept from dispatching contributes its
+            # initial (reset) state: zero flips, zero tries, no randomness.
+            state = make_search_state(
+                components[index],
+                tasks[index].initial_assignment,
+                backend=self.options.kernel_backend,
+            )
+            result = WalkSATResult(
+                best_assignment=state.assignment_dict(),
+                best_cost=state.cost,
+                flips=0,
+                tries=0,
+                seconds=0.0,
+            )
+            return ComponentOutcome(index, result, 0.0)
+
+        outcome: ParallelOutcome = run_components(
+            components,
+            tasks,
+            parallel_backend=self.parallel_backend,
+            workers=self.workers,
+            deadline_seconds=self.options.deadline_seconds,
+            # Lazy: built (and cached) only when the resolved backend runs
+            # in-process — the processes backend caches states per worker.
+            local_states=lambda: self._component_states(components),
+            placeholder=placeholder,
+        )
 
         component_results: List[WalkSATResult] = list(outcome.results)  # type: ignore[arg-type]
-        best_assignment: Dict[int, bool] = {}
-        best_cost = 0.0
-        total_flips_done = 0
-        for result in component_results:
-            best_assignment.update(result.best_assignment)
-            if not math.isinf(result.best_cost):
-                best_cost += result.best_cost
-            total_flips_done += result.flips
-        trace = merge_traces([result.trace for result in component_results], label="tuffy")
+        best_assignment, best_cost, total_flips_done, trace = merge_walksat_results(
+            component_results, trace_label="tuffy"
+        )
         return ComponentSearchResult(
             best_assignment=best_assignment,
             best_cost=best_cost,
@@ -115,6 +161,7 @@ class ComponentAwareWalkSAT:
             simulated_seconds=outcome.sequential_simulated_seconds,
             parallel_simulated_seconds=outcome.parallel_simulated_seconds,
             trace=trace,
+            skipped_components=list(getattr(outcome, "skipped", [])),
         )
 
     # ------------------------------------------------------------------
@@ -151,21 +198,14 @@ class ComponentAwareWalkSAT:
             ]
         return self._cached_states
 
-    def _make_task(
-        self,
-        index: int,
-        component: MRF,
-        state: SearchState,
-        flips: int,
-        initial_assignment: Optional[Mapping[int, bool]],
-    ):
+    def _component_options(self, index: int, flips: int) -> WalkSATOptions:
         # Each component stops once it hits zero cost (its own optimum, since
         # the cost decomposes over components) unless the caller asked for an
         # explicit target, which is honored as-is per component.
         target_cost = (
             self.options.target_cost if self.options.target_cost is not None else 0.0
         )
-        options = WalkSATOptions(
+        return WalkSATOptions(
             max_flips=max(flips, 1),
             max_tries=self.options.max_tries,
             noise=self.options.noise,
@@ -175,24 +215,16 @@ class ComponentAwareWalkSAT:
             trace_label=f"component-{index}",
             kernel_backend=self.options.kernel_backend,
         )
-        rng = self.rng.spawn(index + 1)
-        if initial_assignment:
-            component_atoms = set(component.atom_ids)
-            restricted: Optional[Dict[int, bool]] = {
-                atom_id: value
-                for atom_id, value in initial_assignment.items()
-                if atom_id in component_atoms
-            }
-        else:
-            restricted = None
 
-        def task():
-            clock = SimulatedClock(self.cost_model)
-            searcher = WalkSAT(options, rng, clock)
-            # run_on_state resets/rerandomizes the cached state in place at
-            # the start of every try, so reuse is bit-for-bit identical to
-            # constructing a fresh state (the parity suite pins this).
-            result = searcher.run_on_state(state, restricted)
-            return result, clock.now()
-
-        return task
+    @staticmethod
+    def _restricted(
+        component: MRF, initial_assignment: Optional[Mapping[int, bool]]
+    ) -> Optional[Dict[int, bool]]:
+        if not initial_assignment:
+            return None
+        component_atoms = set(component.atom_ids)
+        return {
+            atom_id: value
+            for atom_id, value in initial_assignment.items()
+            if atom_id in component_atoms
+        }

@@ -26,6 +26,39 @@ from repro.utils.clock import SimulatedClock
 from repro.utils.rng import RandomSource
 
 
+def conditioned_mrf(
+    mrf: MRF, atom_set: Set[int], assignment: Mapping[int, bool]
+) -> MRF:
+    """Clauses restricted to one partition, with outside atoms frozen.
+
+    The conditioning step both the Gauss-Seidel sweeps and the parallel
+    partition first pass (:func:`repro.parallel.merge.gauss_seidel_refine`)
+    build their per-partition search problems from.
+    """
+    conditioned: List[GroundClause] = []
+    next_id = 1
+    for clause in mrf.clauses:
+        inside = [literal for literal in clause.literals if abs(literal) in atom_set]
+        if not inside:
+            continue
+        outside = [literal for literal in clause.literals if abs(literal) not in atom_set]
+        satisfied_outside = any(
+            assignment.get(abs(literal), False) == (literal > 0) for literal in outside
+        )
+        if satisfied_outside:
+            if clause.weight >= 0:
+                # Already satisfied regardless of this partition: drop it.
+                continue
+            # A satisfied negative-weight clause stays violated no matter
+            # what this partition does; it adds a constant and is dropped.
+            continue
+        conditioned.append(
+            GroundClause(next_id, tuple(inside), clause.weight, clause.source)
+        )
+        next_id += 1
+    return MRF.from_clauses(conditioned, extra_atoms=atom_set)
+
+
 @dataclass
 class GaussSeidelResult:
     """Outcome of a Gauss-Seidel partition-aware search."""
@@ -168,26 +201,4 @@ class GaussSeidelSearch:
     def _conditioned_mrf(
         self, mrf: MRF, atom_set: Set[int], assignment: Mapping[int, bool]
     ) -> MRF:
-        """Clauses restricted to one partition, with outside atoms frozen."""
-        conditioned: List[GroundClause] = []
-        next_id = 1
-        for clause in mrf.clauses:
-            inside = [literal for literal in clause.literals if abs(literal) in atom_set]
-            if not inside:
-                continue
-            outside = [literal for literal in clause.literals if abs(literal) not in atom_set]
-            satisfied_outside = any(
-                assignment.get(abs(literal), False) == (literal > 0) for literal in outside
-            )
-            if satisfied_outside:
-                if clause.weight >= 0:
-                    # Already satisfied regardless of this partition: drop it.
-                    continue
-                # A satisfied negative-weight clause stays violated no matter
-                # what this partition does; it adds a constant and is dropped.
-                continue
-            conditioned.append(
-                GroundClause(next_id, tuple(inside), clause.weight, clause.source)
-            )
-            next_id += 1
-        return MRF.from_clauses(conditioned, extra_atoms=atom_set)
+        return conditioned_mrf(mrf, atom_set, assignment)

@@ -2,9 +2,14 @@
 
 The paper runs WalkSAT on each MRF component with a *weighted round-robin*
 policy — component ``G_i`` receives ``total_flips * |G_i| / |G|`` steps — and
-uses a thread pool to process loaded components in parallel (Section 3.3,
-Table 7).  This module provides both pieces, plus a simulated-time model of
-parallel execution so speed-ups can be reported deterministically.
+uses a worker pool to process loaded components in parallel (Section 3.3,
+Table 7).  This module provides the flip-allocation policy, the legacy
+in-process task runner with its simulated-time model of parallel execution
+(so speed-ups can be reported deterministically), and
+:func:`run_components` — the ``parallel_backend`` seam that hands
+per-component tasks to the partition scheduler
+(:mod:`repro.parallel.scheduler`), including the true multiprocess
+shared-memory backend.
 """
 
 from __future__ import annotations
@@ -149,3 +154,47 @@ def _list_schedule_makespan(durations: Sequence[float], workers: int) -> float:
         index = loads.index(min(loads))
         loads[index] += duration
     return max(loads)
+
+
+def run_components(
+    components: Sequence[MRF],
+    tasks: Sequence["object"],
+    parallel_backend: str = "auto",
+    workers: int = 1,
+    deadline_seconds: Optional[float] = None,
+    local_states=None,
+    placeholder: Optional[Callable[[int], object]] = None,
+):
+    """Run one :class:`~repro.parallel.pool.ComponentTask` per component.
+
+    The parallel seam of the component drivers: resolves
+    ``parallel_backend`` (``auto`` | ``serial`` | ``threads`` |
+    ``processes``, see :func:`repro.parallel.resolve_parallel_backend`)
+    and hands the tasks to the partition scheduler
+    (:func:`repro.parallel.scheduler.run_component_tasks`), which
+    dispatches them largest-first, honors ``deadline_seconds`` by
+    stopping dispatch once the cumulative simulated time of completed
+    components reaches the deadline (skipped components receive
+    ``placeholder(index)``), and returns results in component order —
+    bit-identical across backends (and, when no deadline is set, across
+    worker counts; a deadline-bounded run may skip fewer components at
+    higher worker counts, since waves of ``workers`` tasks complete
+    before each deadline check).  ``local_states`` may be a sequence of
+    cached kernel states or a zero-arg callable building them; it is
+    consulted only on the in-process backends.
+    """
+    from repro.parallel import resolve_parallel_backend
+    from repro.parallel.scheduler import run_component_tasks
+
+    resolved = resolve_parallel_backend(
+        parallel_backend, workers=workers, task_count=len(components)
+    )
+    return run_component_tasks(
+        components,
+        tasks,
+        backend=resolved,
+        workers=workers,
+        deadline_seconds=deadline_seconds,
+        local_states=local_states,
+        placeholder=placeholder,
+    )

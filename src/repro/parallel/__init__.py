@@ -1,0 +1,94 @@
+"""Multiprocess partition-inference subsystem.
+
+The third backend seam of the repo, mirroring ``kernel_backend`` (search
+kernel) and ``execution_backend`` (relational engine):
+
+``parallel_backend = auto | serial | threads | processes``
+
+selects the vehicle that runs per-component inference tasks.  ``serial``
+runs them in the calling thread (the executable specification),
+``threads`` uses a thread pool (GIL-bound — useful only for I/O-flavoured
+cost models), and ``processes`` forks a worker pool that receives every
+component's flat kernel structure through one shared-memory segment
+(:mod:`repro.parallel.buffers`) and runs the existing WalkSAT / MC-SAT
+drivers unchanged (:mod:`repro.parallel.pool`).  Dispatch (largest-first,
+deadline waves) lives in :mod:`repro.parallel.scheduler`; deterministic
+result merging in :mod:`repro.parallel.merge`.
+
+**Determinism contract**: each component's task runs on an RNG stream
+derived only from the run seed and the component index, and every merge
+is performed in component order — so MAP assignments and marginals are
+bit-for-bit identical across backends and worker counts
+(``tests/test_parallel_parity.py`` proves it on example1, RC and IE).
+The backend choice is purely a wall-clock decision.  One qualification:
+a run bounded by ``deadline_seconds`` checks the deadline between waves
+of ``workers`` tasks, so more workers may complete more components
+before the budget is spent — still deterministic per worker count, and
+still identical across backends.
+
+This module keeps only the seam itself (constants + resolution) so that
+importing it from the config layer costs nothing; the heavy pieces import
+lazily.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+#: Valid values for the ``parallel_backend`` option of the component
+#: search drivers, the engine config and the CLI.
+PARALLEL_BACKENDS = ("auto", "serial", "threads", "processes")
+
+
+def processes_available() -> bool:
+    """Whether the forked worker-pool backend can run on this platform.
+
+    The pool hands workers its shared-memory buffer set by fork
+    inheritance (no attach-by-name, no resource-tracker races), so the
+    ``fork`` start method is required — available on Linux/BSD, not on
+    Windows (and not under some restricted environments).
+    """
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform probing
+        return False
+
+
+def available_parallel_backends() -> tuple:
+    """The parallel backends usable in this environment, in preference order."""
+    if processes_available():
+        return ("serial", "threads", "processes")
+    return ("serial", "threads")
+
+
+def resolve_parallel_backend(
+    backend: str = "auto", workers: int = 1, task_count: int = 2
+) -> str:
+    """Resolve a requested backend name to a concrete one for this run.
+
+    ``auto`` picks ``processes`` when there is parallelism to exploit —
+    more than one worker *and* more than one component — and the platform
+    supports the forked pool; a single component (or a single worker)
+    falls back to ``serial``, where the pool's spin-up cost cannot be
+    repaid (the bench pins the single-component overhead bound).  All
+    backends are bit-identical in results, so the choice is purely a
+    performance decision.
+    """
+    if backend not in PARALLEL_BACKENDS:
+        raise ValueError(
+            f"unknown parallel backend {backend!r}; expected one of {PARALLEL_BACKENDS}"
+        )
+    if backend == "processes":
+        if not processes_available():
+            raise RuntimeError(
+                "processes parallel backend requested but the fork start "
+                "method is not available on this platform"
+            )
+        return backend
+    if backend != "auto":
+        return backend
+    if workers <= 1 or task_count <= 1:
+        return "serial"
+    if processes_available():
+        return "processes"
+    return "threads"

@@ -1,0 +1,199 @@
+"""The multiprocess worker pool (and its serial/thread stand-ins).
+
+One task vocabulary serves every parallel backend: a
+:class:`ComponentTask` names a packed component by index and carries the
+small, picklable run parameters (driver options, the derived child-stream
+seed, the flip budget).  The function that executes a task —
+:func:`execute_component_task` — is the *same code* on every backend:
+
+* the **serial** and **threads** backends call it in-process against the
+  caller's component MRFs (and, for WalkSAT, the caller's cached kernel
+  states — the PR 2 state-reuse lifecycle);
+* the **processes** backend ships the task to a worker, which rebuilds the
+  component from the shared-memory buffer set
+  (:class:`~repro.parallel.buffers.ComponentBufferSet`) on first use,
+  caches the MRF *and* its kernel state, and runs the identical function.
+
+Because each task carries its own derived seed and runs the existing
+drivers unchanged, results are bit-for-bit identical across backends and
+worker counts; only wall-clock time changes.  Workers are forked, so the
+pool refuses to start when the ``fork`` start method is unavailable
+(callers resolve ``auto`` to ``threads`` there).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.inference.mcsat import MCSat, MCSatOptions, MarginalResult
+from repro.inference.state import make_search_state
+from repro.inference.walksat import WalkSAT, WalkSATOptions, WalkSATResult
+from repro.mrf.graph import MRF
+from repro.parallel.buffers import ComponentBufferSet
+from repro.utils.clock import CostModel, SimulatedClock
+from repro.utils.rng import RandomSource
+
+
+@dataclass
+class ComponentTask:
+    """One unit of work: search (or sample) one component.
+
+    ``index`` is the component's position in the caller's component list —
+    it names the packed buffers on the processes backend and the result
+    slot on every backend.  ``seed`` is the derived child-stream seed
+    (``parent_rng.spawn(index + 1).seed``), computed by the caller so the
+    stream is a pure function of the run seed and the component id,
+    independent of which worker runs the task or when.
+    """
+
+    index: int
+    kind: str  # "walksat" | "mcsat"
+    seed: Optional[int]
+    walksat: Optional[WalkSATOptions] = None
+    mcsat: Optional[MCSatOptions] = None
+    cost_model: CostModel = field(default_factory=CostModel)
+    initial_assignment: Optional[Dict[int, bool]] = None
+
+
+@dataclass
+class ComponentOutcome:
+    """A task's result plus its deterministic simulated duration."""
+
+    index: int
+    result: object  # WalkSATResult | MarginalResult
+    simulated_seconds: float
+
+
+def execute_component_task(
+    task: ComponentTask, mrf: MRF, state=None
+) -> ComponentOutcome:
+    """Run one task against a component MRF (every backend funnels here).
+
+    For WalkSAT tasks this reproduces the serial component search exactly:
+    a fresh :class:`WalkSAT` over the task's derived RNG stream and its own
+    simulated clock, run on a (reused or fresh) kernel state —
+    ``run_on_state`` rewrites reused states in place at the start of every
+    try, so a cached state is bit-identical to a fresh one.
+    """
+    if task.kind == "walksat":
+        options = task.walksat
+        if state is None:
+            state = make_search_state(mrf, backend=options.kernel_backend)
+        clock = SimulatedClock(task.cost_model)
+        searcher = WalkSAT(options, RandomSource(task.seed), clock)
+        result = searcher.run_on_state(state, task.initial_assignment)
+        return ComponentOutcome(task.index, result, clock.now())
+    if task.kind == "mcsat":
+        sampler = MCSat(task.mcsat, RandomSource(task.seed))
+        result = sampler.run(mrf, task.initial_assignment)
+        return ComponentOutcome(task.index, result, 0.0)
+    raise ValueError(f"unknown component task kind {task.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# The worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_main(buffers: ComponentBufferSet, task_queue, result_queue) -> None:
+    """Worker loop: rebuild-and-cache components, execute tasks, reply.
+
+    The buffer set is inherited through fork; MRFs and kernel states are
+    cached per (component, kernel backend) so a component re-dispatched
+    across rounds reuses its state exactly like the serial driver does.
+    """
+    states: Dict[Tuple[int, str], object] = {}
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            try:
+                mrf = buffers.component(task.index)
+                state = None
+                if task.kind == "walksat":
+                    key = (task.index, task.walksat.kernel_backend)
+                    state = states.get(key)
+                    if state is None:
+                        state = make_search_state(mrf, backend=task.walksat.kernel_backend)
+                        states[key] = state
+                outcome = execute_component_task(task, mrf, state)
+                result_queue.put((task.index, outcome, None))
+            except BaseException as error:  # surface, don't hang the parent
+                result_queue.put((task.index, None, repr(error)))
+    finally:
+        buffers.close()
+
+
+class WorkerPool:
+    """A pool of forked workers sharing one component buffer set."""
+
+    def __init__(self, components, workers: int) -> None:
+        context = multiprocessing.get_context("fork")
+        self.buffers = ComponentBufferSet.pack(components)
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        self.workers = max(1, min(workers, len(components) or 1))
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(self.buffers, self._tasks, self._results),
+                daemon=True,
+            )
+            for _ in range(self.workers)
+        ]
+        self._closed = False
+        for process in self._processes:
+            process.start()
+
+    def submit(self, task: ComponentTask) -> None:
+        self._tasks.put(task)
+
+    def drain(self, count: int) -> List[ComponentOutcome]:
+        """Collect ``count`` results (any completion order).
+
+        Polls with a timeout so a worker dying without replying (OOM kill,
+        segfault in an extension) surfaces as a RuntimeError instead of
+        blocking the parent forever — _worker_main only converts *Python*
+        exceptions into error replies.
+        """
+        import queue as queue_module
+
+        outcomes: List[ComponentOutcome] = []
+        failures: List[str] = []
+        received = 0
+        while received < count:
+            try:
+                index, outcome, error = self._results.get(timeout=0.5)
+            except queue_module.Empty:
+                dead = [p for p in self._processes if not p.is_alive()]
+                if dead:
+                    self.shutdown()
+                    raise RuntimeError(
+                        f"{len(dead)} parallel worker(s) died before replying "
+                        f"(exit codes {[p.exitcode for p in dead]})"
+                    )
+                continue
+            received += 1
+            if error is not None:
+                failures.append(f"component {index}: {error}")
+            else:
+                outcomes.append(outcome)
+        if failures:
+            self.shutdown()
+            raise RuntimeError(
+                "parallel component task failed: " + "; ".join(failures)
+            )
+        return outcomes
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._processes:
+            self._tasks.put(None)
+        for process in self._processes:
+            process.join()
+        self.buffers.destroy()

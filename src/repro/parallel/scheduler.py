@@ -1,0 +1,164 @@
+"""The partition scheduler: dispatch component tasks on a parallel backend.
+
+This is the execution layer behind ``parallel_backend``
+(:func:`repro.parallel.resolve_parallel_backend`): it takes the caller's
+components (typically straight from a :class:`~repro.partitioning.loader.LoadPlan`
+batch, flattened in batch order) and one :class:`ComponentTask` per
+component, and runs them
+
+* **largest-first** — components are dispatched in decreasing ``size()``
+  order (ties by lower index), the classic list-scheduling heuristic the
+  simulated Table 7 model already uses, so stragglers start early;
+* on the resolved backend — in-process for ``serial``/``threads``
+  (reusing the caller's cached kernel states), through the shared-memory
+  :class:`~repro.parallel.pool.WorkerPool` for ``processes``;
+* under the drivers' **deadline semantics** — when ``deadline_seconds``
+  is set, dispatch happens in waves of ``workers`` tasks and stops as
+  soon as the cumulative simulated time of completed components (summed
+  in dispatch order, a deterministic quantity) reaches the deadline;
+  undispatched components get the caller's placeholder result, exactly
+  like a WalkSAT try that never starts.
+
+Results are always returned **in component order** regardless of
+completion order, and every aggregate (sequential simulated seconds,
+list-scheduling makespan) is computed in the same order as the serial
+path, so seeded runs are bit-for-bit identical across backends and worker
+counts (``tests/test_parallel_parity.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from repro.inference.scheduling import ParallelOutcome, _list_schedule_makespan
+from repro.mrf.graph import MRF
+from repro.parallel.pool import (
+    ComponentOutcome,
+    ComponentTask,
+    WorkerPool,
+    execute_component_task,
+)
+from repro.utils.timer import Stopwatch
+
+
+class ScheduledOutcome(ParallelOutcome):
+    """A :class:`ParallelOutcome` plus the scheduler's dispatch record."""
+
+    def __init__(self, *args, dispatch_order=None, skipped=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.dispatch_order: List[int] = dispatch_order or []
+        self.skipped: List[int] = skipped or []
+
+
+def dispatch_order(components: Sequence[MRF]) -> List[int]:
+    """Largest-first component order (ties broken by lower index)."""
+    return sorted(range(len(components)), key=lambda i: (-components[i].size(), i))
+
+
+def run_component_tasks(
+    components: Sequence[MRF],
+    tasks: Sequence[ComponentTask],
+    backend: str,
+    workers: int = 1,
+    deadline_seconds: Optional[float] = None,
+    local_states=None,
+    placeholder: Optional[Callable[[int], ComponentOutcome]] = None,
+) -> ScheduledOutcome:
+    """Run one task per component, returning results in component order.
+
+    ``local_states`` supplies the caller's cached kernel states — one per
+    component, for the WalkSAT state-reuse lifecycle — either as a
+    sequence or as a zero-argument callable; it is only consulted (and a
+    callable only invoked) on the in-process backends, so callers never
+    build states the processes backend would ignore.  ``placeholder``
+    builds the outcome of a component the deadline prevented from
+    dispatching (it must not consume the run's RNG streams — each
+    component owns a derived stream, so skipping one never shifts
+    another's).
+
+    Note the deadline caveat: waves are sized by ``workers``, so a
+    deadline-bounded run is deterministic per worker count but may skip
+    *fewer* components at higher worker counts (more work completes
+    before the budget is spent — the point of parallelism).  Without a
+    deadline, results are identical across worker counts unconditionally.
+    """
+    if len(tasks) != len(components):
+        raise ValueError("one task per component is required")
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if backend == "processes":
+        local_states = None
+    elif callable(local_states):
+        local_states = local_states()
+    order = dispatch_order(components)
+    slots: List[Optional[ComponentOutcome]] = [None] * len(tasks)
+    skipped: List[int] = []
+    dispatched: List[int] = []
+    stopwatch = Stopwatch()
+
+    pool: Optional[WorkerPool] = None
+    executor: Optional[ThreadPoolExecutor] = None
+
+    def run_local(index: int) -> ComponentOutcome:
+        state = local_states[index] if local_states is not None else None
+        return execute_component_task(tasks[index], components[index], state)
+
+    try:
+        with stopwatch.measure():
+            if backend == "processes":
+                pool = WorkerPool(components, workers)
+            elif backend == "threads":
+                executor = ThreadPoolExecutor(max_workers=workers)
+
+            # Without a deadline the whole run is a single wave; with one,
+            # waves of `workers` tasks give a deterministic point at which
+            # the cumulative simulated spend is known and checked.
+            wave_size = len(order) if deadline_seconds is None else max(workers, 1)
+            spent = 0.0
+            cursor = 0
+            while cursor < len(order):
+                if deadline_seconds is not None and spent >= deadline_seconds:
+                    break
+                wave = order[cursor : cursor + wave_size]
+                cursor += len(wave)
+                dispatched.extend(wave)
+                if pool is not None:
+                    for index in wave:
+                        pool.submit(tasks[index])
+                    outcomes = pool.drain(len(wave))
+                elif executor is not None:
+                    outcomes = list(executor.map(run_local, wave))
+                else:
+                    outcomes = [run_local(index) for index in wave]
+                for outcome in outcomes:
+                    slots[outcome.index] = outcome
+                # Deterministic accounting: completed durations summed in
+                # dispatch order, not completion order (the wave is a
+                # barrier, so folding it in dispatch order onto the running
+                # sum is the same left-to-right float addition sequence).
+                for index in wave:
+                    spent += slots[index].simulated_seconds
+
+            for index in order[cursor:]:
+                skipped.append(index)
+                if placeholder is None:
+                    raise RuntimeError(
+                        "deadline skipped components but no placeholder was provided"
+                    )
+                slots[index] = placeholder(index)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        if executor is not None:
+            executor.shutdown()
+
+    durations = [slot.simulated_seconds for slot in slots]
+    return ScheduledOutcome(
+        results=[slot.result for slot in slots],
+        wall_seconds=stopwatch.total,
+        sequential_simulated_seconds=sum(durations),
+        parallel_simulated_seconds=_list_schedule_makespan(durations, workers),
+        dispatch_order=dispatched,
+        skipped=sorted(skipped),
+    )

@@ -311,6 +311,33 @@ def first_occurrence_indices(gids: "np.ndarray") -> "np.ndarray":
     return np.sort(order[boundary])
 
 
+def group_slices(gids: "np.ndarray") -> List[Tuple[int, "np.ndarray"]]:
+    """Group rows by group id, in first-occurrence order.
+
+    Returns ``(gid, member_row_positions)`` pairs where groups appear in
+    the order their first row appears and each group's members are in row
+    order — exactly the nesting the row engine's dict-based ``Aggregate``
+    produces.  One stable argsort instead of a Python dict fill.
+    """
+    n = len(gids)
+    if n == 0:
+        return []
+    order = np.argsort(gids, kind="stable")
+    sorted_gids = gids[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_gids[1:] != sorted_gids[:-1]
+    starts = np.nonzero(boundary)[0]
+    ends = np.append(starts[1:], n)
+    groups = [
+        (int(sorted_gids[start]), order[start:end])
+        for start, end in zip(starts, ends)
+    ]
+    # First-occurrence order == ascending first member position.
+    groups.sort(key=lambda item: int(item[1][0]))
+    return groups
+
+
 def hash_join_indices(
     left_keys: Sequence["np.ndarray"], right_keys: Sequence["np.ndarray"]
 ) -> Tuple["np.ndarray", "np.ndarray", int]:

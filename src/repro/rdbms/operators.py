@@ -35,6 +35,7 @@ from repro.rdbms.column_batch import (
     concat_batches,
     empty_batch,
     first_occurrence_indices,
+    group_slices,
     hash_join_indices,
 )
 from repro.rdbms.expressions import Expression
@@ -80,8 +81,9 @@ class PhysicalOperator:
 
         The base implementation is the row-engine fallback: drain the
         operator through the iterator model and re-encode the result.  It
-        keeps the batch model total over every operator (``Aggregate`` and
-        future additions) at row-engine speed.
+        keeps the batch model total over future operator additions at
+        row-engine speed (every current operator overrides it with a
+        native batch implementation).
         """
         return context.batch_from_rows(self.output_schema, self.rows())
 
@@ -638,6 +640,50 @@ class Aggregate(PhysicalOperator):
                 values = [row[position] for row in rows if row[position] is not None]
                 outputs.append(_AGGREGATES[function](values))
             yield tuple(outputs)
+
+    def batch(self, context: ColumnarContext) -> ColumnBatch:
+        """Native batch grouping (``array_agg`` & friends).
+
+        Group ids are computed vectorized over the key code columns and
+        grouped with one stable argsort (:func:`group_slices`), so the
+        Python work left is one aggregate-function call per group — no
+        per-row dict fills.  Output order (groups by first occurrence,
+        members in row order) and NULL handling (NULL keys group as
+        ordinary values; NULL aggregate inputs are dropped) match the
+        iterator model exactly.
+        """
+        child = self.child.batch(context).materialize()
+        n = child.length
+        if n == 0:
+            return empty_batch(self.output_schema)
+        if self._group_positions:
+            gids = composite_codes(
+                [child.column_codes(p) for p in self._group_positions]
+            )
+        else:
+            gids = np.zeros(n, dtype=np.int64)
+        groups = group_slices(gids)
+        # group_slices orders groups by first member position, so this is
+        # exactly one first row per group, aligned with `groups`.
+        first_rows = first_occurrence_indices(gids)
+        columns = [
+            child.column_codes(position)[first_rows]
+            for position in self._group_positions
+        ]
+        encoder = context.encoder
+        for (function, _, _), position in zip(
+            self.aggregates, self._aggregate_positions
+        ):
+            decoded = encoder.decode_list(child.column_codes(position))
+            aggregate = _AGGREGATES[function]
+            outputs = []
+            for _gid, members in groups:
+                values = [
+                    decoded[row] for row in members.tolist() if decoded[row] is not None
+                ]
+                outputs.append(aggregate(values))
+            columns.append(encoder.encode_values(outputs))
+        return ColumnBatch(self.output_schema, columns)
 
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent

@@ -32,8 +32,19 @@ class Table:
         #: Bumped on every mutation; the columnar executor keys its encoded
         #: column cache on it to detect stale materialisations.
         self.version = 0
+        #: Optional logical-contents stamp (see :meth:`stamp_contents`):
+        #: producers that fully rebuild the table from some versioned
+        #: source record ``(source id, source version, ...)`` here and skip
+        #: the rebuild — leaving ``version`` untouched, so downstream
+        #: caches (the encoded-column cache) stay warm — when the stamp
+        #: still matches.  Any mutation clears it.
+        self.contents_stamp: Optional[Tuple[Any, ...]] = None
         if storage is not None:
             storage.create_table(name)
+
+    def stamp_contents(self, stamp: Tuple[Any, ...]) -> None:
+        """Record the logical source the current rows were built from."""
+        self.contents_stamp = stamp
 
     # ------------------------------------------------------------------
     # Mutation
@@ -44,6 +55,7 @@ class Table:
         validated = self.schema.validate_row(row)
         self.rows.append(validated)
         self.version += 1
+        self.contents_stamp = None
         if self.storage is not None:
             self.storage.append_row(self.name, validated)
         return validated
@@ -59,6 +71,7 @@ class Table:
         self.rows.extend(validated_rows)
         if count:
             self.version += 1
+            self.contents_stamp = None
         if self.storage is not None and validated_rows:
             self.storage.bulk_load(self.name, validated_rows)
         return count
@@ -75,6 +88,7 @@ class Table:
         self.rows.extend(rows)
         if count:
             self.version += 1
+            self.contents_stamp = None
         if self.storage is not None and rows:
             self.storage.bulk_load(self.name, rows)
         return count
@@ -82,6 +96,7 @@ class Table:
     def truncate(self) -> None:
         self.rows.clear()
         self.version += 1
+        self.contents_stamp = None
         if self.storage is not None:
             self.storage.drop_table(self.name)
             self.storage.create_table(self.name)

@@ -55,6 +55,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dataset", "RC", "--kernel-backend", "simd"])
 
+    def test_parallel_backend_choices(self):
+        arguments = build_parser().parse_args(
+            ["dataset", "IE", "--parallel-backend", "processes", "--workers", "4"]
+        )
+        assert arguments.parallel_backend == "processes"
+        assert build_parser().parse_args(["dataset", "IE"]).parallel_backend == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "IE", "--parallel-backend", "cluster"])
+
+    def test_parallel_backend_threaded_into_config(self):
+        from repro.cli import _config_from_arguments
+
+        arguments = build_parser().parse_args(
+            ["dataset", "IE", "--parallel-backend", "serial", "--workers", "3"]
+        )
+        config = _config_from_arguments(arguments)
+        assert config.parallel_backend == "serial"
+        assert config.workers == 3
+
 
 class TestStatsCommand:
     def test_prints_table1_fields(self, program_files):
@@ -94,6 +113,34 @@ class TestInferCommand:
             outputs[backend] = (atoms_section, cost_lines)
         # Identical inferred atoms and cost; only wall-clock lines may differ.
         assert outputs["row"] == outputs["columnar"]
+
+    def test_map_inference_on_forced_parallel_backends(self, program_files):
+        from repro.parallel import processes_available
+
+        program, evidence = program_files
+        backends = ["serial", "threads"] + (
+            ["processes"] if processes_available() else []
+        )
+        outputs = {}
+        for backend in backends:
+            output = io.StringIO()
+            status = main(
+                [
+                    "infer", "-i", program, "-e", evidence,
+                    "--max-flips", "2000",
+                    "--workers", "2",
+                    "--parallel-backend", backend,
+                ],
+                stream=output,
+            )
+            assert status == 0
+            text = output.getvalue()
+            atoms_section = text.split("\n#\n")[0]
+            cost_lines = [line for line in text.splitlines() if "cost" in line]
+            outputs[backend] = (atoms_section, cost_lines)
+        # Identical inferred atoms and cost on every parallel backend.
+        for backend in backends[1:]:
+            assert outputs[backend] == outputs["serial"]
 
     def test_map_inference_prints_atoms_and_summary(self, program_files):
         program, evidence = program_files

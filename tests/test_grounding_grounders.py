@@ -106,6 +106,93 @@ class TestBottomUpGrounder:
                 assert shape == reference
 
 
+class TestAtomTableReuse:
+    """Atom tables (and the columnar encoded-column cache keyed on their
+    version) are reused across ground() calls while the atom registry is
+    unchanged, and rebuilt the moment it mutates."""
+
+    def _grounder_and_program(self):
+        from repro.rdbms.database import Database
+
+        program = figure1_program()
+        database = Database()
+        grounder = BottomUpGrounder(database=database)
+        return grounder, program, database
+
+    def test_registry_version_tracks_mutations(self):
+        program = figure1_program()
+        atoms = program.build_atom_registry()
+        version = atoms.version
+        # Re-registering known atoms with known truth changes nothing.
+        record = next(iter(atoms))
+        atoms.register(record.atom, record.truth)
+        assert atoms.version == version
+        # A truth value moving from unknown to fixed bumps the version.
+        query_record = atoms.record(atoms.query_atom_ids()[0])
+        atoms.register(query_record.atom, True)
+        assert atoms.version == version + 1
+
+    def test_tables_reused_while_registry_unchanged(self):
+        grounder, program, database = self._grounder_and_program()
+        clauses = program.clauses()
+        atoms = program.build_atom_registry()
+        first = grounder.ground(clauses, atoms)
+        table = database.table("pred_cat")
+        version_after_first = table.version
+        second = grounder.ground(clauses, atoms)
+        # No truncate + reload: the table version (the columnar cache key)
+        # is untouched, and the grounding is identical.
+        assert table.version == version_after_first
+        assert canonical(first.clauses) == canonical(second.clauses)
+
+    def test_encoded_column_cache_survives_reground(self):
+        pytest.importorskip("numpy")
+        from repro.rdbms.database import Database
+
+        program = figure1_program()
+        database = Database(execution_backend="columnar")
+        grounder = BottomUpGrounder(database=database, execution_backend="columnar")
+        clauses = program.clauses()
+        atoms = program.build_atom_registry()
+        grounder.ground(clauses, atoms)
+        context = database.executor.columnar_context()
+        table = database.table("pred_cat")
+        cached = context.table_columns(table)
+        grounder.ground(clauses, atoms)
+        # Same encoded arrays, not a re-encoded copy.
+        assert context.table_columns(table) is cached
+
+    def test_registry_mutation_invalidates_and_regrounds(self):
+        grounder, program, database = self._grounder_and_program()
+        clauses = program.clauses()
+        atoms = program.build_atom_registry()
+        first = grounder.ground(clauses, atoms)
+        table = database.table("pred_cat")
+        version_after_first = table.version
+        # New evidence: cat(P3, "AI") becomes fixed-true.
+        record = atoms.record(atoms.lookup("cat", ("P3", "AI")))
+        atoms.register(record.atom, True)
+        second = grounder.ground(clauses, atoms)
+        assert table.version > version_after_first  # reloaded
+        assert canonical(first.clauses) != canonical(second.clauses)
+        # The new evidence atom no longer appears as a query literal.
+        evidence_id = record.atom_id
+        for clause in second.clauses:
+            assert evidence_id not in {abs(l) for l in clause.literals}
+
+    def test_distinct_registries_never_share_tables(self):
+        grounder, program, database = self._grounder_and_program()
+        clauses = program.clauses()
+        first = grounder.ground(clauses, program.build_atom_registry())
+        other_program = figure1_program()
+        other_atoms = other_program.build_atom_registry()
+        table = database.table("pred_cat")
+        version_after_first = table.version
+        grounder.ground(other_program.clauses(), other_atoms)
+        # Same logical contents but a different registry object: reloaded.
+        assert table.version > version_after_first
+
+
 class TestTopDownGrounder:
     def test_matches_bottom_up_on_figure1(self):
         program = figure1_program()

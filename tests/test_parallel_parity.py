@@ -1,0 +1,168 @@
+"""Parallel-backend parity: results must not depend on the vehicle.
+
+The determinism contract of ``repro.parallel`` (see its module docstring):
+per-component RNG streams derive only from the run seed and the component
+index, and merges happen in component order — so MAP best assignments and
+MC-SAT marginals are **bit-for-bit identical** across
+``serial``/``threads``/``processes`` backends and across worker counts
+(1, 2, 4), on example1, RC and IE.  The backend is purely a wall-clock
+decision.
+"""
+
+import pytest
+
+from repro.core.config import InferenceConfig
+from repro.core.engine import TuffyEngine
+from repro.datasets import DatasetScale, load_dataset
+from repro.datasets.example1 import example1_mrf
+from repro.inference.component_walksat import ComponentAwareWalkSAT
+from repro.inference.mcsat import MCSat, MCSatOptions
+from repro.inference.walksat import WalkSATOptions
+from repro.mrf.components import connected_components
+from repro.parallel import (
+    PARALLEL_BACKENDS,
+    available_parallel_backends,
+    processes_available,
+    resolve_parallel_backend,
+)
+from repro.utils.rng import RandomSource
+
+BACKENDS = [
+    backend for backend in ("serial", "threads", "processes")
+    if backend != "processes" or processes_available()
+]
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _dataset_components(name: str, factor: float):
+    dataset = load_dataset(name, DatasetScale(factor=factor, seed=0))
+    engine = TuffyEngine(dataset.program, InferenceConfig(seed=0))
+    return engine.detect_components().components
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "example1": connected_components(example1_mrf(10)).components,
+        "RC": _dataset_components("RC", 0.25),
+        "IE": _dataset_components("IE", 0.2),
+    }
+
+
+class TestMapParity:
+    @pytest.mark.parametrize("workload", ("example1", "RC", "IE"))
+    def test_best_assignment_bit_identical(self, workloads, workload):
+        components = workloads[workload]
+        assert len(components) > 1
+        reference = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=2000),
+            RandomSource(0),
+            parallel_backend="serial",
+        ).run(components, total_flips=2000)
+        for backend in BACKENDS:
+            for workers in WORKER_COUNTS:
+                result = ComponentAwareWalkSAT(
+                    WalkSATOptions(max_flips=2000),
+                    RandomSource(0),
+                    workers=workers,
+                    parallel_backend=backend,
+                ).run(components, total_flips=2000)
+                key = (workload, backend, workers)
+                assert result.best_assignment == reference.best_assignment, key
+                assert result.best_cost == reference.best_cost, key
+                assert result.flips == reference.flips, key
+                # Per-component outcomes agree too (not just the merge).
+                assert [r.best_cost for r in result.component_results] == [
+                    r.best_cost for r in reference.component_results
+                ], key
+                # The deterministic simulated accounting is also identical.
+                assert result.simulated_seconds == reference.simulated_seconds, key
+
+    def test_engine_map_parity_across_backends(self):
+        results = {}
+        for backend in BACKENDS:
+            dataset = load_dataset("IE", DatasetScale(factor=0.15, seed=0))
+            engine = TuffyEngine(
+                dataset.program,
+                InferenceConfig(
+                    seed=0, max_flips=1500, workers=2, parallel_backend=backend
+                ),
+            )
+            outcome = engine.run_map()
+            results[backend] = (outcome.assignment, outcome.cost, outcome.flips)
+        reference = results["serial"]
+        for backend, payload in results.items():
+            assert payload == reference, backend
+
+
+class TestMarginalParity:
+    @pytest.mark.parametrize("workload", ("example1", "RC", "IE"))
+    def test_marginals_bit_identical(self, workloads, workload):
+        components = workloads[workload]
+        reference = MCSat(
+            MCSatOptions(samples=6, burn_in=2), RandomSource(0)
+        ).run_components(components, parallel_backend="serial")
+        for backend in BACKENDS:
+            for workers in WORKER_COUNTS:
+                result = MCSat(
+                    MCSatOptions(samples=6, burn_in=2), RandomSource(0)
+                ).run_components(components, parallel_backend=backend, workers=workers)
+                assert result.probabilities == reference.probabilities, (
+                    workload,
+                    backend,
+                    workers,
+                )
+                assert result.samples == reference.samples
+
+    def test_engine_marginal_parity_across_backends(self):
+        results = {}
+        for backend in BACKENDS:
+            dataset = load_dataset("IE", DatasetScale(factor=0.15, seed=0))
+            engine = TuffyEngine(
+                dataset.program,
+                InferenceConfig(
+                    seed=0,
+                    mcsat_samples=5,
+                    mcsat_burn_in=1,
+                    workers=2,
+                    parallel_backend=backend,
+                ),
+            )
+            results[backend] = engine.run_marginal().marginals.probabilities
+        reference = results["serial"]
+        for backend, probabilities in results.items():
+            assert probabilities == reference, backend
+
+
+class TestBackendResolution:
+    def test_constants_and_availability(self):
+        assert PARALLEL_BACKENDS == ("auto", "serial", "threads", "processes")
+        assert "serial" in available_parallel_backends()
+
+    def test_auto_falls_back_to_serial_without_parallelism(self):
+        # Single component: the pool cannot win, regardless of workers.
+        assert resolve_parallel_backend("auto", workers=4, task_count=1) == "serial"
+        # Single worker: nothing to parallelise.
+        assert resolve_parallel_backend("auto", workers=1, task_count=8) == "serial"
+
+    def test_auto_engages_processes_when_parallelism_exists(self):
+        if not processes_available():
+            pytest.skip("fork start method unavailable")
+        assert resolve_parallel_backend("auto", workers=4, task_count=8) == "processes"
+
+    def test_explicit_backends_are_honoured(self):
+        assert resolve_parallel_backend("serial", workers=4, task_count=8) == "serial"
+        assert resolve_parallel_backend("threads", workers=4, task_count=8) == "threads"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_parallel_backend("cluster")
+
+    def test_config_validates_parallel_backend(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            InferenceConfig(parallel_backend="cluster")
+        assert InferenceConfig(parallel_backend="processes").parallel_backend == (
+            "processes"
+        )

@@ -1,0 +1,325 @@
+"""The partition scheduler: buffers, dispatch order, deadline handling.
+
+Covers the pieces under the ``parallel_backend`` seam that the parity
+suite does not: the shared-memory component buffers round-trip exactly,
+dispatch is largest-first, ``scheduling.run_components`` stops dispatching
+once the deadline's simulated budget is spent (under every backend), and
+the Gauss-Seidel refinement merge is backend-independent.
+"""
+
+import math
+
+import pytest
+
+from repro.grounding.clause_table import GroundClauseStore
+from repro.inference.component_walksat import ComponentAwareWalkSAT
+from repro.inference.scheduling import run_components
+from repro.inference.walksat import WalkSATOptions
+from repro.mrf.graph import MRF
+from repro.parallel import processes_available
+from repro.parallel.buffers import ComponentBufferSet
+from repro.parallel.merge import gauss_seidel_refine
+from repro.parallel.pool import ComponentOutcome, ComponentTask, execute_component_task
+from repro.parallel.scheduler import dispatch_order
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.utils.rng import RandomSource
+
+BACKENDS = [
+    backend for backend in ("serial", "threads", "processes")
+    if backend != "processes" or processes_available()
+]
+
+
+def conflicted_chain(n_atoms, first_atom=1, weight=1.0):
+    """A chain component whose optimum cost is strictly positive.
+
+    Unit clauses push every atom both ways, so WalkSAT never reaches zero
+    violated clauses and spends its whole flip budget — which makes the
+    simulated durations (and therefore deadline behaviour) predictable.
+    """
+    store = GroundClauseStore()
+    atoms = list(range(first_atom, first_atom + n_atoms))
+    for left, right in zip(atoms, atoms[1:]):
+        store.add((left, right), weight)
+    for atom in atoms:
+        store.add((atom,), weight)
+        store.add((-atom,), weight * 0.8)
+    return MRF.from_store(store)
+
+
+def sized_components():
+    """Three disjoint components with strictly decreasing sizes."""
+    return [
+        conflicted_chain(9, first_atom=1),
+        conflicted_chain(5, first_atom=100),
+        conflicted_chain(2, first_atom=200),
+    ]
+
+
+def walksat_tasks(components, flips=300, noise=0.5):
+    rng = RandomSource(0)
+    return [
+        ComponentTask(
+            index=index,
+            kind="walksat",
+            seed=rng.spawn(index + 1).seed,
+            walksat=WalkSATOptions(max_flips=flips, noise=noise),
+        )
+        for index in range(len(components))
+    ]
+
+
+def zero_flip_placeholder(components):
+    from repro.inference.state import make_search_state
+    from repro.inference.walksat import WalkSATResult
+
+    def placeholder(index):
+        state = make_search_state(components[index])
+        result = WalkSATResult(
+            best_assignment=state.assignment_dict(),
+            best_cost=state.cost,
+            flips=0,
+            tries=0,
+            seconds=0.0,
+        )
+        return ComponentOutcome(index, result, 0.0)
+
+    return placeholder
+
+
+class TestComponentBuffers:
+    def test_roundtrip_preserves_structure(self):
+        components = sized_components()
+        # A hard and a negative clause exercise the weight encoding.
+        store = GroundClauseStore()
+        store.add((300, 301), math.inf)
+        store.add((-301, 302), -2.5)
+        components.append(MRF.from_store(store))
+        buffers = ComponentBufferSet.pack(components)
+        try:
+            assert len(buffers) == len(components)
+            for index, original in enumerate(components):
+                rebuilt = buffers.component(index)
+                assert rebuilt.atom_ids == original.atom_ids
+                assert [c.literals for c in rebuilt.clauses] == [
+                    c.literals for c in original.clauses
+                ]
+                assert [c.weight for c in rebuilt.clauses] == [
+                    c.weight for c in original.clauses
+                ]
+                original_view = original.flat_view()
+                rebuilt_view = rebuilt.flat_view()
+                assert rebuilt_view.clause_codes == original_view.clause_codes
+                assert rebuilt_view.adjacency == original_view.adjacency
+                assert (
+                    rebuilt_view.clause_atom_positions
+                    == original_view.clause_atom_positions
+                )
+                # Rebuilt components are cached, not rebuilt per task.
+                assert buffers.component(index) is rebuilt
+        finally:
+            buffers.destroy()
+
+    def test_rebuilt_component_searches_identically(self):
+        components = sized_components()
+        buffers = ComponentBufferSet.pack(components)
+        try:
+            task = walksat_tasks(components)[0]
+            original = execute_component_task(task, components[0])
+            rebuilt = execute_component_task(task, buffers.component(0))
+            assert rebuilt.result.best_assignment == original.result.best_assignment
+            assert rebuilt.result.best_cost == original.result.best_cost
+            assert rebuilt.simulated_seconds == original.simulated_seconds
+        finally:
+            buffers.destroy()
+
+
+class TestDispatchOrder:
+    def test_largest_first_with_stable_ties(self):
+        components = sized_components()
+        assert dispatch_order(components) == [0, 1, 2]
+        assert dispatch_order(list(reversed(components))) == [2, 1, 0]
+        same = [conflicted_chain(3, first_atom=base) for base in (1, 100, 200)]
+        assert dispatch_order(same) == [0, 1, 2]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scheduler_records_dispatch_order(self, backend):
+        components = list(reversed(sized_components()))
+        outcome = run_components(
+            components,
+            walksat_tasks(components),
+            parallel_backend=backend,
+            workers=2,
+        )
+        assert outcome.dispatch_order == [2, 1, 0]
+        assert outcome.skipped == []
+
+
+class TestDeadlineHandling:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_expired_deadline_stops_all_dispatch(self, backend):
+        components = sized_components()
+        tasks = walksat_tasks(components)
+        outcome = run_components(
+            components,
+            tasks,
+            parallel_backend=backend,
+            workers=2,
+            deadline_seconds=0.0,
+            placeholder=zero_flip_placeholder(components),
+        )
+        assert outcome.skipped == [0, 1, 2]
+        assert outcome.dispatch_order == []
+        assert all(result.flips == 0 for result in outcome.results)
+        assert outcome.sequential_simulated_seconds == 0.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_deadline_stops_dispatch_after_first_wave(self, backend, workers):
+        components = sized_components()
+        tasks = walksat_tasks(components)
+        outcome = run_components(
+            components,
+            tasks,
+            parallel_backend=backend,
+            workers=workers,
+            deadline_seconds=1e-9,
+            placeholder=zero_flip_placeholder(components),
+        )
+        # The first wave (of `workers` largest components) dispatches; its
+        # simulated spend then exceeds the deadline and the rest is skipped.
+        expected_dispatched = dispatch_order(components)[:workers]
+        assert outcome.dispatch_order == expected_dispatched
+        assert outcome.skipped == sorted(
+            set(range(len(components))) - set(expected_dispatched)
+        )
+        for index, result in enumerate(outcome.results):
+            if index in expected_dispatched:
+                assert result.flips > 0
+            else:
+                assert result.flips == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_component_walksat_deadline_is_deterministic(self, backend):
+        components = sized_components()
+        searcher = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=900, deadline_seconds=1e-9),
+            RandomSource(0),
+            parallel_backend=backend,
+        )
+        result = searcher.run(components, total_flips=900)
+        # workers=1: exactly the largest component ran; the others carry
+        # their deterministic initial (all-false-reset) placeholder state.
+        assert result.skipped_components == [1, 2]
+        assert result.component_results[0].flips > 0
+        assert result.component_results[1].flips == 0
+        assert result.component_results[2].flips == 0
+        assert set(result.best_assignment) == {
+            atom for component in components for atom in component.atom_ids
+        }
+        reference = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=900, deadline_seconds=1e-9),
+            RandomSource(0),
+            parallel_backend="serial",
+        ).run(components, total_flips=900)
+        assert result.best_assignment == reference.best_assignment
+        assert result.best_cost == reference.best_cost
+
+    def test_deadline_run_identical_across_backends_at_fixed_workers(self):
+        """The qualified contract: under a deadline, results depend on the
+        worker count (waves of `workers` complete before each check) but
+        are still bit-identical across backends for a fixed worker count."""
+        components = sized_components()
+        results = {}
+        for backend in BACKENDS:
+            results[backend] = ComponentAwareWalkSAT(
+                WalkSATOptions(max_flips=900, deadline_seconds=1e-9),
+                RandomSource(0),
+                workers=2,
+                parallel_backend=backend,
+            ).run(components, total_flips=900)
+        reference = results["serial"]
+        assert reference.skipped_components == [2]  # wave of 2 dispatched
+        for backend, result in results.items():
+            assert result.best_assignment == reference.best_assignment, backend
+            assert result.best_cost == reference.best_cost, backend
+            assert result.skipped_components == reference.skipped_components
+
+    def test_no_deadline_dispatches_everything_in_one_wave(self):
+        components = sized_components()
+        outcome = run_components(
+            components,
+            walksat_tasks(components),
+            parallel_backend="serial",
+            workers=1,
+        )
+        assert outcome.skipped == []
+        assert all(result.flips > 0 for result in outcome.results)
+
+    def test_missing_placeholder_is_an_error(self):
+        components = sized_components()
+        with pytest.raises(RuntimeError):
+            run_components(
+                components,
+                walksat_tasks(components),
+                parallel_backend="serial",
+                workers=1,
+                deadline_seconds=0.0,
+            )
+
+
+class TestTaskErrors:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bad_task_kind_surfaces(self, backend):
+        components = sized_components()
+        tasks = walksat_tasks(components)
+        tasks[1] = ComponentTask(index=1, kind="bogus", seed=0)
+        with pytest.raises((ValueError, RuntimeError)):
+            run_components(
+                components, tasks, parallel_backend=backend, workers=2
+            )
+
+
+class TestGaussSeidelRefine:
+    def _oversized(self):
+        return conflicted_chain(16), GreedyPartitioner(24)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_refine_backend_independent(self, backend):
+        mrf, partitioner = self._oversized()
+        partitions = partitioner.partition(mrf).atom_partitions
+        assert len(partitions) > 1
+        reference = gauss_seidel_refine(
+            mrf,
+            partitions,
+            options=WalkSATOptions(max_flips=800),
+            rng=RandomSource(3),
+            rounds=2,
+        )
+        result = gauss_seidel_refine(
+            mrf,
+            partitions,
+            options=WalkSATOptions(max_flips=800),
+            rng=RandomSource(3),
+            rounds=2,
+            parallel_backend=backend,
+            workers=2,
+        )
+        assert result.best_assignment == reference.best_assignment
+        assert result.best_cost == reference.best_cost
+        assert result.flips == reference.flips
+
+    def test_refine_covers_all_atoms_and_counts_cut(self):
+        mrf, partitioner = self._oversized()
+        partitions = partitioner.partition(mrf).atom_partitions
+        result = gauss_seidel_refine(
+            mrf,
+            partitions,
+            options=WalkSATOptions(max_flips=800),
+            rng=RandomSource(0),
+            rounds=2,
+        )
+        assert set(result.best_assignment) == set(mrf.atom_ids)
+        assert result.cut_clause_count >= 1
+        assert result.flips > 0
+        assert result.best_cost < math.inf

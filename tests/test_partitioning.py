@@ -237,3 +237,53 @@ class TestTradeoffEstimator:
         partitioning = GreedyPartitioner(math.inf).partition(mrf)
         with pytest.raises(ValueError):
             partitioning_benefit(mrf, partitioning, steps_per_round=0)
+
+    def test_estimate_terms_match_the_formula(self):
+        """W = 2^(N/3) - T * |cut| / |E| on a crafted partitioning."""
+        mrf = chain_mrf(12, weight_step=False)  # 11 clauses
+        partitioning = GreedyPartitioner(8).partition(mrf)
+        estimate = partitioning_benefit(mrf, partitioning, steps_per_round=100)
+        assert estimate.total_clauses == 11
+        assert estimate.cut_clauses == partitioning.cut_size
+        assert estimate.positive_components == partitioning.partition_count
+        assert estimate.speedup_term == pytest.approx(
+            2.0 ** (partitioning.partition_count / 3.0)
+        )
+        assert estimate.slowdown_term == pytest.approx(
+            100 * partitioning.cut_size / 11
+        )
+        assert estimate.benefit == pytest.approx(
+            estimate.speedup_term - estimate.slowdown_term
+        )
+
+    def test_positive_component_override_flips_the_verdict(self):
+        """The caller's knowledge of zero-cost components changes the call:
+        the same cut is worth paying for many positive-cost components and
+        not for a single one."""
+        mrf = chain_mrf(40, weight_step=False)
+        partitioning = GreedyPartitioner(6).partition(mrf)
+        assert partitioning.partition_count >= 8
+        optimistic = partitioning_benefit(mrf, partitioning, steps_per_round=150)
+        pessimistic = partitioning_benefit(
+            mrf, partitioning, steps_per_round=150, positive_cost_components=1
+        )
+        assert optimistic.is_beneficial
+        assert not pessimistic.is_beneficial
+        assert optimistic.slowdown_term == pessimistic.slowdown_term
+
+    def test_exponent_cap_keeps_the_estimate_finite(self):
+        mrf = example1_mrf(400)
+        partitioning = GreedyPartitioner(math.inf).partition(mrf)
+        estimate = partitioning_benefit(
+            mrf, partitioning, steps_per_round=10, cap_exponent=60.0
+        )
+        assert estimate.speedup_term == 2.0 ** 60
+        assert math.isfinite(estimate.benefit)
+        assert estimate.is_beneficial
+
+    def test_empty_mrf_has_zero_slowdown(self):
+        mrf = MRF.from_clauses([])
+        partitioning = GreedyPartitioner(math.inf).partition(mrf)
+        estimate = partitioning_benefit(mrf, partitioning, steps_per_round=10)
+        assert estimate.slowdown_term == 0.0
+        assert estimate.cut_clauses == 0

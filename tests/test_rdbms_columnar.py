@@ -271,7 +271,7 @@ class TestOperatorParity:
         rows, cols, _, _ = run_both(lambda: Limit(TableScan(people, "p"), 3))
         assert rows == cols
 
-    def test_aggregate_falls_back_to_row_engine(self, visits):
+    def test_aggregate_native_batch_parity(self, visits):
         rows, cols, _, _ = run_both(
             lambda: Aggregate(
                 TableScan(visits, "v"),
@@ -280,6 +280,54 @@ class TestOperatorParity:
             )
         )
         assert rows == cols
+        # Groups in first-occurrence order, including the NULL-city group.
+        assert [row[0] for row in rows] == ["NYC", "LA", None, "SF"]
+
+    def test_aggregate_array_agg_ordered_parity(self, people):
+        """array_agg (collect): member values in row order per group, NULL
+        inputs dropped — ordered parity with the iterator model."""
+        rows, cols, _, _ = run_both(
+            lambda: Aggregate(
+                TableScan(people, "p"),
+                ["p.name"],
+                [("collect", "p.city", "cities")],
+            )
+        )
+        assert rows == cols
+        by_name = dict(rows)
+        assert by_name["ann"] == ("NYC", "LA")  # row order within the group
+        assert by_name["bob"] == ()  # NULL input dropped
+
+    def test_aggregate_every_function_and_multi_key(self, visits):
+        rows, cols, _, _ = run_both(
+            lambda: Aggregate(
+                TableScan(visits, "v"),
+                ["v.city"],
+                [
+                    ("count", "v.score", "n"),
+                    ("sum", "v.score", "total"),
+                    ("min", "v.score", "lo"),
+                    ("max", "v.score", "hi"),
+                    ("collect", "v.score", "all"),
+                ],
+            )
+        )
+        assert rows == cols
+
+    def test_aggregate_no_group_by(self, visits):
+        rows, cols, _, _ = run_both(
+            lambda: Aggregate(
+                TableScan(visits, "v"), [], [("sum", "v.score", "total")]
+            )
+        )
+        assert rows == cols == [(26,)]
+
+    def test_aggregate_empty_input(self):
+        empty = make_table("empty_agg", [("x", ColumnType.INTEGER)], [])
+        rows, cols, _, _ = run_both(
+            lambda: Aggregate(TableScan(empty, "e"), ["e.x"], [("count", "e.x", "n")])
+        )
+        assert rows == cols == []
 
     def test_empty_table(self):
         empty = make_table("empty", [("x", ColumnType.INTEGER)], [])
