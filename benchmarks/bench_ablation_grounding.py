@@ -11,8 +11,7 @@ ablation measures each on the RC workload:
 * lazy closure on: never more clauses than the full grounding.
 """
 
-from benchmarks.harness import default_config, emit, fresh_dataset, render_table
-from repro.core import TuffyEngine
+from benchmarks.harness import emit, fresh_dataset, render_table
 from repro.grounding.bottom_up import BottomUpGrounder
 from repro.grounding.lazy import active_closure
 from repro.rdbms.optimizer import OptimizerOptions

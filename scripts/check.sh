@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo check: byte-compile everything, run the tier-1 test suite (see
-# ROADMAP.md), then the kernel-parity suite and a quick benchmark per
+# Repo check: byte-compile everything, run the static-analysis gate
+# (the determinism & parity linter, plus ruff/mypy when installed), run
+# the tier-1 test suite (see ROADMAP.md), then a quick benchmark per
 # backend seam — search kernel (flat/vectorized; the vectorized backend
 # skips itself cleanly when numpy is absent), execution backend
 # (row/columnar), and parallel backend (serial/processes; wall-clock
@@ -12,6 +13,24 @@ cd "$(dirname "$0")/.."
 
 echo "== compileall =="
 python -m compileall -q src
+
+echo "== static analysis (determinism & parity linter; gating) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.analysis src \
+  --json-out benchmarks/results/ANALYSIS_findings.json
+
+if command -v ruff >/dev/null 2>&1; then
+  echo "== ruff (pyproject.toml config) =="
+  ruff check src tests benchmarks
+else
+  echo "== ruff not installed; skipping (tree is kept ruff-clean regardless) =="
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+  echo "== mypy (strict on repro.analysis / repro.utils) =="
+  MYPYPATH=src mypy -p repro.analysis -p repro.utils
+else
+  echo "== mypy not installed; skipping (strict scope: repro.analysis, repro.utils) =="
+fi
 
 echo "== tier-1 tests (includes the kernel parity suite, all backends) =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q

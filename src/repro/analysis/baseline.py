@@ -1,0 +1,140 @@
+"""The checked-in baseline of grandfathered analyzer findings.
+
+The baseline lets the analyzer gate a tree that still contains *known,
+reviewed* violations: each entry records a finding's location-independent
+identity (rule, path, message) plus how many identical findings are
+grandfathered in that file — line numbers are deliberately not stored, so
+edits elsewhere in a file do not invalidate the baseline.  New findings
+(anything beyond the recorded multiset) still fail the run, and entries that
+no longer match anything are reported as stale so the baseline shrinks
+monotonically instead of rotting.
+
+Every entry carries a required ``justification`` string, mirroring the
+inline ``# repro: allow(...)`` contract: nothing is grandfathered silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.framework import Finding
+
+BASELINE_VERSION = 1
+
+#: The identity a baseline entry matches findings by.
+BaselineKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    count: int
+    justification: str
+
+    def key(self) -> BaselineKey:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class BaselineMatch:
+    """The outcome of filtering a finding list through a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    """An in-memory baseline, loadable from / serialisable to JSON."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: not a version-{BASELINE_VERSION} analysis baseline"
+            )
+        raw_entries = document.get("findings")
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"{path}: baseline 'findings' must be a list")
+        entries: List[BaselineEntry] = []
+        for raw in raw_entries:
+            if not isinstance(raw, dict):
+                raise ValueError(f"{path}: baseline entries must be objects")
+            justification = str(raw.get("justification", "")).strip()
+            if not justification:
+                raise ValueError(
+                    f"{path}: baseline entry for {raw.get('rule')!r} in "
+                    f"{raw.get('path')!r} has no justification"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        """Build a baseline grandfathering the given findings.
+
+        Used by ``--update-baseline``; the single justification is applied
+        to every entry and should be edited per entry afterwards.
+        """
+        counts: Dict[BaselineKey, int] = {}
+        for finding in findings:
+            counts[finding.key()] = counts.get(finding.key(), 0) + 1
+        entries = [
+            BaselineEntry(rule=rule, path=path, message=message, count=count,
+                          justification=justification)
+            for (rule, path, message), count in sorted(counts.items())
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        document = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "message": entry.message,
+                    "count": entry.count,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def apply(self, findings: Sequence[Finding]) -> BaselineMatch:
+        """Split findings into new vs grandfathered, and report stale entries."""
+        budget: Dict[BaselineKey, int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        match = BaselineMatch()
+        for finding in findings:
+            key = finding.key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                match.baselined.append(finding)
+            else:
+                match.new.append(finding)
+        leftover = {key for key, remaining in budget.items() if remaining > 0}
+        match.stale = [entry for entry in self.entries if entry.key() in leftover]
+        return match

@@ -1,0 +1,16 @@
+"""Rule families of the determinism & parity linter.
+
+Importing this package registers every rule with
+:data:`repro.analysis.framework.RULE_REGISTRY`; the families are
+
+* :mod:`repro.analysis.rules.determinism` — hash-order iteration, raw RNG,
+  wall-clock reads and unordered float accumulation;
+* :mod:`repro.analysis.rules.concurrency` — fork-safety of the parallel
+  backend (module state, shared-memory publication, pool task closures);
+* :mod:`repro.analysis.rules.seams` — structural conformance of the
+  kernel/execution/parallel backend seams across files.
+"""
+
+from repro.analysis.rules import concurrency, determinism, seams
+
+__all__ = ["concurrency", "determinism", "seams"]

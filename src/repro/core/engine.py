@@ -18,7 +18,7 @@ The engine reproduces the pipeline of the paper's Section 3:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.config import InferenceConfig
 from repro.core.program import MLNProgram

@@ -15,9 +15,9 @@ do this) or parsed from Alchemy-style text (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.errors import ProgramError
 from repro.grounding.atoms import AtomRegistry

@@ -8,7 +8,7 @@ equivalence, cost decomposition over components, optimizer plan equivalence
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.program import MLNProgram
 from repro.logic.clauses import WeightedClause

@@ -38,7 +38,7 @@ from repro.rdbms.column_batch import NULL_CODE
 from repro.rdbms.database import Database
 from repro.rdbms.executor import ColumnarQueryResult, QueryResult
 from repro.rdbms.operators import HashJoin, NestedLoopJoin, iter_plan
-from repro.rdbms.optimizer import OptimizerOptions, PlannedQuery
+from repro.rdbms.optimizer import OptimizerOptions
 from repro.rdbms.schema import TableSchema
 from repro.rdbms.types import ColumnType
 from repro.utils.memory import MemoryModel

@@ -14,8 +14,8 @@ search cost function identical while shrinking the clause table.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.rdbms.database import Database
 from repro.rdbms.schema import TableSchema

@@ -22,7 +22,7 @@ so the grounder can drop literals that the evidence has already decided.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.logic.clauses import WeightedClause
 from repro.logic.literals import Literal

@@ -23,7 +23,6 @@ simulated timings either way.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 

@@ -371,6 +371,10 @@ class VectorSearchState(SearchState):
             return (self._sat_np > 0).tolist()
         return super().satisfaction_flags()
 
+    # repro: allow(seam-kernel-api): vectorized-only extension consumed by the
+    # MC-SAT batched selection; flat states expose satisfaction_flags and the
+    # selection pipeline feature-detects this fast path (test_mcsat_parity.py
+    # pins both paths to identical streams).
     def satisfaction_array(self) -> "np.ndarray":
         """:meth:`satisfaction_flags` as a numpy bool array (fresh copy).
 

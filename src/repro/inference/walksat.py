@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.inference.state import KERNEL_BACKENDS, SearchState, make_search_state
 from repro.inference.tracing import TimeCostTrace

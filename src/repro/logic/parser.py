@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.logic.clauses import HARD_WEIGHT
 from repro.logic.formulas import (
@@ -50,7 +50,7 @@ from repro.logic.formulas import (
     PredicateFormula,
 )
 from repro.logic.predicates import Predicate
-from repro.logic.terms import Constant, Term, Variable, term_from_token
+from repro.logic.terms import Term, Variable, term_from_token
 
 
 class MLNSyntaxError(ValueError):

@@ -48,7 +48,9 @@ def connected_components(source: MRF | GroundClauseStore) -> ComponentDecomposit
     mrf = source if isinstance(source, MRF) else MRF.from_store(source)
     union_find = UnionFind(mrf.atom_ids)
     for clause in mrf.clauses:
-        atom_ids = list(set(clause.atom_ids))
+        # Order-preserving dedup: set iteration order is hash-dependent, and
+        # the merge order feeds union-find root selection.
+        atom_ids = list(dict.fromkeys(clause.atom_ids))
         for left, right in zip(atom_ids, atom_ids[1:]):
             union_find.union(left, right)
 

@@ -139,7 +139,8 @@ class MRF:
     def _build_adjacency(self) -> None:
         self._adjacency = {atom_id: [] for atom_id in self.atom_ids}
         for index, clause in enumerate(self.clauses):
-            for atom_id in set(clause.atom_ids):
+            # Order-preserving dedup (literal order), not set order.
+            for atom_id in dict.fromkeys(clause.atom_ids):
                 self._adjacency.setdefault(atom_id, []).append(index)
 
     # ------------------------------------------------------------------

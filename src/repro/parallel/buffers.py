@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from array import array
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.grounding.clause_table import GroundClause
 from repro.mrf.graph import MRF

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.inference.mcsat import MCSat, MCSatOptions, MarginalResult
+from repro.inference.mcsat import MCSat, MCSatOptions
 from repro.inference.state import make_search_state
-from repro.inference.walksat import WalkSAT, WalkSATOptions, WalkSATResult
+from repro.inference.walksat import WalkSAT, WalkSATOptions
 from repro.mrf.graph import MRF
 from repro.parallel.buffers import ComponentBufferSet
 from repro.utils.clock import CostModel, SimulatedClock

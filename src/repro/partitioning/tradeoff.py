@@ -15,7 +15,6 @@ so the ablation bench can compare its verdicts with observed outcomes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.mrf.graph import MRF

@@ -8,7 +8,7 @@ the result into another table), and report I/O statistics.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from repro.rdbms.catalog import Catalog
 from repro.rdbms.executor import ColumnarQueryResult, Executor, QueryResult

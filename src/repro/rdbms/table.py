@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.rdbms.schema import SchemaError, TableSchema
+from repro.rdbms.schema import TableSchema
 from repro.rdbms.storage import StorageManager
 
 

@@ -1,0 +1,98 @@
+"""Tests for the analyzer's grandfathering baseline.
+
+The baseline matches findings by location-independent identity
+(rule, path, message) with per-entry counts, requires a justification on
+every entry, and reports entries that stopped matching as stale.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.framework import Finding
+
+
+def finding(rule: str = "det-set-iter", path: str = "repro/mod.py",
+            line: int = 10, message: str = "iteration over a set") -> Finding:
+    return Finding(rule=rule, path=path, line=line, column=4, message=message)
+
+
+class TestRoundTrip:
+    def test_from_findings_save_load(self, tmp_path: Path) -> None:
+        findings = [finding(line=3), finding(line=9), finding(rule="det-float-sum")]
+        baseline = Baseline.from_findings(findings, justification="reviewed")
+        target = tmp_path / "analysis_baseline.json"
+        baseline.save(target)
+
+        loaded = Baseline.load(target)
+        assert len(loaded.entries) == 2  # two identical findings collapse to count=2
+        by_rule = {entry.rule: entry for entry in loaded.entries}
+        assert by_rule["det-set-iter"].count == 2
+        assert by_rule["det-float-sum"].count == 1
+        assert all(entry.justification == "reviewed" for entry in loaded.entries)
+
+    def test_saved_document_is_versioned_and_sorted(self, tmp_path: Path) -> None:
+        baseline = Baseline.from_findings([finding()], justification="reviewed")
+        target = tmp_path / "b.json"
+        baseline.save(target)
+        document = json.loads(target.read_text())
+        assert document["version"] == 1
+        assert isinstance(document["findings"], list)
+
+
+class TestLoadValidation:
+    def test_wrong_version_rejected(self, tmp_path: Path) -> None:
+        target = tmp_path / "b.json"
+        target.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+    def test_missing_justification_rejected(self, tmp_path: Path) -> None:
+        target = tmp_path / "b.json"
+        target.write_text(json.dumps({
+            "version": 1,
+            "findings": [{"rule": "det-set-iter", "path": "m.py",
+                          "message": "x", "count": 1}],
+        }))
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(target)
+
+
+class TestApply:
+    def test_grandfathered_findings_are_split_out(self) -> None:
+        baseline = Baseline([
+            BaselineEntry(rule="det-set-iter", path="repro/mod.py",
+                          message="iteration over a set", count=1,
+                          justification="reviewed"),
+        ])
+        match = baseline.apply([finding(), finding(rule="det-float-sum")])
+        assert [f.rule for f in match.baselined] == ["det-set-iter"]
+        assert [f.rule for f in match.new] == ["det-float-sum"]
+        assert match.stale == []
+
+    def test_count_budget_is_a_multiset(self) -> None:
+        baseline = Baseline([
+            BaselineEntry(rule="det-set-iter", path="repro/mod.py",
+                          message="iteration over a set", count=1,
+                          justification="reviewed"),
+        ])
+        match = baseline.apply([finding(line=3), finding(line=9)])
+        assert len(match.baselined) == 1
+        assert len(match.new) == 1  # second identical finding exceeds the budget
+
+    def test_line_moves_do_not_invalidate_the_baseline(self) -> None:
+        baseline = Baseline.from_findings([finding(line=10)], justification="ok")
+        match = baseline.apply([finding(line=999)])
+        assert match.new == [] and len(match.baselined) == 1
+
+    def test_unmatched_entries_are_stale(self) -> None:
+        baseline = Baseline([
+            BaselineEntry(rule="det-set-iter", path="repro/gone.py",
+                          message="iteration over a set", count=1,
+                          justification="fixed since"),
+        ])
+        match = baseline.apply([])
+        assert len(match.stale) == 1
+        assert match.stale[0].path == "repro/gone.py"

@@ -1,0 +1,537 @@
+"""Per-rule tests for the determinism & parity linter.
+
+Each rule gets a positive fixture (the violation fires), a negative fixture
+(conforming code stays clean) and, for the per-file rules, a suppressed
+fixture (``# repro: allow(...)`` silences it).  Fixtures are written into a
+``tmp_path`` tree shaped like ``src/repro`` so the directory-scoped rules
+(``fork-*``, ``det-wallclock``) and the cross-file seam rules see the paths
+they key on.
+"""
+
+from pathlib import Path
+from textwrap import dedent
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.analysis.framework import (
+    BAD_SUPPRESSION,
+    PARSE_ERROR,
+    AnalysisReport,
+    Finding,
+    run_analysis,
+)
+
+
+def analyze(
+    tmp_path: Path,
+    files: Dict[str, str],
+    select: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Write the fixture files under a fresh root and run the analyzer."""
+    root = tmp_path / "tree"
+    for rel, code in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(code), encoding="utf-8")
+    return run_analysis([root], select=select)
+
+
+def rules_fired(report: AnalysisReport) -> List[str]:
+    return sorted({finding.rule for finding in report.findings})
+
+
+def messages(report: AnalysisReport, rule: str) -> List[str]:
+    return [f.message for f in report.findings if f.rule == rule]
+
+
+class TestUnorderedIteration:
+    def test_for_loop_over_set_literal_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                out = []
+                for x in {1, 2, 3}:
+                    out.append(x)
+                return out
+            """})
+        assert rules_fired(report) == ["det-set-iter"]
+
+    def test_comprehension_and_list_of_set_fire(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                a = [x for x in set(xs)]
+                b = list(frozenset(xs))
+                return a, b
+            """})
+        assert len(messages(report, "det-set-iter")) == 2
+
+    def test_sorted_set_and_ordered_dedup_are_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                a = sorted(set(xs))
+                b = list(dict.fromkeys(xs))
+                c = max(list(set(xs)))
+                for x in xs:
+                    pass
+                return a, b, c
+            """})
+        assert report.findings == []
+
+    def test_trailing_suppression_with_justification(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                return [x for x in set(xs)]  # repro: allow(det-set-iter): sorted by caller
+            """})
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_standalone_suppression_covers_next_statement(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                # repro: allow(det-set-iter): membership only, order irrelevant
+                members = list(set(xs))
+                return members
+            """})
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+class TestUnorderedFloatSum:
+    def test_sum_over_set_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            import math
+
+            def f(ws):
+                return sum(set(ws)) + math.fsum({1.0, 2.0})
+            """})
+        assert len(messages(report, "det-float-sum")) == 2
+
+    def test_generator_driven_by_set_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(ws):
+                return sum(w * 2.0 for w in set(ws))
+            """})
+        assert rules_fired(report) == ["det-float-sum"]
+
+    def test_counting_generator_and_ordered_sum_are_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(ws):
+                count = sum(1 for w in set(ws))
+                total = sum(sorted(ws))
+                return count + total
+            """})
+        assert report.findings == []
+
+
+class TestRawRandom:
+    def test_module_random_and_entropy_sources_fire(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            import os
+            import random
+            import uuid
+
+            def f():
+                return random.random(), os.urandom(8), uuid.uuid4()
+            """})
+        assert len(messages(report, "det-raw-random")) == 3
+
+    def test_from_import_use_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            from random import shuffle
+
+            def f(xs):
+                shuffle(xs)
+            """})
+        assert rules_fired(report) == ["det-raw-random"]
+
+    def test_rng_wrapper_module_is_sanctioned(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"utils/rng.py": """\
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """})
+        assert report.findings == []
+
+    def test_injected_rng_attribute_is_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(rng, xs):
+                return rng.shuffle(xs)
+            """})
+        assert report.findings == []
+
+
+class TestWallClock:
+    def test_time_read_in_scoped_dir_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"inference/loop.py": """\
+            import time
+
+            def f():
+                return time.perf_counter()
+            """})
+        assert rules_fired(report) == ["det-wallclock"]
+
+    def test_time_read_outside_scope_is_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"cli.py": """\
+            import time
+
+            def f():
+                return time.perf_counter()
+            """})
+        assert report.findings == []
+
+
+class TestIdHashOrder:
+    def test_sort_keyed_on_identity_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                xs.sort(key=id)
+                return sorted(xs, key=lambda x: hash(x))
+            """})
+        assert len(messages(report, "det-id-hash-order")) == 2
+
+    def test_stable_key_is_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(atoms):
+                return sorted(atoms, key=lambda a: a.atom_id)
+            """})
+        assert report.findings == []
+
+
+class TestForkModuleState:
+    def test_worker_mutating_module_global_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/pool.py": """\
+            _CACHE = {}
+
+            def execute_component_task(task):
+                _CACHE[task.component_id] = task
+                _CACHE.update({})
+            """})
+        assert len(messages(report, "fork-module-state")) == 2
+
+    def test_global_declaration_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/pool.py": """\
+            _RESULTS = []
+
+            def _worker_loop(queue):
+                global _RESULTS
+                _RESULTS = []
+            """})
+        assert rules_fired(report) == ["fork-module-state"]
+
+    def test_local_state_and_non_worker_are_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/pool.py": """\
+            _CACHE = {}
+
+            def execute_component_task(task):
+                local = {}
+                local[task.component_id] = task
+                return local
+
+            def coordinator_only(task):
+                _CACHE[task.component_id] = task
+            """})
+        assert report.findings == []
+
+    def test_same_code_outside_parallel_dir_is_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"inference/pool.py": """\
+            _CACHE = {}
+
+            def execute_component_task(task):
+                _CACHE[task.component_id] = task
+            """})
+        assert report.findings == []
+
+
+class TestSharedMemoryPublish:
+    def test_write_after_publication_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/buffers.py": """\
+            class ComponentBuffer:
+                def __init__(self, shm, n):
+                    self._ints = shm.buf.cast("q")
+                    self._ints[0] = n
+
+                def poke(self, index, value):
+                    self._ints[index] = value
+            """})
+        found = messages(report, "fork-shm-publish")
+        assert len(found) == 1 and "'poke'" in found[0] or "poke" in found[0]
+
+    def test_alias_write_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/buffers.py": """\
+            class ComponentBuffer:
+                def __init__(self, shm):
+                    self._ints = shm.buf.cast("q")
+
+                def rewrite(self, values):
+                    view = self._ints
+                    view[0] = values[0]
+            """})
+        assert rules_fired(report) == ["fork-shm-publish"]
+
+    def test_packing_writes_are_allowed(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/buffers.py": """\
+            class ComponentBuffer:
+                def __init__(self, shm, values):
+                    self._ints = shm.buf.cast("q")
+                    self._pack_all(values)
+
+                def pack(self, values):
+                    self._ints[0] = len(values)
+
+                def _pack_all(self, values):
+                    for index, value in enumerate(values):
+                        self._ints[index] = value
+
+                def read(self, index):
+                    return self._ints[index]
+            """})
+        assert report.findings == []
+
+
+class TestPoolTaskClosure:
+    def test_lambda_and_nested_function_fire(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def dispatch(pool, tasks):
+                def handler(task):
+                    return task.run()
+
+                helper = lambda task: task.run()
+                pool.submit(lambda: 1)
+                pool.apply_async(handler, tasks)
+                pool.submit(helper, tasks)
+            """})
+        assert len(messages(report, "fork-task-closure")) == 3
+
+    def test_process_target_lambda_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            from multiprocessing import Process
+
+            def spawn():
+                return Process(target=lambda: None)
+            """})
+        assert rules_fired(report) == ["fork-task-closure"]
+
+    def test_module_level_function_is_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def run_task(task):
+                return task.run()
+
+            def dispatch(pool, tasks):
+                pool.apply_async(run_task, tasks)
+            """})
+        assert report.findings == []
+
+
+SEAM_STATE = """\
+    class SearchState:
+        def flip(self, clause_index, position):
+            raise NotImplementedError
+
+        def true_cost(self):
+            raise NotImplementedError
+    """
+
+
+class TestKernelApiSeam:
+    def test_missing_member_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {
+            "inference/state.py": SEAM_STATE,
+            "inference/reference_kernel.py": """\
+            class ReferenceSearchState:
+                def flip(self, clause_index, position):
+                    return None
+            """,
+        })
+        found = messages(report, "seam-kernel-api")
+        assert found == [
+            "ReferenceSearchState does not implement SearchState seam member "
+            "'true_cost'"
+        ]
+
+    def test_signature_drift_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {
+            "inference/state.py": SEAM_STATE,
+            "inference/vector_kernel.py": """\
+            class VectorSearchState:
+                def flip(self, atom_id):
+                    return None
+
+                def true_cost(self):
+                    return 0.0
+            """,
+        })
+        found = messages(report, "seam-kernel-api")
+        assert len(found) == 1 and "drifts from the SearchState seam" in found[0]
+
+    def test_undeclared_public_method_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {
+            "inference/state.py": SEAM_STATE,
+            "inference/reference_kernel.py": """\
+            class ReferenceSearchState:
+                def flip(self, clause_index, position):
+                    return None
+
+                def true_cost(self):
+                    return 0.0
+
+                def secret_extra(self):
+                    return 1
+            """,
+        })
+        found = messages(report, "seam-kernel-api")
+        assert len(found) == 1 and "not part of the SearchState seam API" in found[0]
+
+    def test_conforming_backend_and_inheritance_are_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {
+            "inference/state.py": SEAM_STATE,
+            "inference/reference_kernel.py": """\
+            from repro.inference.state import SearchState
+
+            class ReferenceSearchState(SearchState):
+                def flip(self, clause_index, position):
+                    return None
+            """,
+            "inference/vector_kernel.py": """\
+            class VectorSearchState:
+                def flip(self, clause_index, position):
+                    return None
+
+                def true_cost(self):
+                    return 0.0
+            """,
+        })
+        assert report.findings == []
+
+
+SEAM_CONFIG = """\
+    class InferenceConfig:
+        seed: int = 0
+        kernel_backend: str = "auto"
+    """
+
+
+class TestConfigThreadingSeam:
+    def test_fully_threaded_option_is_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {
+            "core/config.py": SEAM_CONFIG,
+            "cli.py": """\
+            from repro.core.config import InferenceConfig
+
+            def build(parser, args):
+                parser.add_argument("--kernel-backend", default="auto")
+                return InferenceConfig(kernel_backend=args.kernel_backend)
+            """,
+            "core/engine.py": """\
+            def run(config):
+                return config.kernel_backend
+            """,
+        })
+        assert report.findings == []
+
+    def test_missing_cli_flag_and_forwarding_fire(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {
+            "core/config.py": SEAM_CONFIG,
+            "cli.py": """\
+            from repro.core.config import InferenceConfig
+
+            def build(args):
+                return InferenceConfig(seed=args.seed)
+            """,
+            "core/engine.py": """\
+            def run(config):
+                return config.kernel_backend
+            """,
+        })
+        found = messages(report, "seam-config-threading")
+        assert len(found) == 2
+        assert any("--kernel-backend" in message for message in found)
+        assert any("not forwarded" in message for message in found)
+
+    def test_option_never_read_by_engine_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {
+            "core/config.py": SEAM_CONFIG,
+            "cli.py": """\
+            from repro.core.config import InferenceConfig
+
+            def build(parser, args):
+                parser.add_argument("--kernel-backend", default="auto")
+                return InferenceConfig(kernel_backend=args.kernel_backend)
+            """,
+            "core/engine.py": """\
+            def run(config):
+                return config.seed
+            """,
+        })
+        found = messages(report, "seam-config-threading")
+        assert len(found) == 1 and "never read by" in found[0]
+
+
+class TestSuppressionHygiene:
+    def test_missing_justification_is_reported(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                return list(set(xs))  # repro: allow(det-set-iter)
+            """})
+        assert rules_fired(report) == [BAD_SUPPRESSION]
+        assert "missing its justification" in messages(report, BAD_SUPPRESSION)[0]
+        # The finding itself is still silenced (rule name matched the line).
+        assert len(report.suppressed) == 1
+
+    def test_unknown_rule_is_reported(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f():
+                return 1  # repro: allow(no-such-rule): because
+            """})
+        assert rules_fired(report) == [BAD_SUPPRESSION]
+        assert "unknown rule" in messages(report, BAD_SUPPRESSION)[0]
+
+    def test_unused_suppression_is_reported(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                return sorted(xs)  # repro: allow(det-set-iter): stale comment
+            """})
+        assert rules_fired(report) == [BAD_SUPPRESSION]
+        assert "unused suppression" in messages(report, BAD_SUPPRESSION)[0]
+
+    def test_unused_check_skipped_under_select(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            def f(xs):
+                return sorted(xs)  # repro: allow(det-set-iter): stale comment
+            """}, select=["det-raw-random"])
+        assert report.findings == []
+
+    def test_docstring_example_is_not_a_suppression(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": '''\
+            """Docs showing the syntax:
+
+                x = list(s)  # repro: allow(det-set-iter): example only
+            """
+
+            def f(xs):
+                return sorted(xs)
+            '''})
+        assert report.findings == []
+        assert report.suppressed == []
+
+
+class TestParseError:
+    def test_unparseable_file_is_reported(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": "def broken(:\n"})
+        assert rules_fired(report) == [PARSE_ERROR]
+
+
+class TestSelect:
+    def test_unknown_rule_id_raises(self, tmp_path: Path) -> None:
+        with pytest.raises(ValueError, match="unknown rule id"):
+            analyze(tmp_path, {"mod.py": "x = 1\n"}, select=["nope"])
+
+    def test_select_restricts_rules(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"mod.py": """\
+            import random
+
+            def f(xs):
+                random.shuffle(xs)
+                return list(set(xs))
+            """}, select=["det-set-iter"])
+        assert rules_fired(report) == ["det-set-iter"]

@@ -6,7 +6,6 @@ from repro.core.config import InferenceConfig
 from repro.core.errors import ConfigurationError, ProgramError
 from repro.core.program import MLNProgram
 from repro.logic.formulas import PredicateFormula
-from repro.logic.predicates import Predicate
 from repro.logic.terms import Constant, Variable
 
 PROGRAM_TEXT = """

@@ -1,7 +1,6 @@
 """Tests for the bottom-up and top-down grounders, including the
 property-based equivalence check between the two strategies."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

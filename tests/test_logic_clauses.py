@@ -1,6 +1,5 @@
 """Tests for repro.logic.predicates, literals and clauses."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import math
 from itertools import product
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.logic.clauses import HARD_WEIGHT
 from repro.logic.domains import DomainRegistry

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.logic.formulas import Exists, Implication, Negation
+from repro.logic.formulas import Exists, Implication
 from repro.logic.parser import MLNParser, MLNSyntaxError, parse_evidence, parse_program
 from repro.logic.terms import Constant, Variable
 

@@ -23,7 +23,7 @@ from repro.inference.mcsat import (
     hard_constraint_prefix,
 )
 from repro.inference.samplesat import ConstraintPool, SampleSAT, SampleSATOptions
-from repro.inference.state import SearchState, make_search_state
+from repro.inference.state import make_search_state
 from repro.inference.vector_kernel import NUMPY_AVAILABLE
 from repro.mrf.graph import MRF
 from repro.utils.rng import RandomSource

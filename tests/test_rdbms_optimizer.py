@@ -4,10 +4,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.rdbms.database import Database
-from repro.rdbms.operators import HashJoin, NestedLoopJoin, SortMergeJoin
+from repro.rdbms.operators import HashJoin, SortMergeJoin
 from repro.rdbms.optimizer import (
     ConjunctiveQuery,
-    Optimizer,
     OptimizerOptions,
     QueryError,
 )
@@ -19,7 +18,6 @@ from repro.rdbms.stats import (
     estimate_filter_selectivity,
     estimate_join_cardinality,
 )
-from repro.rdbms.table import Table
 from repro.rdbms.types import ColumnType
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdbms.schema import Column, SchemaError, TableSchema, row_dict
+from repro.rdbms.schema import SchemaError, TableSchema, row_dict
 from repro.rdbms.storage import BufferPool, Page, StorageManager
 from repro.rdbms.table import Table
 from repro.rdbms.types import ColumnType, format_value, infer_type
