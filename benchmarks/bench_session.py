@@ -1,0 +1,268 @@
+"""Engine sessions — warm-request throughput and delta-grounding speedup.
+
+The session architecture (``repro.core.session``) keeps grounding, the
+MRF, the component decomposition, kernel states and the forked worker
+pool alive between requests.  This benchmark prices the two claims:
+
+* **Warm requests/sec vs cold** on IE (the many-component regime) at
+  1/2/4 workers: a cold request pays the full pipeline every time
+  (ground + MRF + components + pool fork); a warm request on one session
+  pays only search.  ``--assert-speedup X`` requires warm >= X * cold at
+  the highest worker count (the check target is 3x at 4 workers).
+* **Delta vs full reground**: after one evidence fact is added, the
+  session replays every ground clause whose predicates are unchanged and
+  re-runs only the affected relational queries; the same delta with
+  ``delta_grounding=False`` re-executes everything.  The grounding delta
+  report's counters (queries executed vs clauses replayed) are printed
+  alongside the wall-clock ratio.
+
+Warm results are asserted bit-identical to cold results before any
+timing is reported, so the numbers compare identical work (the session
+parity suite proves the full contract).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.core import InferenceConfig, TuffyEngine
+
+BENCH_SEED = 0
+
+
+def _config(workers: int, flips: int) -> InferenceConfig:
+    return InferenceConfig(
+        seed=BENCH_SEED,
+        max_flips=flips,
+        workers=workers,
+        parallel_backend="auto",
+    )
+
+
+def _fresh_seedword_pair(program):
+    """A (word, label) seedword pair not yet in the evidence.
+
+    Uses only constants the program already knows, so the delta adds one
+    new evidence atom without touching any typed domain.
+    """
+    words, labels, existing = [], [], set()
+    for fact in program.evidence:
+        if fact.atom.predicate.name != "seedword":
+            continue
+        word, label = fact.atom.argument_values()
+        words.append(word)
+        labels.append(label)
+        existing.add((word, label))
+    for word in words:
+        for label in labels:
+            if (word, label) not in existing:
+                return word, label
+    raise RuntimeError("IE workload has every seedword pair as evidence")
+
+
+def measure_requests(program, workers: int, flips: int, requests: int):
+    """(cold requests/sec, warm requests/sec, pool launches)."""
+    # Cold: a fresh engine per request pays the whole pipeline each time.
+    cold_result = None
+    cold_started = time.perf_counter()
+    for _request in range(requests):
+        with TuffyEngine(program, _config(workers, flips)) as engine:
+            cold_result = engine.run_map()
+    cold_seconds = max(time.perf_counter() - cold_started, 1e-9)
+
+    # Warm: one session; the first request pays the pipeline, the timed
+    # ones reuse it.
+    with TuffyEngine(program, _config(workers, flips)) as engine:
+        warm_result = engine.run_map()
+        assert warm_result.assignment == cold_result.assignment, (
+            "warm session diverged from cold engine"
+        )
+        assert warm_result.cost == cold_result.cost
+        assert warm_result.flips == cold_result.flips
+        warm_started = time.perf_counter()
+        for _request in range(requests):
+            warm_result = engine.run_map()
+        warm_seconds = max(time.perf_counter() - warm_started, 1e-9)
+        assert warm_result.assignment == cold_result.assignment
+        pool_launches = engine.stats.pool_launches
+    return requests / cold_seconds, requests / warm_seconds, pool_launches
+
+
+def measure_delta_reground(program_factory, flips: int):
+    """Wall seconds of a delta reground vs a full reground, plus counters."""
+
+    def reground_seconds(delta_grounding: bool):
+        config = InferenceConfig(
+            seed=BENCH_SEED, max_flips=flips, delta_grounding=delta_grounding
+        )
+        with TuffyEngine(program_factory(), config) as engine:
+            engine.ground()
+            word, label = _fresh_seedword_pair(engine.program)
+            engine.add_evidence("seedword", (word, label))
+            started = time.perf_counter()
+            engine.ground()
+            seconds = max(time.perf_counter() - started, 1e-9)
+            return seconds, engine.session.last_ground_report
+
+    delta_seconds, delta_report = reground_seconds(True)
+    full_seconds, full_report = reground_seconds(False)
+    assert delta_report.clauses_replayed > 0, "delta reground replayed nothing"
+    assert full_report.clauses_replayed == 0
+    return delta_seconds, full_seconds, delta_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload and budgets (for scripts/check.sh)",
+    )
+    parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts",
+    )
+    parser.add_argument("--flips", type=int, default=None, help="flip budget per request")
+    parser.add_argument(
+        "--requests", type=int, default=None, help="timed requests per configuration"
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless warm requests/sec reaches X times cold at "
+        "the highest worker count (skipped when the machine has fewer CPUs "
+        "than workers)",
+    )
+    from benchmarks.harness import add_json_out_argument, emit, emit_json, render_table
+
+    add_json_out_argument(parser)
+    args = parser.parse_args(argv)
+
+    worker_counts = [int(token) for token in args.workers.split(",") if token.strip()]
+    flips = args.flips if args.flips is not None else (10_000 if args.quick else 50_000)
+    requests = args.requests if args.requests is not None else (4 if args.quick else 8)
+    factor = 0.3 if args.quick else 1.0
+    cpus = os.cpu_count() or 1
+
+    from benchmarks.harness import fresh_dataset
+
+    dataset = fresh_dataset("IE", factor)
+
+    rows = []
+    json_rows = []
+    speedup_at_max = None
+    for workers in worker_counts:
+        cold_rps, warm_rps, pool_launches = measure_requests(
+            dataset.program, workers, flips, requests
+        )
+        speedup = warm_rps / cold_rps
+        rows.append(
+            (
+                "IE",
+                workers,
+                f"{cold_rps:.2f}",
+                f"{warm_rps:.2f}",
+                f"{speedup:.2f}x",
+                pool_launches,
+            )
+        )
+        json_rows.append(
+            {
+                "workload": "IE",
+                "mode": "requests",
+                "workers": workers,
+                "cold_requests_per_sec": cold_rps,
+                "warm_requests_per_sec": warm_rps,
+                "warm_over_cold": speedup,
+                "pool_launches": pool_launches,
+            }
+        )
+        if workers == max(worker_counts):
+            speedup_at_max = speedup
+
+    delta_seconds, full_seconds, report = measure_delta_reground(
+        lambda: fresh_dataset("IE", factor).program, flips
+    )
+    delta_speedup = full_seconds / delta_seconds
+    json_rows.append(
+        {
+            "workload": "IE",
+            "mode": "delta_reground",
+            "delta_seconds": delta_seconds,
+            "full_seconds": full_seconds,
+            "full_over_delta": delta_speedup,
+            "clauses_total": report.clauses_total,
+            "queries_executed": report.queries_executed,
+            "clauses_replayed": report.clauses_replayed,
+            "atom_tables_loaded": report.atom_tables_loaded,
+            "atom_tables_reused": report.atom_tables_reused,
+        }
+    )
+
+    table = render_table(
+        "Engine sessions — warm vs cold requests/sec (IE)",
+        ["workload", "workers", "cold req/s", "warm req/s", "warm/cold", "pool forks"],
+        rows,
+    )
+    table += "\n\n" + render_table(
+        "Delta vs full reground after one evidence fact (IE)",
+        ["reground", "seconds", "queries", "replayed", "tables loaded", "tables reused"],
+        [
+            (
+                "delta",
+                f"{delta_seconds:.4f}",
+                report.queries_executed,
+                report.clauses_replayed,
+                report.atom_tables_loaded,
+                report.atom_tables_reused,
+            ),
+            ("full", f"{full_seconds:.4f}", report.clauses_total, 0, "-", "-"),
+            ("full/delta", f"{delta_speedup:.2f}x", "", "", "", ""),
+        ],
+    )
+    emit("session_quick" if args.quick else "session", table)
+    if args.json_out:
+        emit_json(
+            "session",
+            json_rows,
+            path=args.json_out,
+            metadata={
+                "quick": args.quick,
+                "cpus": cpus,
+                "flips": flips,
+                "requests": requests,
+                "ie_factor": factor,
+            },
+        )
+
+    if args.assert_speedup is not None:
+        if cpus < max(worker_counts):
+            print(
+                f"SKIP --assert-speedup: {cpus} CPU(s) < {max(worker_counts)} workers"
+            )
+            return 0
+        if speedup_at_max is None or speedup_at_max < args.assert_speedup:
+            print(
+                f"FAIL: warm/cold requests/sec {speedup_at_max} below required "
+                f"{args.assert_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: warm sessions {speedup_at_max:.2f}x cold at "
+            f"{max(worker_counts)} workers (required {args.assert_speedup:.2f}x); "
+            f"delta reground {delta_speedup:.2f}x faster than full"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,11 +2,12 @@
 
 The processes backend forks workers that inherit the parent's memory image
 and then communicate only through queues and the shared-memory component
-buffers.  Three things keep that safe and deterministic, and each gets a
+buffers.  Four things keep that safe and deterministic, and each gets a
 rule: worker entrypoints must not mutate fork-inherited module globals,
 shared-memory buffers must not be written after they are published to
-workers, and task callables shipped to a pool must be picklable (no lambdas
-or closures).
+workers, a live pool must never repack its buffers (tear down and fork a
+fresh pool instead), and task callables shipped to a pool must be
+picklable (no lambdas or closures).
 """
 
 from __future__ import annotations
@@ -263,6 +264,97 @@ class SharedMemoryPublishRule(Rule):
 
 
 @register
+class PoolLifecycleRule(Rule):
+    """Shared-memory repacking on a live worker pool."""
+
+    id: ClassVar[str] = "fork-pool-lifecycle"
+    family: ClassVar[str] = "fork-safety"
+    description: ClassVar[str] = (
+        "a pool-like class (one that starts processes and owns packed "
+        "shared-memory buffers in __init__) must never repack those buffers "
+        "on a live pool: workers attached to the old segment at fork time "
+        "and keep reading it, so a repack (ComponentBufferSet.pack(...) or "
+        "rebinding self.buffers outside __init__) silently desynchronises "
+        "parent and workers. Tear the pool down and fork a fresh one."
+    )
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.in_directory("parallel")
+
+    def check(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for node in source.walk():
+            if isinstance(node, ast.ClassDef) and self._is_pool_class(node):
+                yield from self._check_pool_class(source, node)
+
+    def _is_pool_class(self, class_def: ast.ClassDef) -> bool:
+        """A class whose __init__ binds both worker processes and buffers."""
+        init = next(
+            (
+                method
+                for method in class_def.body
+                if isinstance(method, ast.FunctionDef) and method.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return False
+        bound = self._self_attribute_targets(init)
+        return "buffers" in bound and "_processes" in bound
+
+    def _check_pool_class(
+        self, source: SourceFile, class_def: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for method in class_def.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    if "buffers" in self._self_attribute_targets_of(node):
+                        yield source.finding(
+                            node, self.id,
+                            f"method '{method.name}' rebinds self.buffers on a "
+                            "live pool; workers still read the segment packed "
+                            "at fork time — build a new pool instead",
+                        )
+                if self._is_pack_call(node):
+                    yield source.finding(
+                        node, self.id,
+                        f"method '{method.name}' repacks shared-memory buffers "
+                        "on a live pool (ComponentBufferSet.pack outside "
+                        "__init__); build a new pool instead",
+                    )
+
+    def _self_attribute_targets(self, function: ast.FunctionDef) -> Set[str]:
+        bound: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                bound |= self._self_attribute_targets_of(node)
+        return bound
+
+    def _self_attribute_targets_of(self, node: ast.Assign) -> Set[str]:
+        targets: Set[str] = set()
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                targets.add(target.attr)
+        return targets
+
+    def _is_pack_call(self, node: ast.AST) -> bool:
+        """Matches ``ComponentBufferSet.pack(...)``."""
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return False
+        if node.func.attr != "pack":
+            return False
+        value = node.func.value
+        return isinstance(value, ast.Name) and value.id == "ComponentBufferSet"
+
+
+@register
 class PoolTaskClosureRule(Rule):
     """Unpicklable callables handed to a process pool or Process target."""
 
@@ -338,6 +430,7 @@ class PoolTaskClosureRule(Rule):
 
 __all__ = [
     "ForkModuleStateRule",
+    "PoolLifecycleRule",
     "PoolTaskClosureRule",
     "SharedMemoryPublishRule",
 ]

@@ -130,12 +130,16 @@ class ConfigThreadingRule(Rule):
         "each *_backend field of InferenceConfig (core/config.py) must be "
         "exposed as the matching --x-backend CLI flag, forwarded into the "
         "InferenceConfig(...) construction in cli.py, and read (config.x) "
-        "by core/engine.py, so every seam stays selectable end to end."
+        "by the engine side (core/engine.py or core/session.py, the "
+        "per-request driver and the session that backs it), so every seam "
+        "stays selectable end to end."
     )
 
     _CONFIG_FILE = "core/config.py"
     _CLI_FILE = "cli.py"
-    _ENGINE_FILE = "core/engine.py"
+    #: The engine side of the seam: a backend read may live in the thin
+    #: per-request driver or in the session that owns the long-lived state.
+    _ENGINE_FILES: Tuple[str, ...] = ("core/engine.py", "core/session.py")
 
     def check_project(self, project: Project) -> Iterator[Finding]:
         config_source = project.find(self._CONFIG_FILE)
@@ -146,10 +150,16 @@ class ConfigThreadingRule(Rule):
         if not fields:
             return
         cli_source = project.find(self._CLI_FILE)
-        engine_source = project.find(self._ENGINE_FILE)
+        engine_sources = [
+            source
+            for source in (project.find(path) for path in self._ENGINE_FILES)
+            if source is not None
+        ]
         cli_flags = _string_constants(cli_source)
         cli_config_kwargs = _call_keywords(cli_source, "InferenceConfig")
-        engine_attrs = _attribute_names(engine_source)
+        engine_attrs: Set[str] = set()
+        for source in engine_sources:
+            engine_attrs |= _attribute_names(source)
         for name, node in fields:
             flag = "--" + name.replace("_", "-")
             if cli_source is not None:
@@ -165,11 +175,14 @@ class ConfigThreadingRule(Rule):
                         f"config option '{name}' is not forwarded into "
                         f"InferenceConfig(...) by {cli_source.rel_path}",
                     )
-            if engine_source is not None and name not in engine_attrs:
+            if engine_sources and name not in engine_attrs:
+                reader_names = " or ".join(
+                    source.rel_path for source in engine_sources
+                )
                 yield config_source.finding(
                     node, self.id,
                     f"config option '{name}' is never read by "
-                    f"{engine_source.rel_path}; the seam is not wired into the "
+                    f"{reader_names}; the seam is not wired into the "
                     "engine",
                 )
 

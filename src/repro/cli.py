@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from repro.baselines import AlchemyEngine
 from repro.core import InferenceConfig, MLNProgram, TuffyEngine
 from repro.datasets import DATASET_NAMES, DatasetScale, load_dataset
+from repro.utils.timer import Stopwatch
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +111,16 @@ def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
         help="run MC-SAT marginal inference instead of MAP",
     )
     parser.add_argument("--mcsat-samples", type=int, default=100, help="MC-SAT sample count")
+    parser.add_argument(
+        "--session-requests",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeat the inference request N times on one warm engine "
+        "session (grounding, MRF, components and the worker pool are "
+        "reused; every request uses the same seed, so all N results are "
+        "bit-identical) and print per-request timings plus requests/sec",
+    )
 
 
 def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
@@ -144,23 +155,47 @@ def _print_summary(result, stream) -> None:
 
 
 def _run_inference(program: MLNProgram, arguments: argparse.Namespace, stream) -> int:
-    engine = TuffyEngine(program, _config_from_arguments(arguments))
-    if arguments.marginal:
-        result = engine.run_marginal()
-        print("# marginal probabilities (P(atom) >= 0.01)", file=stream)
-        atoms = engine.grounding_result.atoms
-        for atom_id, probability in sorted(result.marginals.probabilities.items()):
-            if probability >= 0.01:
-                print(f"{probability:.3f}\t{atoms.record(atom_id).atom}", file=stream)
-    else:
-        result = engine.run_map()
-        predicate = getattr(arguments, "predicate", None)
-        print("# atoms inferred true", file=stream)
-        for atom in result.true_atoms(predicate):
-            print(atom, file=stream)
-    print("#", file=stream)
-    _print_summary(result, stream)
+    requests = max(getattr(arguments, "session_requests", 1), 1)
+    with TuffyEngine(program, _config_from_arguments(arguments)) as engine:
+        request_seconds = []
+        for _request in range(requests):
+            watch = Stopwatch()
+            with watch.measure():
+                if arguments.marginal:
+                    result = engine.run_marginal()
+                else:
+                    result = engine.run_map()
+            request_seconds.append(watch.total)
+        if arguments.marginal:
+            print("# marginal probabilities (P(atom) >= 0.01)", file=stream)
+            atoms = engine.grounding_result.atoms
+            for atom_id, probability in sorted(result.marginals.probabilities.items()):
+                if probability >= 0.01:
+                    print(f"{probability:.3f}\t{atoms.record(atom_id).atom}", file=stream)
+        else:
+            predicate = getattr(arguments, "predicate", None)
+            print("# atoms inferred true", file=stream)
+            for atom in result.true_atoms(predicate):
+                print(atom, file=stream)
+        print("#", file=stream)
+        _print_summary(result, stream)
+        if requests > 1:
+            _print_session_summary(engine, request_seconds, stream)
     return 0
+
+
+def _print_session_summary(engine: TuffyEngine, request_seconds, stream) -> None:
+    """Per-request timings of a ``--session-requests`` repeat run."""
+    print("# session", file=stream)
+    for index, seconds in enumerate(request_seconds):
+        label = "cold" if index == 0 else "warm"
+        print(f"{f'request {index} ({label})':>20}: {seconds:.4f}s", file=stream)
+    warm = request_seconds[1:]
+    if warm and sum(warm) > 0:
+        print(f"{'warm requests/sec':>20}: {len(warm) / sum(warm):.2f}", file=stream)
+    stats = engine.stats
+    print(f"{'ground runs':>20}: {stats.ground_runs}", file=stream)
+    print(f"{'pool launches':>20}: {stats.pool_launches}", file=stream)
 
 
 def _command_infer(arguments: argparse.Namespace, stream) -> int:

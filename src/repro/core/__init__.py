@@ -22,14 +22,17 @@ from repro.core.engine import TuffyEngine
 from repro.core.errors import ConfigurationError, ProgramError, ReproError
 from repro.core.program import DatasetStatistics, MLNProgram
 from repro.core.results import InferenceResult
+from repro.core.session import EngineSession, SessionStats
 
 __all__ = [
     "ConfigurationError",
     "DatasetStatistics",
+    "EngineSession",
     "InferenceConfig",
     "InferenceResult",
     "MLNProgram",
     "ProgramError",
     "ReproError",
+    "SessionStats",
     "TuffyEngine",
 ]

@@ -57,6 +57,19 @@ class InferenceConfig:
     ------------------
     ``mcsat_samples`` / ``mcsat_burn_in`` control MC-SAT when
     :meth:`repro.core.engine.TuffyEngine.run_marginal` is used.
+
+    Sessions
+    --------
+    Long-lived state reuse across requests on one
+    :class:`~repro.core.session.EngineSession` (and therefore on one
+    :class:`~repro.core.engine.TuffyEngine`, which owns a session):
+    ``persistent_pool`` keeps the multiprocess worker pool alive between
+    requests so repeated runs skip the fork + shared-memory repack and
+    workers keep their per-component caches warm; ``delta_grounding``
+    enables the per-predicate replay cache so an evidence delta re-grounds
+    only the clauses touching changed predicates.  Both preserve the
+    determinism contract: a warm request with seed S is bit-identical to a
+    cold run with seed S.
     """
 
     seed: int = 0
@@ -82,6 +95,9 @@ class InferenceConfig:
     # Marginal inference.
     mcsat_samples: int = 100
     mcsat_burn_in: int = 10
+    # Sessions (warm request path).
+    persistent_pool: bool = True
+    delta_grounding: bool = True
     # Cost model of the simulated clock.
     cost_model: CostModel = field(default_factory=CostModel)
 

@@ -13,34 +13,30 @@ The engine reproduces the pipeline of the paper's Section 3:
    flip budget (optionally in parallel), and components that still exceed
    the memory budget are further split with the greedy partitioner and
    searched with Gauss-Seidel sweeps.
+
+Since the session refactor the engine is a thin per-request driver over an
+:class:`~repro.core.session.EngineSession`, which owns every piece of
+long-lived state (database, atom registry, grounding result, MRF,
+component decomposition, persistent worker pool).  Repeated
+:meth:`TuffyEngine.run_map` / :meth:`TuffyEngine.run_marginal` calls are
+warm requests: they reuse the session state and are bit-identical to a
+cold run with the same seed (``tests/test_session_parity.py``).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.core.config import InferenceConfig
 from repro.core.program import MLNProgram
 from repro.core.results import InferenceResult
-from repro.grounding.bottom_up import BottomUpGrounder
-from repro.grounding.lazy import active_closure
+from repro.core.session import EngineSession, SessionStats
 from repro.grounding.result import GroundingResult
-from repro.grounding.top_down import TopDownGrounder
-from repro.inference.component_walksat import ComponentAwareWalkSAT
-from repro.inference.mcsat import MCSat, MCSatOptions
-from repro.parallel.merge import gauss_seidel_refine
-from repro.inference.samplesat import SampleSATOptions
-from repro.inference.tracing import TimeCostTrace, merge_traces
-from repro.inference.walksat import WalkSAT, WalkSATOptions
-from repro.mrf.components import ComponentDecomposition, connected_components
+from repro.inference.mcsat import MCSat
+from repro.mrf.components import ComponentDecomposition
 from repro.mrf.graph import MRF
-from repro.partitioning.greedy import GreedyPartitioner
-from repro.partitioning.loader import BatchLoader
 from repro.rdbms.database import Database
-from repro.utils.clock import SimulatedClock
 from repro.utils.memory import MemoryModel
-from repro.utils.rng import RandomSource
 from repro.utils.timer import Timer
 
 
@@ -54,17 +50,54 @@ class TuffyEngine:
         database: Optional[Database] = None,
     ) -> None:
         self.program = program
-        self.config = config or InferenceConfig()
-        self.database = database or Database(
-            clock=SimulatedClock(self.config.cost_model),
-            optimizer_options=self.config.optimizer_options,
-            execution_backend=self.config.execution_backend,
-        )
-        self.memory_model = MemoryModel()
-        self.timer = Timer()
-        self.grounding_result: Optional[GroundingResult] = None
-        self.mrf: Optional[MRF] = None
-        self.components: Optional[ComponentDecomposition] = None
+        self.session = EngineSession(program, config, database)
+        self.config = self.session.config
+
+    # ------------------------------------------------------------------
+    # Session-owned state (exposed for compatibility and inspection)
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        return self.session.database
+
+    @property
+    def memory_model(self) -> MemoryModel:
+        return self.session.memory_model
+
+    @property
+    def timer(self) -> Timer:
+        return self.session.timer
+
+    @property
+    def grounding_result(self) -> Optional[GroundingResult]:
+        return self.session.grounding_result
+
+    @property
+    def mrf(self) -> Optional[MRF]:
+        return self.session.mrf
+
+    @property
+    def components(self) -> Optional[ComponentDecomposition]:
+        return self.session.components
+
+    @property
+    def stats(self) -> SessionStats:
+        return self.session.stats
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the session's persistent worker pool.  Idempotent."""
+        self.session.close()
+
+    def __enter__(self) -> "TuffyEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -72,225 +105,37 @@ class TuffyEngine:
 
     def ground(self) -> GroundingResult:
         """Run (and cache) the grounding phase."""
-        if self.grounding_result is not None:
-            return self.grounding_result
-        config = self.config
-        clauses = self.program.clauses()
-        atoms = self.program.build_atom_registry()
-        with self.timer.measure("grounding"):
-            if config.grounding_strategy == "bottom-up":
-                grounder = BottomUpGrounder(
-                    database=self.database,
-                    optimizer_options=config.optimizer_options,
-                    merge_duplicates=config.merge_duplicate_clauses,
-                    memory_model=self.memory_model,
-                    execution_backend=config.execution_backend,
-                )
-                result = grounder.ground(clauses, atoms)
-            else:
-                grounder = TopDownGrounder(
-                    merge_duplicates=config.merge_duplicate_clauses,
-                    memory_model=self.memory_model,
-                )
-                result = grounder.ground(clauses, atoms)
-        if config.use_lazy_closure:
-            closure = active_closure(result.clauses)
-            result = GroundingResult(
-                atoms=result.atoms,
-                clauses=closure.as_store(),
-                seconds=result.seconds,
-                per_clause=result.per_clause,
-                intermediate_tuples=result.intermediate_tuples,
-                strategy=result.strategy,
-            )
-        self.grounding_result = result
-        return result
+        return self.session.ground()
 
     def build_mrf(self) -> MRF:
         """Build (and cache) the ground MRF."""
-        if self.mrf is None:
-            grounding = self.ground()
-            self.mrf = MRF.from_store(grounding.clauses)
-        return self.mrf
+        return self.session.build_mrf()
 
     def detect_components(self) -> ComponentDecomposition:
         """Detect (and cache) the MRF's connected components."""
-        if self.components is None:
-            mrf = self.build_mrf()
-            with self.timer.measure("component_detection"):
-                self.components = connected_components(mrf)
-        return self.components
+        return self.session.detect_components()
 
     # ------------------------------------------------------------------
-    # MAP inference
+    # Evidence deltas
     # ------------------------------------------------------------------
 
-    def run_map(self) -> InferenceResult:
-        """Run the full MAP pipeline and return the best world found."""
-        config = self.config
-        grounding = self.ground()
-        mrf = self.build_mrf()
-        rng = RandomSource(config.seed)
-
-        if config.use_partitioning:
-            result = self._run_partitioned(mrf, grounding, rng)
-        else:
-            result = self._run_monolithic(mrf, grounding, rng)
-        return result
-
-    def _run_monolithic(
-        self, mrf: MRF, grounding: GroundingResult, rng: RandomSource
-    ) -> InferenceResult:
-        """Tuffy-p: one WalkSAT over the whole MRF (no partitioning)."""
-        config = self.config
-        clock = SimulatedClock(config.cost_model)
-        options = WalkSATOptions(
-            max_flips=config.max_flips,
-            max_tries=config.max_tries,
-            noise=config.noise,
-            target_cost=config.target_cost,
-            deadline_seconds=config.deadline_seconds,
-            trace_label="tuffy-p",
-            kernel_backend=config.kernel_backend,
-        )
-        with self.timer.measure("search"):
-            outcome = WalkSAT(options, rng, clock).run(mrf)
-        trace = outcome.trace
-        trace.grounding_seconds = self.database.clock.now()
-        peak_state_bytes = config.bytes_per_state_unit * mrf.size()
-        return InferenceResult(
-            label="tuffy-p",
-            assignment=outcome.best_assignment,
-            cost=outcome.best_cost + grounding.clauses.evidence_violation_cost,
-            atoms=grounding.atoms,
-            grounding=grounding,
-            flips=outcome.flips,
-            component_count=1,
-            phase_seconds=self.timer.breakdown(),
-            simulated_seconds=self.database.clock.now() + clock.now(),
-            trace=trace,
-            memory=self.memory_model.snapshot(),
-            peak_memory_bytes=peak_state_bytes,
-        )
-
-    def _run_partitioned(
-        self, mrf: MRF, grounding: GroundingResult, rng: RandomSource
-    ) -> InferenceResult:
-        """Tuffy: component-aware search, with Algorithm 3 for oversized parts."""
-        config = self.config
-        decomposition = self.detect_components()
-        size_bound = self._size_bound()
-
-        small_components: List[MRF] = []
-        oversized: List[MRF] = []
-        for component in decomposition.components:
-            if size_bound is not None and component.size() > size_bound:
-                oversized.append(component)
-            else:
-                small_components.append(component)
-
-        # Batch loading of the in-budget components (I/O accounting only).
-        with self.timer.measure("loading"):
-            load_plan = None
-            if small_components:
-                budget = size_bound if size_bound is not None else float(mrf.size() + 1)
-                loader = BatchLoader(self.database, budget, self.memory_model)
-                load_plan = loader.load(small_components, batched=True)
-
-        assignment: Dict[int, bool] = {}
-        total_cost = grounding.clauses.evidence_violation_cost
-        total_flips = 0
-        traces: List[TimeCostTrace] = []
-        simulated_search_seconds = 0.0
-        peak_state_units = 0
-
-        with self.timer.measure("search"):
-            if small_components:
-                searcher = ComponentAwareWalkSAT(
-                    options=WalkSATOptions(
-                        max_flips=config.max_flips,
-                        max_tries=config.max_tries,
-                        noise=config.noise,
-                        deadline_seconds=config.deadline_seconds,
-                        trace_label="tuffy",
-                        kernel_backend=config.kernel_backend,
-                    ),
-                    rng=rng,
-                    workers=config.workers,
-                    cost_model=config.cost_model,
-                    parallel_backend=config.parallel_backend,
-                )
-                component_outcome = searcher.run(small_components, total_flips=config.max_flips)
-                assignment.update(component_outcome.best_assignment)
-                total_cost += component_outcome.best_cost
-                total_flips += component_outcome.flips
-                traces.append(component_outcome.trace)
-                simulated_search_seconds += (
-                    component_outcome.parallel_simulated_seconds
-                    if config.workers > 1
-                    else component_outcome.simulated_seconds
-                )
-                if load_plan is not None:
-                    peak_state_units = int(max(peak_state_units, load_plan.peak_batch_size()))
-                else:
-                    peak_state_units = max(
-                        peak_state_units,
-                        max((c.size() for c in small_components), default=0),
-                    )
-
-            for index, component in enumerate(oversized):
-                partitioner = GreedyPartitioner(size_bound if size_bound is not None else math.inf)
-                partitioning = partitioner.partition(component)
-                # Partition-parallel first pass + Gauss-Seidel cut repair
-                # (deterministic on every parallel backend; see
-                # repro.parallel.merge.gauss_seidel_refine).
-                outcome = gauss_seidel_refine(
-                    component,
-                    partitioning.atom_partitions,
-                    options=WalkSATOptions(
-                        max_flips=config.max_flips,
-                        noise=config.noise,
-                        trace_label=f"gauss-seidel-{index}",
-                        kernel_backend=config.kernel_backend,
-                    ),
-                    rng=rng.spawn(1000 + index),
-                    rounds=config.gauss_seidel_rounds,
-                    clock=SimulatedClock(config.cost_model),
-                    parallel_backend=config.parallel_backend,
-                    workers=config.workers,
-                )
-                assignment.update(outcome.best_assignment)
-                total_cost += outcome.best_cost
-                total_flips += outcome.flips
-                traces.append(outcome.trace)
-                simulated_search_seconds += outcome.trace.final_time
-                largest_partition = max(
-                    partitioning.sizes(component), default=component.size()
-                )
-                peak_state_units = max(peak_state_units, largest_partition)
-
-        trace = merge_traces(traces, label="tuffy")
-        trace.grounding_seconds = self.database.clock.now()
-        return InferenceResult(
-            label="tuffy",
-            assignment=assignment,
-            cost=total_cost,
-            atoms=grounding.atoms,
-            grounding=grounding,
-            flips=total_flips,
-            component_count=decomposition.component_count,
-            phase_seconds=self.timer.breakdown(),
-            simulated_seconds=self.database.clock.now() + simulated_search_seconds,
-            trace=trace,
-            memory=self.memory_model.snapshot(),
-            peak_memory_bytes=config.bytes_per_state_unit * max(peak_state_units, 1),
-        )
+    def add_evidence(self, predicate_name: str, arguments, truth: bool = True):
+        """Add one evidence fact; the next request delta-regrounds."""
+        return self.session.add_evidence(predicate_name, arguments, truth)
 
     # ------------------------------------------------------------------
-    # Marginal inference
+    # Inference requests
     # ------------------------------------------------------------------
 
-    def run_marginal(self) -> InferenceResult:
+    def run_map(self, seed: Optional[int] = None) -> InferenceResult:
+        """Run the full MAP pipeline and return the best world found.
+
+        ``seed`` overrides ``config.seed`` for this request only; repeated
+        calls are warm requests on the underlying session.
+        """
+        return self.session.run_map(seed=seed)
+
+    def run_marginal(self, seed: Optional[int] = None) -> InferenceResult:
         """Estimate marginal probabilities with MC-SAT (Appendix A.5).
 
         Like the MAP pipeline, marginal inference decomposes over the
@@ -300,55 +145,6 @@ class TuffyEngine:
         multi-component workloads use every worker.  Results are
         bit-identical across parallel backends and worker counts.
         """
-        config = self.config
-        grounding = self.ground()
-        mrf = self.build_mrf()
-        sampler = MCSat(
-            MCSatOptions(
-                samples=config.mcsat_samples,
-                burn_in=config.mcsat_burn_in,
-                kernel_backend=config.kernel_backend,
-                samplesat=SampleSATOptions(kernel_backend=config.kernel_backend),
-            ),
-            RandomSource(config.seed),
-        )
-        decomposition = (
-            self.detect_components() if config.use_partitioning else None
-        )
-        with self.timer.measure("search"):
-            if decomposition is not None and decomposition.component_count > 1:
-                marginals = sampler.run_components(
-                    decomposition.components,
-                    parallel_backend=config.parallel_backend,
-                    workers=config.workers,
-                )
-            else:
-                marginals = sampler.run(mrf)
-        assignment = marginals.most_likely()
-        from repro.mrf.cost import assignment_cost
-
-        cost = assignment_cost(mrf, assignment, hard_as_infinite=False)
-        return InferenceResult(
-            label="tuffy-mcsat",
-            assignment=assignment,
-            cost=cost + grounding.clauses.evidence_violation_cost,
-            atoms=grounding.atoms,
-            grounding=grounding,
-            component_count=self.detect_components().component_count,
-            phase_seconds=self.timer.breakdown(),
-            simulated_seconds=self.database.clock.now(),
-            memory=self.memory_model.snapshot(),
-            marginals=marginals,
-        )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _size_bound(self) -> Optional[float]:
-        """Translate the memory budget into a partition size bound (in units)."""
-        if self.config.memory_budget_bytes is None:
-            return None
-        return max(
-            self.config.memory_budget_bytes / self.config.bytes_per_state_unit, 1.0
-        )
+        # The module-global is looked up at call time so tests can
+        # monkeypatch ``repro.core.engine.MCSat``.
+        return self.session.run_marginal(seed=seed, sampler_factory=MCSat)

@@ -1,0 +1,667 @@
+"""Long-lived engine sessions: the warm request path.
+
+A cold :class:`~repro.core.engine.TuffyEngine` run pays for everything on
+every call: grounding, MRF construction, component detection, kernel-state
+allocation and — on the ``processes`` backend — forking a worker pool and
+packing the shared-memory buffers.  :class:`EngineSession` splits that
+into *session-lived* state (database, atom registry, grounding result,
+MRF, component decomposition, persistent :class:`~repro.parallel.pool.WorkerPool`)
+and *per-request* state (:class:`InferenceRequest`: seed, RNG, timer,
+simulated clock), so repeated MAP or marginal requests reuse everything
+that has not changed.
+
+Determinism contract
+--------------------
+A warm request with seed ``S`` is bit-identical — assignments, costs,
+flips, marginals — to a cold engine run with seed ``S``, on every
+``parallel_backend`` and worker count (``tests/test_session_parity.py``).
+This holds because every piece of reused state is either immutable
+between requests (the grounding result, the component MRFs) or fully
+rewritten before use (WalkSAT rewrites a reused kernel state at attempt 0
+via ``randomize``/``reset``; each request draws a fresh
+``RandomSource(seed)``).  The *first* request also matches the cold run's
+simulated seconds exactly; later requests may report fewer, because the
+simulated buffer cache absorbs repeated clause-table scans — less I/O is
+the point of the warm path, and the deterministic search clock is
+unchanged.
+
+Delta-grounding
+---------------
+:meth:`add_evidence` mutates the program *and* the session's registry in
+lockstep, bumping only the touched predicate's version counter.  The next
+:meth:`ground` then replays every clause whose predicates are unchanged
+from the grounder's replay cache and re-runs only the affected relational
+queries (:class:`~repro.grounding.bottom_up.GroundingDeltaReport` records
+the split).  Components whose atoms and clauses are unchanged are adopted
+from the previous decomposition so their caches survive the delta.
+
+The evidence-delta determinism contract: the registry's state is a pure
+function of (the program at first registry build, the ordered
+:meth:`add_evidence` calls).  A comparator must *replay the same call
+sequence* on a fresh session — building a cold engine from the final
+program text would register the delta atoms in a different order and get
+different atom ids.
+
+Pool lifecycle
+--------------
+The persistent pool is keyed on the component list it was packed from
+(identity per element).  A pool is never repacked in place — a grounding
+change tears it down and the next request forks a fresh one (the
+``fork-pool-lifecycle`` analysis rule enforces the never-repack rule).
+Unclosed sessions shut their pool down at garbage collection via
+``weakref.finalize``; call :meth:`close` (or use the session as a context
+manager) for deterministic teardown.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import InferenceConfig
+from repro.core.program import MLNProgram
+from repro.core.results import InferenceResult
+from repro.grounding.atoms import AtomRegistry
+from repro.grounding.bottom_up import BottomUpGrounder, GroundingDeltaReport
+from repro.grounding.lazy import active_closure
+from repro.grounding.result import GroundingResult
+from repro.grounding.top_down import TopDownGrounder
+from repro.inference.component_walksat import ComponentAwareWalkSAT
+from repro.inference.mcsat import MCSat, MCSatOptions
+from repro.inference.samplesat import SampleSATOptions
+from repro.inference.state import SearchState, make_search_state
+from repro.inference.tracing import TimeCostTrace, merge_traces
+from repro.inference.walksat import WalkSAT, WalkSATOptions
+from repro.mrf.components import ComponentDecomposition, connected_components
+from repro.mrf.cost import assignment_cost
+from repro.mrf.graph import MRF
+from repro.parallel import resolve_parallel_backend
+from repro.parallel.merge import gauss_seidel_refine
+from repro.parallel.pool import WorkerPool
+from repro.partitioning.greedy import GreedyPartitioner
+from repro.partitioning.loader import BatchLoader
+from repro.rdbms.database import Database
+from repro.utils.clock import SimulatedClock
+from repro.utils.memory import MemoryModel
+from repro.utils.rng import RandomSource
+from repro.utils.timer import Timer
+
+
+def _shutdown_holder(holder: Dict[str, Optional[WorkerPool]]) -> None:
+    """GC-time pool teardown (module-level so ``finalize`` holds no session ref)."""
+    pool = holder.get("pool")
+    if pool is not None:
+        holder["pool"] = None
+        pool.shutdown()
+
+
+@dataclass
+class SessionStats:
+    """Counters describing how much work the session reused vs redid."""
+
+    requests: int = 0
+    map_requests: int = 0
+    marginal_requests: int = 0
+    ground_runs: int = 0
+    delta_ground_runs: int = 0
+    pool_launches: int = 0
+    components_adopted: int = 0
+    components_rebuilt: int = 0
+
+
+@dataclass
+class InferenceRequest:
+    """Per-request state: nothing in here survives to the next request."""
+
+    seed: int
+    rng: RandomSource
+    timer: Timer = field(default_factory=Timer)
+    started_clock: float = 0.0
+
+
+class EngineSession:
+    """Long-lived inference state shared by a sequence of requests.
+
+    Owns the database, atom registry, grounding result, MRF, component
+    decomposition and (on the ``processes`` backend) the persistent worker
+    pool; :class:`~repro.core.engine.TuffyEngine` is a thin per-request
+    driver over one of these.
+    """
+
+    def __init__(
+        self,
+        program: MLNProgram,
+        config: Optional[InferenceConfig] = None,
+        database: Optional[Database] = None,
+    ) -> None:
+        self.program = program
+        self.config = config or InferenceConfig()
+        self.database = database or Database(
+            clock=SimulatedClock(self.config.cost_model),
+            optimizer_options=self.config.optimizer_options,
+            execution_backend=self.config.execution_backend,
+        )
+        self.memory_model = MemoryModel()
+        self.timer = Timer()
+        self.stats = SessionStats()
+        self.grounding_result: Optional[GroundingResult] = None
+        self.mrf: Optional[MRF] = None
+        self.components: Optional[ComponentDecomposition] = None
+        self._previous_components: Optional[ComponentDecomposition] = None
+        self.last_ground_report: Optional[GroundingDeltaReport] = None
+
+        self._registry: Optional[AtomRegistry] = None
+        self._grounder: Optional[BottomUpGrounder] = None
+        self._ground_version: Optional[int] = None
+        #: Simulated seconds the database clock had accumulated when the
+        #: current grounding finished — the grounding share of every warm
+        #: request's simulated time.
+        self._ground_clock_mark: float = 0.0
+        self._split: Optional[Tuple[List[MRF], List[MRF]]] = None
+        self._searcher: Optional[ComponentAwareWalkSAT] = None
+        self._mono_state: Optional[SearchState] = None
+        # The pool lives in a plain dict so ``weakref.finalize`` can tear it
+        # down after the session is collected without keeping the session
+        # alive (tests rarely close engines explicitly).
+        self._pool_holder: Dict[str, Optional[WorkerPool]] = {"pool": None}
+        self._finalizer = weakref.finalize(self, _shutdown_holder, self._pool_holder)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the persistent pool.  Idempotent."""
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Evidence deltas
+    # ------------------------------------------------------------------
+
+    def registry(self) -> AtomRegistry:
+        """The session's atom registry (built lazily from the program)."""
+        if self._registry is None:
+            self._registry = self.program.build_atom_registry()
+        return self._registry
+
+    def add_evidence(self, predicate_name: str, arguments, truth: bool = True):
+        """Add one evidence fact to the program *and* the live registry.
+
+        Forces the registry into existence first so its state is a pure
+        function of (program at first build, ordered ``add_evidence``
+        calls) — the replayable contract the delta parity suite relies on.
+        The touched predicate's version counter is bumped; the next
+        :meth:`ground` re-runs only the clauses reading that predicate.
+        """
+        registry = self.registry()
+        atom = self.program.add_evidence(predicate_name, arguments, truth)
+        registry.register(atom, truth)
+        return atom
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (session-lived, delta-aware)
+    # ------------------------------------------------------------------
+
+    def ground(self) -> GroundingResult:
+        """Ground the program, replaying unchanged clauses from cache."""
+        registry = self.registry()
+        if (
+            self.grounding_result is not None
+            and self._ground_version == registry.version
+        ):
+            return self.grounding_result
+        config = self.config
+        is_delta = self.grounding_result is not None
+        clauses = self.program.clauses()
+        with self.timer.measure("grounding"):
+            if config.grounding_strategy == "bottom-up":
+                result = self._bottom_up_grounder().ground(clauses, registry)
+                self.last_ground_report = self._bottom_up_grounder().last_report
+            else:
+                grounder = TopDownGrounder(
+                    merge_duplicates=config.merge_duplicate_clauses,
+                    memory_model=self.memory_model,
+                )
+                result = grounder.ground(clauses, registry)
+                self.last_ground_report = None
+        if config.use_lazy_closure:
+            closure = active_closure(result.clauses)
+            result = GroundingResult(
+                atoms=result.atoms,
+                clauses=closure.as_store(),
+                seconds=result.seconds,
+                per_clause=result.per_clause,
+                intermediate_tuples=result.intermediate_tuples,
+                strategy=result.strategy,
+            )
+        self.grounding_result = result
+        self._ground_version = registry.version
+        self._ground_clock_mark = self.database.clock.now()
+        self.stats.ground_runs += 1
+        if is_delta:
+            self.stats.delta_ground_runs += 1
+        self._invalidate_derived()
+        return result
+
+    def build_mrf(self) -> MRF:
+        """Build (and cache) the ground MRF for the current grounding."""
+        grounding = self.ground()
+        if self.mrf is None:
+            self.mrf = MRF.from_store(grounding.clauses)
+        return self.mrf
+
+    def detect_components(self) -> ComponentDecomposition:
+        """Detect components, adopting unchanged ones from the last grounding."""
+        mrf = self.build_mrf()
+        if self.components is None:
+            with self.timer.measure("component_detection"):
+                decomposition = connected_components(mrf)
+            self._adopt_components(decomposition)
+            self.components = decomposition
+        return self.components
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def run_map(self, seed: Optional[int] = None) -> InferenceResult:
+        """Run one MAP request against the warm session state."""
+        config = self.config
+        grounding = self.ground()
+        mrf = self.build_mrf()
+        request = self._begin_request(seed)
+        self.stats.map_requests += 1
+        if config.use_partitioning:
+            return self._run_partitioned(mrf, grounding, request)
+        return self._run_monolithic(mrf, grounding, request)
+
+    def run_marginal(
+        self, seed: Optional[int] = None, sampler_factory=None
+    ) -> InferenceResult:
+        """Run one MC-SAT marginal request against the warm session state.
+
+        ``sampler_factory`` defaults to :class:`~repro.inference.mcsat.MCSat`;
+        the engine passes its module-global so tests can monkeypatch it.
+        """
+        config = self.config
+        factory = sampler_factory if sampler_factory is not None else MCSat
+        grounding = self.ground()
+        mrf = self.build_mrf()
+        request = self._begin_request(seed)
+        self.stats.marginal_requests += 1
+        sampler = factory(
+            MCSatOptions(
+                samples=config.mcsat_samples,
+                burn_in=config.mcsat_burn_in,
+                kernel_backend=config.kernel_backend,
+                samplesat=SampleSATOptions(kernel_backend=config.kernel_backend),
+            ),
+            request.rng,
+        )
+        decomposition = self.detect_components() if config.use_partitioning else None
+        with request.timer.measure("search"):
+            if decomposition is not None and decomposition.component_count > 1:
+                pool = self._pool_for(decomposition.components)
+                marginals = sampler.run_components(
+                    decomposition.components,
+                    parallel_backend=config.parallel_backend,
+                    workers=config.workers,
+                    pool=pool,
+                )
+            else:
+                marginals = sampler.run(mrf)
+        assignment = marginals.most_likely()
+        cost = assignment_cost(mrf, assignment, hard_as_infinite=False)
+        # With partitioning disabled the decomposition is *not* computed for
+        # this request; reuse one an earlier request already paid for, else
+        # report the single monolithic search graph.
+        if decomposition is not None:
+            component_count = decomposition.component_count
+        elif self.components is not None:
+            component_count = self.components.component_count
+        else:
+            component_count = 1
+        return InferenceResult(
+            label="tuffy-mcsat",
+            assignment=assignment,
+            cost=cost + grounding.clauses.evidence_violation_cost,
+            atoms=grounding.atoms,
+            grounding=grounding,
+            component_count=component_count,
+            phase_seconds=self._phase_seconds(request),
+            simulated_seconds=self._database_simulated(request),
+            memory=self.memory_model.snapshot(),
+            marginals=marginals,
+        )
+
+    # ------------------------------------------------------------------
+    # MAP internals
+    # ------------------------------------------------------------------
+
+    def _run_monolithic(
+        self, mrf: MRF, grounding: GroundingResult, request: InferenceRequest
+    ) -> InferenceResult:
+        """Tuffy-p: one WalkSAT over the whole MRF (no partitioning)."""
+        config = self.config
+        clock = SimulatedClock(config.cost_model)
+        options = WalkSATOptions(
+            max_flips=config.max_flips,
+            max_tries=config.max_tries,
+            noise=config.noise,
+            target_cost=config.target_cost,
+            deadline_seconds=config.deadline_seconds,
+            trace_label="tuffy-p",
+            kernel_backend=config.kernel_backend,
+        )
+        with request.timer.measure("search"):
+            # Warm path: reuse the full-MRF kernel state across requests.
+            # Safe for bit-parity because attempt 0 of run_on_state fully
+            # rewrites it (randomize with random_restarts, reset otherwise).
+            if self._mono_state is None:
+                self._mono_state = make_search_state(
+                    mrf, None, backend=options.kernel_backend
+                )
+            searcher = WalkSAT(options, request.rng, clock)
+            outcome = searcher.run_on_state(self._mono_state, None)
+        trace = outcome.trace
+        trace.grounding_seconds = self._database_simulated(request)
+        peak_state_bytes = config.bytes_per_state_unit * mrf.size()
+        return InferenceResult(
+            label="tuffy-p",
+            assignment=outcome.best_assignment,
+            cost=outcome.best_cost + grounding.clauses.evidence_violation_cost,
+            atoms=grounding.atoms,
+            grounding=grounding,
+            flips=outcome.flips,
+            component_count=1,
+            phase_seconds=self._phase_seconds(request),
+            simulated_seconds=self._database_simulated(request) + clock.now(),
+            trace=trace,
+            memory=self.memory_model.snapshot(),
+            peak_memory_bytes=peak_state_bytes,
+        )
+
+    def _run_partitioned(
+        self, mrf: MRF, grounding: GroundingResult, request: InferenceRequest
+    ) -> InferenceResult:
+        """Tuffy: component-aware search, with Algorithm 3 for oversized parts."""
+        config = self.config
+        decomposition = self.detect_components()
+        size_bound = self._size_bound()
+        small_components, oversized = self._split_components(decomposition, size_bound)
+
+        # Batch loading of the in-budget components (I/O accounting only) —
+        # charged to the request, like every per-request database access.
+        with request.timer.measure("loading"):
+            load_plan = None
+            if small_components:
+                budget = size_bound if size_bound is not None else float(mrf.size() + 1)
+                loader = BatchLoader(self.database, budget, self.memory_model)
+                load_plan = loader.load(small_components, batched=True)
+
+        assignment: Dict[int, bool] = {}
+        total_cost = grounding.clauses.evidence_violation_cost
+        total_flips = 0
+        traces: List[TimeCostTrace] = []
+        simulated_search_seconds = 0.0
+        peak_state_units = 0
+
+        with request.timer.measure("search"):
+            if small_components:
+                searcher = self._component_searcher()
+                searcher.options = WalkSATOptions(
+                    max_flips=config.max_flips,
+                    max_tries=config.max_tries,
+                    noise=config.noise,
+                    deadline_seconds=config.deadline_seconds,
+                    trace_label="tuffy",
+                    kernel_backend=config.kernel_backend,
+                )
+                searcher.rng = request.rng
+                pool = self._pool_for(small_components)
+                component_outcome = searcher.run(
+                    small_components, total_flips=config.max_flips, pool=pool
+                )
+                assignment.update(component_outcome.best_assignment)
+                total_cost += component_outcome.best_cost
+                total_flips += component_outcome.flips
+                traces.append(component_outcome.trace)
+                simulated_search_seconds += (
+                    component_outcome.parallel_simulated_seconds
+                    if config.workers > 1
+                    else component_outcome.simulated_seconds
+                )
+                if load_plan is not None:
+                    peak_state_units = int(
+                        max(peak_state_units, load_plan.peak_batch_size())
+                    )
+                else:
+                    peak_state_units = max(
+                        peak_state_units,
+                        max((c.size() for c in small_components), default=0),
+                    )
+
+            for index, component in enumerate(oversized):
+                partitioner = GreedyPartitioner(
+                    size_bound if size_bound is not None else math.inf
+                )
+                partitioning = partitioner.partition(component)
+                # Partition-parallel first pass + Gauss-Seidel cut repair.
+                # The conditioned partition MRFs are fresh objects per call,
+                # so the persistent pool (packed from the session's
+                # components) is never lent here.
+                outcome = gauss_seidel_refine(
+                    component,
+                    partitioning.atom_partitions,
+                    options=WalkSATOptions(
+                        max_flips=config.max_flips,
+                        noise=config.noise,
+                        trace_label=f"gauss-seidel-{index}",
+                        kernel_backend=config.kernel_backend,
+                    ),
+                    rng=request.rng.spawn(1000 + index),
+                    rounds=config.gauss_seidel_rounds,
+                    clock=SimulatedClock(config.cost_model),
+                    parallel_backend=config.parallel_backend,
+                    workers=config.workers,
+                )
+                assignment.update(outcome.best_assignment)
+                total_cost += outcome.best_cost
+                total_flips += outcome.flips
+                traces.append(outcome.trace)
+                simulated_search_seconds += outcome.trace.final_time
+                largest_partition = max(
+                    partitioning.sizes(component), default=component.size()
+                )
+                peak_state_units = max(peak_state_units, largest_partition)
+
+        trace = merge_traces(traces, label="tuffy")
+        trace.grounding_seconds = self._database_simulated(request)
+        return InferenceResult(
+            label="tuffy",
+            assignment=assignment,
+            cost=total_cost,
+            atoms=grounding.atoms,
+            grounding=grounding,
+            flips=total_flips,
+            component_count=decomposition.component_count,
+            phase_seconds=self._phase_seconds(request),
+            simulated_seconds=self._database_simulated(request)
+            + simulated_search_seconds,
+            trace=trace,
+            memory=self.memory_model.snapshot(),
+            peak_memory_bytes=config.bytes_per_state_unit * max(peak_state_units, 1),
+        )
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+
+    def _begin_request(self, seed: Optional[int]) -> InferenceRequest:
+        request_seed = self.config.seed if seed is None else seed
+        self.stats.requests += 1
+        return InferenceRequest(
+            seed=request_seed,
+            rng=RandomSource(request_seed),
+            started_clock=self.database.clock.now(),
+        )
+
+    def _database_simulated(self, request: InferenceRequest) -> float:
+        """Simulated database seconds visible to this request.
+
+        The grounding share (paid once per grounding) plus whatever this
+        request itself charged to the database clock — so request N sees
+        the same value a cold run with the same seed would.
+        """
+        delta = self.database.clock.now() - request.started_clock
+        return self._ground_clock_mark + delta
+
+    def _phase_seconds(self, request: InferenceRequest) -> Dict[str, float]:
+        """Session phases (grounding, component detection) + request phases."""
+        return {**self.timer.breakdown(), **request.timer.breakdown()}
+
+    def _bottom_up_grounder(self) -> BottomUpGrounder:
+        if self._grounder is None:
+            config = self.config
+            self._grounder = BottomUpGrounder(
+                database=self.database,
+                optimizer_options=config.optimizer_options,
+                merge_duplicates=config.merge_duplicate_clauses,
+                memory_model=self.memory_model,
+                execution_backend=config.execution_backend,
+                enable_replay_cache=config.delta_grounding,
+            )
+        return self._grounder
+
+    def _invalidate_derived(self) -> None:
+        """Drop grounding-derived caches after a (re)ground.
+
+        The old decomposition is kept around so :meth:`detect_components`
+        can adopt unchanged components; the pool is torn down immediately —
+        its shared-memory buffers were packed from the old components and
+        are never repacked in place.
+        """
+        self.mrf = None
+        self._previous_components = self.components
+        self.components = None
+        self._split = None
+        self._mono_state = None
+        pool = self._pool_holder["pool"]
+        if pool is not None:
+            self._pool_holder["pool"] = None
+            pool.shutdown()
+
+    def _adopt_components(self, decomposition: ComponentDecomposition) -> None:
+        """Swap in old component MRFs whose structure is unchanged.
+
+        Adoption preserves the old objects' adjacency/flat-view caches.
+        Bit-parity is unaffected: a component's search depends only on its
+        clause literals and weights, which the signature pins exactly.
+        """
+        previous = self._previous_components
+        self._previous_components = None
+        if previous is None:
+            return
+        by_signature = {
+            self._component_signature(component): component
+            for component in previous.components
+        }
+        for index, component in enumerate(decomposition.components):
+            adopted = by_signature.get(self._component_signature(component))
+            if adopted is not None:
+                decomposition.components[index] = adopted
+                self.stats.components_adopted += 1
+            else:
+                self.stats.components_rebuilt += 1
+
+    @staticmethod
+    def _component_signature(component: MRF):
+        return (
+            tuple(component.atom_ids),
+            tuple(
+                (clause.literals, clause.weight) for clause in component.clauses
+            ),
+        )
+
+    def _split_components(
+        self, decomposition: ComponentDecomposition, size_bound: Optional[float]
+    ) -> Tuple[List[MRF], List[MRF]]:
+        """The small/oversized split, cached with stable list identity.
+
+        When nothing is oversized the "small" list *is*
+        ``decomposition.components`` — the same object every request — so
+        the component searcher's identity-keyed state cache and the pool's
+        ``matches()`` check stay warm, and the MAP and marginal paths share
+        one pool.
+        """
+        if self._split is None:
+            oversized: List[MRF] = []
+            small: List[MRF] = []
+            for component in decomposition.components:
+                if size_bound is not None and component.size() > size_bound:
+                    oversized.append(component)
+                else:
+                    small.append(component)
+            if not oversized:
+                small = decomposition.components
+            self._split = (small, oversized)
+        return self._split
+
+    def _component_searcher(self) -> ComponentAwareWalkSAT:
+        if self._searcher is None:
+            config = self.config
+            self._searcher = ComponentAwareWalkSAT(
+                options=WalkSATOptions(kernel_backend=config.kernel_backend),
+                rng=RandomSource(config.seed),
+                workers=config.workers,
+                cost_model=config.cost_model,
+                parallel_backend=config.parallel_backend,
+            )
+        return self._searcher
+
+    def _pool_for(self, components: List[MRF]) -> Optional[WorkerPool]:
+        """The persistent pool for these components, or ``None``.
+
+        Lends a pool only when the backend actually resolves to
+        ``processes`` for this task count and ``persistent_pool`` is on.
+        A pool packed from a different component list is torn down and a
+        fresh one forked (never repacked in place).
+        """
+        config = self.config
+        if not config.persistent_pool:
+            return None
+        resolved = resolve_parallel_backend(
+            config.parallel_backend,
+            workers=config.workers,
+            task_count=len(components),
+        )
+        if resolved != "processes":
+            return None
+        pool = self._pool_holder["pool"]
+        if pool is not None and pool.matches(components):
+            return pool
+        if pool is not None:
+            self._pool_holder["pool"] = None
+            pool.shutdown()
+        pool = WorkerPool(components, config.workers)
+        self._pool_holder["pool"] = pool
+        self.stats.pool_launches += 1
+        return pool
+
+    def _size_bound(self) -> Optional[float]:
+        """Translate the memory budget into a partition size bound (in units)."""
+        if self.config.memory_budget_bytes is None:
+            return None
+        return max(
+            self.config.memory_budget_bytes / self.config.bytes_per_state_unit, 1.0
+        )

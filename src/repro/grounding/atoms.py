@@ -47,6 +47,13 @@ class AtomRegistry:
     columnar engine's encoded-column cache — key their caches on
     ``(identity_token, version)`` so repeated ``ground()`` calls over an
     unchanged registry skip the rebuild entirely.
+
+    Alongside the global counter the registry keeps one version counter
+    **per predicate**, bumped only when that predicate's atoms or truth
+    values change.  This is the delta-grounding seam: an evidence delta on
+    one predicate invalidates only the atom tables and clause groundings
+    that touch it (see :class:`~repro.grounding.bottom_up.BottomUpGrounder`),
+    everything else replays from cache.
     """
 
     _next_token = 0
@@ -55,6 +62,7 @@ class AtomRegistry:
         self._records: List[AtomRecord] = []
         self._by_key: Dict[Tuple[str, Tuple[str, ...]], int] = {}
         self._version = 0
+        self._predicate_versions: Dict[str, int] = {}
         AtomRegistry._next_token += 1
         self._identity_token = AtomRegistry._next_token
 
@@ -62,6 +70,22 @@ class AtomRegistry:
     def version(self) -> int:
         """Monotone counter of logical mutations (new atoms, truth changes)."""
         return self._version
+
+    def predicate_version(self, predicate_name: str) -> int:
+        """Monotone counter of mutations touching one predicate's atoms."""
+        return self._predicate_versions.get(predicate_name, 0)
+
+    def predicate_versions(
+        self, predicate_names: Iterable[str]
+    ) -> Dict[str, int]:
+        """Snapshot of the per-predicate counters for the named predicates."""
+        return {name: self.predicate_version(name) for name in predicate_names}
+
+    def _bump(self, predicate_name: str) -> None:
+        self._version += 1
+        self._predicate_versions[predicate_name] = (
+            self._predicate_versions.get(predicate_name, 0) + 1
+        )
 
     @property
     def identity_token(self) -> int:
@@ -85,7 +109,7 @@ class AtomRegistry:
             atom_id = len(self._records) + 1
             self._records.append(AtomRecord(atom_id, atom, truth))
             self._by_key[key] = atom_id
-            self._version += 1
+            self._bump(atom.predicate.name)
             return atom_id
         record = self._records[atom_id - 1]
         if truth is not None:
@@ -93,7 +117,7 @@ class AtomRegistry:
                 raise ValueError(f"conflicting evidence for atom {atom}")
             if record.truth is None:
                 record.truth = truth
-                self._version += 1
+                self._bump(atom.predicate.name)
         return atom_id
 
     def register_evidence(self, atom: GroundAtom, truth: bool) -> int:

@@ -15,6 +15,22 @@ appended through :meth:`~repro.grounding.clause_table.GroundClauseStore.add_batc
 — no per-row Python work between the relational engine and the clause
 store.  Both consumers are bit-for-bit identical: same clauses, same
 order, same statistics (the grounding parity suite enforces this).
+
+Delta-grounding
+---------------
+With ``enable_replay_cache=True`` (the engine session's mode) the grounder
+records, per first-order clause, the exact sequence of clause-store events
+its query produced (every ``add`` literal tuple and every
+satisfied-by-evidence count) together with a snapshot of the per-predicate
+registry versions the clause depends on.  On a later ``ground()`` over the
+same registry, a clause whose predicates are all unchanged is **replayed**
+from that record instead of re-running its relational query; only clauses
+touching a changed predicate re-execute.  Replay issues the identical
+``add`` sequence, so the resulting store is bit-for-bit identical to a
+full reground (``add_batch`` is parity-tested equal to repeated ``add``).
+``last_report`` exposes the per-run counters (queries executed vs clauses
+replayed, atom tables loaded vs reused) that the session benchmark and the
+delta-grounding tests assert on.
 """
 
 from __future__ import annotations
@@ -78,6 +94,73 @@ def plan_intermediate_tuples(root) -> int:
 
 
 @dataclass
+class GroundingDeltaReport:
+    """Counters of one ``ground()`` run: what re-executed vs replayed."""
+
+    clauses_total: int = 0
+    queries_executed: int = 0
+    clauses_replayed: int = 0
+    atom_tables_loaded: int = 0
+    atom_tables_reused: int = 0
+
+    @property
+    def is_delta(self) -> bool:
+        return self.clauses_replayed > 0
+
+
+@dataclass
+class _ClauseReplay:
+    """Cached outcome of one clause's grounding query.
+
+    ``events`` is the ordered clause-store call sequence the query
+    produced: ``("add", literal_tuple)`` and ``("satisfied", count)``
+    entries, replayed verbatim so the store state is bit-identical to a
+    re-executed query.  Validity is pinned to the clause *object*, the
+    registry identity, and the per-predicate version snapshot.
+    """
+
+    clause: WeightedClause
+    registry_token: int
+    predicate_versions: Dict[str, int]
+    events: List[Tuple[str, object]]
+    produced: int
+    pruned: int
+    sql: Optional[str]
+    intermediate_tuples: int
+
+
+class _RecordingStore:
+    """Forwards to a clause store while recording the event stream.
+
+    Only the three mutating entry points the grounding consumers use are
+    wrapped; ``add_batch`` rows are recorded as individual ``add`` events
+    (the batch-parity suite pins ``add_batch`` == repeated ``add``), so a
+    replay through ``add`` reproduces the store bit-for-bit.
+    """
+
+    def __init__(self, store: GroundClauseStore) -> None:
+        self._store = store
+        self.events: List[Tuple[str, object]] = []
+
+    def add(self, literals, weight, source=None):
+        self.events.append(("add", tuple(literals)))
+        return self._store.add(literals, weight, source)
+
+    def record_satisfied_by_evidence(self, count: int = 1) -> None:
+        self.events.append(("satisfied", count))
+        self._store.record_satisfied_by_evidence(count)
+
+    def add_batch(self, flat_literals, counts, weight, source=None) -> int:
+        flat = [int(value) for value in flat_literals]
+        cursor = 0
+        for count in counts:
+            row = tuple(flat[cursor : cursor + int(count)])
+            cursor += int(count)
+            self.events.append(("add", row))
+        return self._store.add_batch(flat_literals, counts, weight, source)
+
+
+@dataclass
 class BottomUpGrounder:
     """Grounds MLN clauses by running relational queries in the engine.
 
@@ -104,6 +187,12 @@ class BottomUpGrounder:
         database executor's configured backend.  Resolved per clause query
         (``auto`` engages the columnar engine only above the measured
         table-size crossover).
+    enable_replay_cache:
+        Record per-clause event streams so later ``ground()`` calls replay
+        clauses whose predicates are unchanged (delta-grounding; used by
+        :class:`~repro.core.session.EngineSession`).  Off by default — the
+        cache holds a copy of the grounding output, which one-shot callers
+        should not pay for.
     """
 
     database: Optional[Database] = None
@@ -112,11 +201,14 @@ class BottomUpGrounder:
     persist_clause_table: bool = True
     memory_model: Optional[MemoryModel] = None
     execution_backend: Optional[str] = None
+    enable_replay_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.database is None:
             self.database = Database()
         self._compiler = GroundingCompiler()
+        self._replay: Dict[int, _ClauseReplay] = {}
+        self.last_report: Optional[GroundingDeltaReport] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -129,15 +221,19 @@ class BottomUpGrounder:
     ) -> GroundingResult:
         """Ground all clauses against the given atom registry."""
         clauses = list(clauses)
+        report = GroundingDeltaReport(clauses_total=len(clauses))
         total = Stopwatch()
         with total.measure():
-            self._load_atom_tables(clauses, atoms)
+            self._load_atom_tables(clauses, atoms, report)
             store = GroundClauseStore(merge_duplicates=self.merge_duplicates)
             per_clause: List[ClauseGroundingStats] = []
-            for clause in clauses:
-                per_clause.append(self._ground_clause(clause, atoms, store))
+            for index, clause in enumerate(clauses):
+                per_clause.append(
+                    self._ground_clause_cached(index, clause, atoms, store, report)
+                )
             if self.persist_clause_table:
                 store.store_in_database(self.database)
+        self.last_report = report
         if self.memory_model is not None:
             self.memory_model.charge_clauses(
                 len(store), store.total_literals(), category="clause_table"
@@ -167,7 +263,10 @@ class BottomUpGrounder:
     # ------------------------------------------------------------------
 
     def _load_atom_tables(
-        self, clauses: Sequence[WeightedClause], atoms: AtomRegistry
+        self,
+        clauses: Sequence[WeightedClause],
+        atoms: AtomRegistry,
+        report: GroundingDeltaReport,
     ) -> None:
         predicates: Dict[str, Predicate] = {}
         for clause in clauses:
@@ -176,16 +275,24 @@ class BottomUpGrounder:
         for predicate in predicates.values():
             table_name = predicate_table_name(predicate)
             schema = predicate_table_schema(predicate)
-            # Atom tables are a pure function of the registry's contents,
-            # so they (and everything keyed on their version — notably the
-            # columnar engine's encoded-column cache) can be reused across
-            # ground() calls as long as the registry has not changed.  The
-            # stamp pins the source registry and its version; any direct
-            # table mutation clears it.
-            stamp = ("atom-registry", atoms.identity_token, atoms.version)
+            # An atom table is a pure function of the registry's records
+            # for its predicate, so it (and everything keyed on its
+            # version — notably the columnar engine's encoded-column
+            # cache) can be reused across ground() calls as long as *that
+            # predicate* has not changed.  The stamp pins the source
+            # registry and the predicate's own version counter — an
+            # evidence delta reloads only the touched predicates' tables;
+            # any direct table mutation clears the stamp.
+            stamp = (
+                "atom-registry",
+                atoms.identity_token,
+                predicate.name,
+                atoms.predicate_version(predicate.name),
+            )
             if self.database.has_table(table_name):
                 table = self.database.table(table_name)
                 if table.contents_stamp == stamp:
+                    report.atom_tables_reused += 1
                     continue
                 table.truncate()
             else:
@@ -196,6 +303,79 @@ class BottomUpGrounder:
             ]
             self.database.bulk_load(table_name, rows)
             table.stamp_contents(stamp)
+            report.atom_tables_loaded += 1
+
+    def _ground_clause_cached(
+        self,
+        index: int,
+        clause: WeightedClause,
+        atoms: AtomRegistry,
+        store: GroundClauseStore,
+        report: GroundingDeltaReport,
+    ) -> ClauseGroundingStats:
+        """Replay an unchanged clause from cache, or re-run (and record) it."""
+        versions = atoms.predicate_versions(
+            predicate.name for predicate in clause.predicates()
+        )
+        if self.enable_replay_cache:
+            cached = self._replay.get(index)
+            if (
+                cached is not None
+                and cached.clause is clause
+                and cached.registry_token == atoms.identity_token
+                and cached.predicate_versions == versions
+            ):
+                report.clauses_replayed += 1
+                return self._replay_clause(clause, cached, store)
+        recorder: Optional[_RecordingStore] = None
+        target = store
+        if self.enable_replay_cache:
+            recorder = _RecordingStore(store)
+            target = recorder  # type: ignore[assignment]
+        stats = self._ground_clause(clause, atoms, target)
+        report.queries_executed += 1
+        if recorder is not None:
+            self._replay[index] = _ClauseReplay(
+                clause=clause,
+                registry_token=atoms.identity_token,
+                predicate_versions=versions,
+                events=recorder.events,
+                produced=stats.ground_clauses,
+                pruned=stats.pruned_bindings,
+                sql=stats.sql,
+                intermediate_tuples=stats.intermediate_tuples,
+            )
+        return stats
+
+    def _replay_clause(
+        self,
+        clause: WeightedClause,
+        cached: _ClauseReplay,
+        store: GroundClauseStore,
+    ) -> ClauseGroundingStats:
+        """Re-issue a cached event stream against a fresh store.
+
+        The store ends bit-identical to re-running the query: same ``add``
+        calls in the same order with the same literal tuples and weights
+        (identical floats, so duplicate-merge sums are unchanged), same
+        satisfied-by-evidence count.  The cached statistics are what the
+        query would report; only ``seconds`` reflects the (cheap) replay.
+        """
+        stopwatch = Stopwatch()
+        with stopwatch.measure():
+            for kind, payload in cached.events:
+                if kind == "add":
+                    store.add(payload, clause.weight, clause.name)
+                else:
+                    store.record_satisfied_by_evidence(payload)
+        return ClauseGroundingStats(
+            clause_name=clause.name or str(clause),
+            ground_clauses=cached.produced,
+            pruned_bindings=cached.pruned,
+            seconds=stopwatch.total,
+            sql=cached.sql,
+            intermediate_tuples=cached.intermediate_tuples,
+        )
 
     def _ground_clause(
         self,

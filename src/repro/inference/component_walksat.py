@@ -96,8 +96,14 @@ class ComponentAwareWalkSAT:
         source: MRF | ComponentDecomposition | Sequence[MRF],
         total_flips: Optional[int] = None,
         initial_assignment: Optional[Mapping[int, bool]] = None,
+        pool=None,
     ) -> ComponentSearchResult:
-        """Search every component and merge the per-component best states."""
+        """Search every component and merge the per-component best states.
+
+        ``pool`` lends a caller-owned persistent worker pool (the engine
+        session's) to the ``processes`` backend; see
+        :func:`repro.inference.scheduling.run_components`.
+        """
         from repro.parallel.merge import merge_walksat_results
         from repro.parallel.pool import ComponentOutcome, ComponentTask
 
@@ -145,6 +151,7 @@ class ComponentAwareWalkSAT:
             # in-process — the processes backend caches states per worker.
             local_states=lambda: self._component_states(components),
             placeholder=placeholder,
+            pool=pool,
         )
 
         component_results: List[WalkSATResult] = list(outcome.results)  # type: ignore[arg-type]

@@ -165,6 +165,7 @@ class MCSat:
         components: Sequence[MRF],
         parallel_backend: str = "auto",
         workers: int = 1,
+        pool=None,
     ) -> MarginalResult:
         """Estimate marginals component by component, optionally in parallel.
 
@@ -194,7 +195,8 @@ class MCSat:
             for index in range(len(components))
         ]
         outcome = dispatch_components(
-            components, tasks, parallel_backend=parallel_backend, workers=workers
+            components, tasks, parallel_backend=parallel_backend, workers=workers,
+            pool=pool,
         )
         return merge_marginal_results(
             outcome.results, self.options.samples, self.options.burn_in

@@ -164,6 +164,7 @@ def run_components(
     deadline_seconds: Optional[float] = None,
     local_states=None,
     placeholder: Optional[Callable[[int], object]] = None,
+    pool=None,
 ):
     """Run one :class:`~repro.parallel.pool.ComponentTask` per component.
 
@@ -181,7 +182,10 @@ def run_components(
     higher worker counts, since waves of ``workers`` tasks complete
     before each deadline check).  ``local_states`` may be a sequence of
     cached kernel states or a zero-arg callable building them; it is
-    consulted only on the in-process backends.
+    consulted only on the in-process backends.  ``pool`` lends a
+    caller-owned persistent :class:`~repro.parallel.pool.WorkerPool` to
+    the ``processes`` backend (the caller keeps ownership — it is not
+    shut down here) and is ignored on the other backends.
     """
     from repro.parallel import resolve_parallel_backend
     from repro.parallel.scheduler import run_component_tasks
@@ -197,4 +201,5 @@ def run_components(
         deadline_seconds=deadline_seconds,
         local_states=local_states,
         placeholder=placeholder,
+        pool=pool,
     )

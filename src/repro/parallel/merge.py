@@ -88,6 +88,7 @@ def gauss_seidel_refine(
     parallel_backend: str = "serial",
     workers: int = 1,
     initial_assignment: Optional[Mapping[int, bool]] = None,
+    pool=None,
 ) -> GaussSeidelResult:
     """Partition-parallel first pass, then Gauss-Seidel rounds on the cut.
 
@@ -147,11 +148,17 @@ def gauss_seidel_refine(
                     initial_assignment=local_initial,
                 )
             )
+        # The conditioned MRFs are fresh objects each call, so a lent pool
+        # can only be used when the caller packed it from exactly them
+        # (run_component_tasks verifies identity and otherwise raises);
+        # an ephemeral processes pool is torn down in the scheduler's
+        # ``finally`` even when a partition task raises.
         outcome = run_components(
             [conditioned[index] for index in active],
             tasks,
             parallel_backend=parallel_backend,
             workers=workers,
+            pool=pool,
         )
         for index, result in zip(active, outcome.results):
             first_pass_flips += result.flips

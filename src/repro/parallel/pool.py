@@ -24,8 +24,10 @@ pool refuses to start when the ``fork`` start method is unavailable
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.inference.mcsat import MCSat, MCSatOptions
 from repro.inference.state import make_search_state
@@ -96,15 +98,47 @@ def execute_component_task(
 # The worker process
 # ----------------------------------------------------------------------
 
+#: Upper bound on cached ``(component, kernel_backend)`` states per worker.
+#: A persistent pool serving many requests would otherwise grow one kernel
+#: state per component it ever touched; evicting the least recently used
+#: state is bit-safe because ``run_on_state`` rewrites reused states in
+#: place at the start of every try — a rebuilt state is identical.
+WORKER_STATE_CACHE_LIMIT = 64
+
+
+class BoundedStateCache:
+    """A small LRU map for worker-side kernel states."""
+
+    def __init__(self, limit: int = WORKER_STATE_CACHE_LIMIT) -> None:
+        self.limit = max(1, limit)
+        self._entries: "OrderedDict[Tuple[int, str], object]" = OrderedDict()
+
+    def get(self, key: Tuple[int, str]) -> Optional[object]:
+        state = self._entries.get(key)
+        if state is not None:
+            self._entries.move_to_end(key)
+        return state
+
+    def put(self, key: Tuple[int, str], state: object) -> None:
+        self._entries[key] = state
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
 
 def _worker_main(buffers: ComponentBufferSet, task_queue, result_queue) -> None:
     """Worker loop: rebuild-and-cache components, execute tasks, reply.
 
     The buffer set is inherited through fork; MRFs and kernel states are
-    cached per (component, kernel backend) so a component re-dispatched
-    across rounds reuses its state exactly like the serial driver does.
+    cached per (component, kernel backend) — bounded by
+    ``WORKER_STATE_CACHE_LIMIT`` — so a component re-dispatched across
+    rounds (or across a persistent session's requests) reuses its state
+    exactly like the serial driver does.
     """
-    states: Dict[Tuple[int, str], object] = {}
+    states = BoundedStateCache()
     try:
         while True:
             task = task_queue.get()
@@ -118,7 +152,7 @@ def _worker_main(buffers: ComponentBufferSet, task_queue, result_queue) -> None:
                     state = states.get(key)
                     if state is None:
                         state = make_search_state(mrf, backend=task.walksat.kernel_backend)
-                        states[key] = state
+                        states.put(key, state)
                 outcome = execute_component_task(task, mrf, state)
                 result_queue.put((task.index, outcome, None))
             except BaseException as error:  # surface, don't hang the parent
@@ -128,25 +162,65 @@ def _worker_main(buffers: ComponentBufferSet, task_queue, result_queue) -> None:
 
 
 class WorkerPool:
-    """A pool of forked workers sharing one component buffer set."""
+    """A pool of forked workers sharing one component buffer set.
 
-    def __init__(self, components, workers: int) -> None:
+    The pool is reusable across runs (the engine session keeps one alive
+    between requests — workers' cached MRFs and kernel states stay warm)
+    and is a context manager: ``with WorkerPool(...) as pool`` guarantees
+    the shared-memory segment is unlinked even when the run raises.  The
+    constructor itself cleans up on failure, so an exception between
+    packing the buffers and starting the workers can never leak the
+    segment.  Never repack buffers on a live pool — build a new pool (the
+    ``fork-pool-lifecycle`` analysis rule enforces this).
+    """
+
+    def __init__(self, components: Sequence[MRF], workers: int) -> None:
         context = multiprocessing.get_context("fork")
         self.buffers = ComponentBufferSet.pack(components)
-        self._tasks = context.Queue()
-        self._results = context.Queue()
-        self.workers = max(1, min(workers, len(components) or 1))
-        self._processes = [
-            context.Process(
-                target=_worker_main,
-                args=(self.buffers, self._tasks, self._results),
-                daemon=True,
-            )
-            for _ in range(self.workers)
-        ]
+        self._packed: List[MRF] = list(components)
         self._closed = False
-        for process in self._processes:
-            process.start()
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        try:
+            self._tasks = context.Queue()
+            self._results = context.Queue()
+            self.workers = max(1, min(workers, len(components) or 1))
+            for _ in range(self.workers):
+                self._processes.append(
+                    context.Process(
+                        target=_worker_main,
+                        args=(self.buffers, self._tasks, self._results),
+                        daemon=True,
+                    )
+                )
+            for process in self._processes:
+                process.start()
+        except BaseException:
+            # Undo a partial start: without this, the shared-memory
+            # segment (and any already-forked workers) would leak.
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+            self._closed = True
+            self.buffers.destroy()
+            raise
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    def matches(self, components: Sequence[MRF]) -> bool:
+        """True when this pool was packed from exactly these components.
+
+        Identity comparison, element-wise: the packed buffers snapshot the
+        component MRFs, so reuse is only sound for the same objects (the
+        session invalidates the pool when grounding produces new ones).
+        """
+        if self._closed or len(components) != len(self._packed):
+            return False
+        return all(ours is theirs for ours, theirs in zip(self._packed, components))
 
     def submit(self, task: ComponentTask) -> None:
         self._tasks.put(task)
@@ -159,8 +233,6 @@ class WorkerPool:
         blocking the parent forever — _worker_main only converts *Python*
         exceptions into error replies.
         """
-        import queue as queue_module
-
         outcomes: List[ComponentOutcome] = []
         failures: List[str] = []
         received = 0

@@ -64,6 +64,7 @@ def run_component_tasks(
     deadline_seconds: Optional[float] = None,
     local_states=None,
     placeholder: Optional[Callable[[int], ComponentOutcome]] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> ScheduledOutcome:
     """Run one task per component, returning results in component order.
 
@@ -77,6 +78,14 @@ def run_component_tasks(
     component owns a derived stream, so skipping one never shifts
     another's).
 
+    ``pool`` lends a caller-owned :class:`WorkerPool` (the engine
+    session's persistent pool) to the ``processes`` backend: the pool must
+    have been packed from exactly these component objects, it is *not*
+    shut down here (the owner keeps it warm across calls), and it is
+    ignored on the in-process backends.  Without it the scheduler builds
+    an ephemeral pool whose shared-memory segment is released in a
+    ``finally`` even when a task raises.
+
     Note the deadline caveat: waves are sized by ``workers``, so a
     deadline-bounded run is deterministic per worker count but may skip
     *fewer* components at higher worker counts (more work completes
@@ -89,15 +98,21 @@ def run_component_tasks(
         raise ValueError("workers must be positive")
     if backend == "processes":
         local_states = None
-    elif callable(local_states):
-        local_states = local_states()
+        if pool is not None and not pool.matches(components):
+            raise ValueError(
+                "the provided worker pool was packed for different components"
+            )
+    else:
+        pool = None
+        if callable(local_states):
+            local_states = local_states()
     order = dispatch_order(components)
     slots: List[Optional[ComponentOutcome]] = [None] * len(tasks)
     skipped: List[int] = []
     dispatched: List[int] = []
     stopwatch = Stopwatch()
 
-    pool: Optional[WorkerPool] = None
+    owns_pool = False
     executor: Optional[ThreadPoolExecutor] = None
 
     def run_local(index: int) -> ComponentOutcome:
@@ -107,7 +122,9 @@ def run_component_tasks(
     try:
         with stopwatch.measure():
             if backend == "processes":
-                pool = WorkerPool(components, workers)
+                if pool is None:
+                    pool = WorkerPool(components, workers)
+                    owns_pool = True
             elif backend == "threads":
                 executor = ThreadPoolExecutor(max_workers=workers)
 
@@ -148,7 +165,7 @@ def run_component_tasks(
                     )
                 slots[index] = placeholder(index)
     finally:
-        if pool is not None:
+        if pool is not None and owns_pool:
             pool.shutdown()
         if executor is not None:
             executor.shutdown()

@@ -323,6 +323,55 @@ class TestPoolTaskClosure:
         assert report.findings == []
 
 
+class TestPoolLifecycle:
+    def test_repacking_live_pool_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/pool.py": """\
+            class WorkerPool:
+                def __init__(self, components, workers):
+                    self.buffers = ComponentBufferSet.pack(components)
+                    self._processes = [spawn() for _ in range(workers)]
+
+                def rebind(self, components):
+                    self.buffers = fresh_buffers(components)
+
+                def repack(self, components):
+                    ComponentBufferSet.pack(components)
+            """})
+        found = messages(report, "fork-pool-lifecycle")
+        assert len(found) == 2
+        assert any("rebinds self.buffers" in message for message in found)
+        assert any("repacks shared-memory buffers" in message for message in found)
+
+    def test_packing_in_init_and_shutdown_are_clean(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"parallel/pool.py": """\
+            class WorkerPool:
+                def __init__(self, components, workers):
+                    self.buffers = ComponentBufferSet.pack(components)
+                    self._processes = [spawn() for _ in range(workers)]
+
+                def shutdown(self):
+                    for process in self._processes:
+                        process.join()
+                    self.buffers.destroy()
+            """})
+        assert report.findings == []
+
+    def test_non_pool_class_and_other_dirs_are_clean(self, tmp_path: Path) -> None:
+        repacker = """\
+            class BufferCache:
+                def __init__(self, components):
+                    self.buffers = ComponentBufferSet.pack(components)
+
+                def refresh(self, components):
+                    self.buffers = ComponentBufferSet.pack(components)
+            """
+        report = analyze(
+            tmp_path,
+            {"parallel/buffers.py": repacker, "inference/pool.py": repacker},
+        )
+        assert messages(report, "fork-pool-lifecycle") == []
+
+
 SEAM_STATE = """\
     class SearchState:
         def flip(self, clause_index, position):

@@ -1,0 +1,340 @@
+"""Session parity: warm requests are bit-identical to cold runs.
+
+The session architecture's determinism contract
+(:mod:`repro.core.session`): the Nth request on a warm
+:class:`~repro.core.session.EngineSession` — reused grounding, MRF,
+component decomposition, kernel states and (on the ``processes`` backend)
+worker pool — returns bit-for-bit the same assignments, costs, flips,
+marginals and simulated seconds as a fresh engine running once with the
+same seed, across every parallel backend and worker count.  After an
+evidence delta, parity is against a fresh session *replaying the same
+call sequence* (registry build, then the ordered ``add_evidence`` calls)
+— and the delta re-grounds only the clauses touching changed predicates,
+asserted via the grounding delta report's counters.
+"""
+
+import pytest
+
+from repro.core.config import InferenceConfig
+from repro.core.engine import TuffyEngine
+from repro.core.program import MLNProgram
+from repro.datasets import DatasetScale, load_dataset
+from repro.datasets.example1 import example1_mrf
+from repro.mrf.components import connected_components
+from repro.parallel import processes_available
+from repro.parallel import pool as pool_module
+from repro.parallel.buffers import ComponentBufferSet
+from repro.parallel.pool import BoundedStateCache, WorkerPool
+
+BACKENDS = [
+    backend for backend in ("serial", "threads", "processes")
+    if backend != "processes" or processes_available()
+]
+WORKER_COUNTS = (1, 2, 4)
+
+PROGRAM_TEXT = """
+*wrote(author, paper)
+*refers(paper, paper)
+cat(paper, category)
+5 cat(p, c1), cat(p, c2) => c1 = c2
+1 wrote(x, p1), wrote(x, p2), cat(p1, c) => cat(p2, c)
+2 cat(p1, c), refers(p1, p2) => cat(p2, c)
+-1 cat(p, "Networking")
+"""
+
+EVIDENCE_TEXT = """
+wrote(Joe, P1)
+wrote(Joe, P2)
+wrote(Jake, P3)
+refers(P1, P3)
+cat(P2, "DB")
+"""
+
+TWO_ISLANDS_TEXT = """
+*link(node, node)
+label(node, tag)
+2 link(a, b), label(a, t) => label(b, t)
+-0.5 label(n, "Bad")
+"""
+
+TWO_ISLANDS_EVIDENCE = """
+link(A1, A2)
+link(B1, B2)
+label(A1, "Good")
+"""
+
+
+def figure1_program():
+    program = MLNProgram.from_text(PROGRAM_TEXT, EVIDENCE_TEXT)
+    program.add_constants("category", ["DB", "AI", "Networking"])
+    return program
+
+
+def two_islands_program():
+    program = MLNProgram.from_text(TWO_ISLANDS_TEXT, TWO_ISLANDS_EVIDENCE)
+    program.add_constants("tag", ["Good", "Bad"])
+    return program
+
+
+def _rc_config(**overrides):
+    defaults = dict(seed=0, max_flips=1500)
+    defaults.update(overrides)
+    return InferenceConfig(**defaults)
+
+
+def _rc_program():
+    return load_dataset("RC", DatasetScale(factor=0.25, seed=0)).program
+
+
+def _assert_same_map(result, reference, key=None, include_simulated=False):
+    assert result.assignment == reference.assignment, key
+    assert result.cost == reference.cost, key
+    assert result.flips == reference.flips, key
+    assert result.component_count == reference.component_count, key
+    if include_simulated:
+        assert result.simulated_seconds == reference.simulated_seconds, key
+    else:
+        # A warm request never pays *more* simulated I/O than a cold run —
+        # the simulated buffer cache can only absorb repeated scans.
+        assert result.simulated_seconds <= reference.simulated_seconds, key
+
+
+class TestWarmMapParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_third_request_matches_cold_run(self, backend, workers):
+        config = _rc_config(parallel_backend=backend, workers=workers)
+        cold = TuffyEngine(_rc_program(), config).run_map()
+        with TuffyEngine(_rc_program(), _rc_config(parallel_backend=backend, workers=workers)) as engine:
+            first = engine.run_map()
+            _assert_same_map(first, cold, key=(backend, workers), include_simulated=True)
+            warm = None
+            for _request in range(2):
+                warm = engine.run_map()
+            _assert_same_map(warm, cold, key=(backend, workers))
+            assert {"grounding", "search"} <= set(warm.phase_seconds)
+            assert engine.stats.ground_runs == 1
+
+    def test_per_request_seed_override_matches_cold_seed(self):
+        cold = TuffyEngine(_rc_program(), _rc_config(seed=7)).run_map()
+        with TuffyEngine(_rc_program(), _rc_config(seed=0)) as engine:
+            engine.run_map()  # warm up on the default seed
+            warm = engine.run_map(seed=7)
+            _assert_same_map(warm, cold)
+
+    def test_monolithic_requests_reuse_state_bit_identically(self):
+        config = InferenceConfig(seed=0, max_flips=5000, use_partitioning=False)
+        cold = TuffyEngine(figure1_program(), config).run_map()
+        with TuffyEngine(
+            figure1_program(),
+            InferenceConfig(seed=0, max_flips=5000, use_partitioning=False),
+        ) as engine:
+            warm = None
+            for _request in range(3):
+                warm = engine.run_map()
+            _assert_same_map(warm, cold)
+            # The full-MRF kernel state is cached across requests.
+            assert engine.session._mono_state is not None
+
+
+class TestWarmMarginalParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_third_request_matches_cold_run(self, backend):
+        config = _rc_config(parallel_backend=backend, workers=2, mcsat_samples=20)
+        cold = TuffyEngine(_rc_program(), config).run_marginal()
+        with TuffyEngine(
+            _rc_program(),
+            _rc_config(parallel_backend=backend, workers=2, mcsat_samples=20),
+        ) as engine:
+            warm = None
+            for _request in range(3):
+                warm = engine.run_marginal()
+            assert warm.marginals.probabilities == cold.marginals.probabilities, backend
+            assert warm.assignment == cold.assignment, backend
+            assert warm.cost == cold.cost, backend
+            assert warm.simulated_seconds == cold.simulated_seconds, backend
+
+    def test_no_partitioning_reports_one_component_without_detection(self):
+        # Regression: run_marginal used to *unconditionally* run component
+        # detection just to report the count, even with partitioning off.
+        config = InferenceConfig(
+            seed=0, use_partitioning=False, mcsat_samples=10
+        )
+        engine = TuffyEngine(figure1_program(), config)
+        result = engine.run_marginal()
+        assert engine.components is None  # detection never ran
+        assert result.component_count == 1
+
+    def test_no_partitioning_reuses_existing_decomposition(self):
+        config = InferenceConfig(
+            seed=0, use_partitioning=False, mcsat_samples=10
+        )
+        engine = TuffyEngine(two_islands_program(), config)
+        detected = engine.detect_components().component_count
+        assert detected > 1
+        result = engine.run_marginal()
+        assert result.component_count == detected
+
+
+class TestEvidenceDelta:
+    def test_delta_regrounds_only_clauses_touching_changed_predicate(self):
+        with TuffyEngine(figure1_program(), InferenceConfig(seed=0, max_flips=3000)) as engine:
+            engine.run_map()
+            first = engine.session.last_ground_report
+            assert not first.is_delta
+            assert first.queries_executed == 4
+            assert first.clauses_replayed == 0
+            # Delta on 'wrote': only the co-author rule reads it; the other
+            # three clauses replay and only the wrote table reloads.
+            engine.add_evidence("wrote", ("Jake", "P2"))
+            engine.run_map()
+            report = engine.session.last_ground_report
+            assert report.is_delta
+            assert report.queries_executed == 1
+            assert report.clauses_replayed == 3
+            assert report.atom_tables_loaded == 1
+            assert report.atom_tables_reused == 2
+            assert engine.stats.ground_runs == 2
+            assert engine.stats.delta_ground_runs == 1
+
+    def test_delta_request_matches_replaying_comparator(self):
+        def drive(config):
+            engine = TuffyEngine(figure1_program(), config)
+            engine.ground()  # fix the registry before the delta, per contract
+            engine.add_evidence("wrote", ("Jake", "P2"))
+            map_result = engine.run_map()
+            marginal_result = engine.run_marginal()
+            engine.close()
+            return map_result, marginal_result
+
+        # Warm session: grounds once, deltas, re-grounds via clause replay.
+        with TuffyEngine(figure1_program(), InferenceConfig(seed=0, max_flips=3000)) as warm_engine:
+            warm_engine.run_map()
+            warm_engine.add_evidence("wrote", ("Jake", "P2"))
+            warm_map = warm_engine.run_map()
+            warm_marginal = warm_engine.run_marginal()
+
+        # Comparator 1: fresh session replaying the same call sequence.
+        replay_map, replay_marginal = drive(InferenceConfig(seed=0, max_flips=3000))
+        # Comparator 2: replay cache disabled — every clause re-executes its
+        # relational query, proving replayed stores match executed stores.
+        full_map, full_marginal = drive(
+            InferenceConfig(seed=0, max_flips=3000, delta_grounding=False)
+        )
+
+        for other in (replay_map, full_map):
+            assert warm_map.assignment == other.assignment
+            assert warm_map.cost == other.cost
+            assert warm_map.flips == other.flips
+        for other in (replay_marginal, full_marginal):
+            assert warm_marginal.marginals.probabilities == other.marginals.probabilities
+
+    def test_delta_adopts_structurally_unchanged_components(self):
+        with TuffyEngine(two_islands_program(), InferenceConfig(seed=0, max_flips=2000)) as engine:
+            first = engine.run_map()
+            assert first.component_count > 1
+            # Fixing a label on island B rewrites B's ground clauses but
+            # leaves island A structurally identical — A's MRF is adopted.
+            engine.add_evidence("label", ("B1", "Good"))
+            engine.run_map()
+            assert engine.stats.components_adopted >= 1
+            assert engine.stats.components_rebuilt >= 1
+
+
+@pytest.mark.skipif(not processes_available(), reason="fork start method unavailable")
+class TestPersistentPool:
+    def test_pool_forked_once_and_shared_across_request_kinds(self):
+        config = _rc_config(
+            parallel_backend="processes", workers=2, mcsat_samples=10
+        )
+        with TuffyEngine(_rc_program(), config) as engine:
+            engine.run_map()
+            engine.run_map()
+            engine.run_marginal()
+            assert engine.stats.pool_launches == 1
+        assert engine.session._pool_holder["pool"] is None
+
+    def test_evidence_delta_tears_down_and_reforks_the_pool(self):
+        config = InferenceConfig(
+            seed=0, max_flips=2000, parallel_backend="processes", workers=2
+        )
+        with TuffyEngine(two_islands_program(), config) as engine:
+            engine.run_map()
+            assert engine.stats.pool_launches == 1
+            engine.add_evidence("label", ("B1", "Good"))
+            engine.run_map()
+            assert engine.stats.pool_launches == 2
+
+    def test_persistent_pool_off_never_launches_a_session_pool(self):
+        config = _rc_config(
+            parallel_backend="processes", workers=2, persistent_pool=False
+        )
+        with TuffyEngine(_rc_program(), config) as engine:
+            engine.run_map()
+            engine.run_map()
+            assert engine.stats.pool_launches == 0
+
+
+class TestWorkerPoolLifecycle:
+    @pytest.fixture()
+    def components(self):
+        return connected_components(example1_mrf(8)).components
+
+    @pytest.mark.skipif(
+        not processes_available(), reason="fork start method unavailable"
+    )
+    def test_context_manager_shuts_down_on_exit(self, components):
+        with WorkerPool(components, 2) as pool:
+            assert pool.matches(components)
+        assert pool._closed
+        assert not pool.matches(components)
+
+    def test_constructor_failure_destroys_shared_memory(self, components, monkeypatch):
+        destroyed = []
+        original_destroy = ComponentBufferSet.destroy
+
+        def spying_destroy(self):
+            destroyed.append(True)
+            original_destroy(self)
+
+        class ExplodingContext:
+            def Queue(self):
+                raise RuntimeError("queue construction failed")
+
+        monkeypatch.setattr(ComponentBufferSet, "destroy", spying_destroy)
+        monkeypatch.setattr(
+            pool_module.multiprocessing,
+            "get_context",
+            lambda method: ExplodingContext(),
+        )
+        with pytest.raises(RuntimeError, match="queue construction failed"):
+            WorkerPool(components, 2)
+        assert destroyed, "shared-memory segment leaked on constructor failure"
+
+
+class TestBoundedStateCache:
+    def test_evicts_least_recently_used_beyond_limit(self):
+        cache = BoundedStateCache(limit=3)
+        for index in range(5):
+            cache.put((index, "flat"), object())
+        assert len(cache) == 3
+        assert cache.get((0, "flat")) is None
+        assert cache.get((1, "flat")) is None
+        assert cache.get((4, "flat")) is not None
+
+    def test_get_refreshes_recency(self):
+        cache = BoundedStateCache(limit=2)
+        first, second, third = object(), object(), object()
+        cache.put((1, "flat"), first)
+        cache.put((2, "flat"), second)
+        assert cache.get((1, "flat")) is first  # refresh 1; 2 becomes LRU
+        cache.put((3, "flat"), third)
+        assert cache.get((2, "flat")) is None
+        assert cache.get((1, "flat")) is first
+
+    def test_worker_cache_limit_is_bounded(self):
+        assert pool_module.WORKER_STATE_CACHE_LIMIT >= 1
+        cache = BoundedStateCache()
+        for index in range(pool_module.WORKER_STATE_CACHE_LIMIT + 10):
+            cache.put((index, "flat"), object())
+        assert len(cache) == pool_module.WORKER_STATE_CACHE_LIMIT
