@@ -14,7 +14,15 @@ seeded search:
 * **ring** — a single-component MRF, where ``auto`` resolves to ``serial``
   and a *forced* ``processes`` run measures the pool's overhead (spin-up +
   shared-memory packing + one task round-trip); the bound is <= 10% over
-  serial.
+  serial;
+* **imbalanced** — one giant component plus many tiny ones, the dispatch
+  stress shape: the work-stealing loop (``--dispatch steal``, the default)
+  is measured against the legacy barrier scheduler (``--dispatch wave``,
+  waves of ``workers`` tasks that idle behind their slowest member) on one
+  warm pool, along with the scheduler's telemetry (steal counts,
+  shm-shipped result bytes).  ``--assert-dispatch-speedup X`` gates on
+  steal beating wave by X at the highest worker count (skipped, like every
+  wall-clock assertion, when the machine lacks the cores).
 
 Every run is asserted bit-identical to the serial result (the determinism
 contract of ``repro.parallel``), so the numbers compare identical work.
@@ -67,7 +75,52 @@ def ring_mrf(n_atoms: int) -> MRF:
     return MRF.from_store(store)
 
 
-def measure(components, flips, backend, workers, repeats):
+def imbalanced_mrfs(n_tiny: int, tiny_atoms: int, giant_atoms: int):
+    """One giant chain plus many tiny ones — the stealing stress shape.
+
+    Sized so the giant's flip share (proportional to its atom count) is
+    close to the total tiny work divided by the remaining workers: a
+    stealing dispatch hides the tiny components behind the giant, while
+    the barrier scheduler pays for them in extra full waves.
+    """
+
+    def chain(n_atoms, first_atom):
+        store = GroundClauseStore()
+        atoms = list(range(first_atom, first_atom + n_atoms))
+        for left, right in zip(atoms, atoms[1:]):
+            store.add((left, right), 1.0)
+        for atom in atoms:
+            store.add((atom,), 1.0)
+            store.add((-atom,), 0.8)
+        return MRF.from_store(store)
+
+    components = [chain(giant_atoms, 1)]
+    base = 10_000
+    for _ in range(n_tiny):
+        components.append(chain(tiny_atoms, base))
+        base += 1_000
+    return components
+
+
+def dispatch_tasks(components, flips):
+    """The component tasks the searcher would build (weighted allocation)."""
+    from repro.inference.scheduling import weighted_flip_allocation
+    from repro.parallel.pool import ComponentTask
+
+    allocation = weighted_flip_allocation(components, flips)
+    rng = RandomSource(BENCH_SEED)
+    return [
+        ComponentTask(
+            index=index,
+            kind="walksat",
+            seed=rng.spawn(index + 1).seed,
+            walksat=WalkSATOptions(max_flips=max(budget, 1), target_cost=0.0),
+        )
+        for index, budget in enumerate(allocation)
+    ]
+
+
+def measure(components, flips, backend, workers, repeats, dispatch="steal"):
     """Best-of wall seconds (and the result) of one configuration."""
     best = None
     result = None
@@ -77,12 +130,31 @@ def measure(components, flips, backend, workers, repeats):
             RandomSource(BENCH_SEED),
             workers=workers,
             parallel_backend=backend,
+            dispatch=dispatch,
         )
         started = time.perf_counter()
         result = searcher.run(components, total_flips=flips)
         elapsed = max(time.perf_counter() - started, 1e-9)
         best = elapsed if best is None else min(best, elapsed)
     return result, best
+
+
+def measure_dispatch(components, flips, workers, dispatch, repeats, pool):
+    """Best-of wall seconds of the raw scheduler on a warm lent pool."""
+    from repro.parallel.scheduler import run_component_tasks
+
+    best = None
+    outcome = None
+    for _ in range(repeats):
+        tasks = dispatch_tasks(components, flips)
+        started = time.perf_counter()
+        outcome = run_component_tasks(
+            components, tasks, backend="processes", workers=workers,
+            pool=pool, dispatch=dispatch,
+        )
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        best = elapsed if best is None else min(best, elapsed)
+    return outcome, best
 
 
 def main(argv=None) -> int:
@@ -105,6 +177,22 @@ def main(argv=None) -> int:
         "--force",
         action="store_true",
         help="measure the processes backend even on a single-CPU machine",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=("steal", "wave"),
+        default="steal",
+        help="dispatch mode for the IE and ring measurements (the "
+        "imbalanced section always measures both)",
+    )
+    parser.add_argument(
+        "--assert-dispatch-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless work-stealing dispatch beats the wave "
+        "barrier by X on the imbalanced workload at the highest worker "
+        "count (skipped when the machine has fewer CPUs than workers)",
     )
     parser.add_argument(
         "--assert-speedup",
@@ -160,7 +248,10 @@ def main(argv=None) -> int:
     ie_speedup_at_max = None
     if run_processes:
         for workers in worker_counts:
-            result, seconds = measure(components, flips, "processes", workers, repeats)
+            result, seconds = measure(
+                components, flips, "processes", workers, repeats,
+                dispatch=args.dispatch,
+            )
             assert result.best_assignment == serial_result.best_assignment, (
                 "processes result diverged from serial"
             )
@@ -188,6 +279,7 @@ def main(argv=None) -> int:
                     "components": len(components),
                     "backend": "processes",
                     "workers": workers,
+                    "dispatch": args.dispatch,
                     "wall_seconds": seconds,
                     "speedup_vs_serial": speedup,
                     "simulated_speedup": simulated,
@@ -216,7 +308,10 @@ def main(argv=None) -> int:
     overhead = None
     if run_processes:
         # auto would fall back to serial here; force the pool to price it.
-        result, seconds = measure(ring, ring_flips, "processes", max(worker_counts), repeats)
+        result, seconds = measure(
+            ring, ring_flips, "processes", max(worker_counts), repeats,
+            dispatch=args.dispatch,
+        )
         assert result.best_assignment == ring_serial_result.best_assignment
         assert result.best_cost == ring_serial_result.best_cost
         overhead = seconds / ring_serial_seconds - 1.0
@@ -243,6 +338,93 @@ def main(argv=None) -> int:
             }
         )
 
+    # --- imbalanced: stealing vs the wave barrier ----------------------------
+    from repro.parallel.pool import WorkerPool
+    from repro.parallel.scheduler import run_component_tasks
+
+    imbalanced = imbalanced_mrfs(
+        n_tiny=15 if args.quick else 25, tiny_atoms=3, giant_atoms=25
+    )
+    dispatch_flips = 150_000 if args.quick else 400_000
+    dispatch_workers = max(worker_counts)
+    started = time.perf_counter()
+    serial_outcome = run_component_tasks(
+        imbalanced, dispatch_tasks(imbalanced, dispatch_flips), backend="serial"
+    )
+    imbalanced_serial_seconds = max(time.perf_counter() - started, 1e-9)
+    rows.append(
+        (
+            "imbalanced",
+            len(imbalanced),
+            "serial",
+            1,
+            f"{imbalanced_serial_seconds:.3f}",
+            "1.00x",
+            "1.00x",
+        )
+    )
+    json_rows.append(
+        {
+            "workload": "imbalanced",
+            "components": len(imbalanced),
+            "backend": "serial",
+            "workers": 1,
+            "wall_seconds": imbalanced_serial_seconds,
+            "speedup_vs_serial": 1.0,
+        }
+    )
+    dispatch_speedup = None
+    if run_processes:
+        with WorkerPool(imbalanced, dispatch_workers) as pool:
+            # One warm-up pass so forked workers fault in their buffers
+            # before either mode is timed.
+            measure_dispatch(
+                imbalanced, dispatch_flips, dispatch_workers, "steal", 1, pool
+            )
+            seconds_by_mode = {}
+            for dispatch in ("wave", "steal"):
+                outcome, seconds = measure_dispatch(
+                    imbalanced, dispatch_flips, dispatch_workers, dispatch,
+                    repeats, pool,
+                )
+                assert [r.best_assignment for r in outcome.results] == [
+                    r.best_assignment for r in serial_outcome.results
+                ], f"{dispatch} dispatch diverged from serial"
+                assert [r.best_cost for r in outcome.results] == [
+                    r.best_cost for r in serial_outcome.results
+                ]
+                seconds_by_mode[dispatch] = seconds
+                vs_wave = seconds_by_mode["wave"] / seconds
+                rows.append(
+                    (
+                        "imbalanced",
+                        len(imbalanced),
+                        f"processes ({dispatch})",
+                        dispatch_workers,
+                        f"{seconds:.3f}",
+                        f"{imbalanced_serial_seconds / seconds:.2f}x",
+                        f"{vs_wave:.2f}x vs wave",
+                    )
+                )
+                json_rows.append(
+                    {
+                        "workload": "imbalanced",
+                        "components": len(imbalanced),
+                        "backend": "processes",
+                        "workers": dispatch_workers,
+                        "dispatch": dispatch,
+                        "wall_seconds": seconds,
+                        "speedup_vs_serial": imbalanced_serial_seconds / seconds,
+                        "speedup_vs_wave": vs_wave,
+                        "steals": outcome.steals,
+                        "executed": outcome.executed,
+                        "shm_shipped": outcome.shm_shipped,
+                        "pickle_shipped": outcome.pickle_shipped,
+                        "shm_bytes": outcome.shm_bytes,
+                    }
+                )
+            dispatch_speedup = seconds_by_mode["wave"] / seconds_by_mode["steal"]
+
     table = render_table(
         "Parallel component inference — wall-clock (serial vs multiprocess pool)",
         ["workload", "components", "backend", "workers", "seconds", "vs serial", "simulated"],
@@ -258,34 +440,55 @@ def main(argv=None) -> int:
                 "quick": args.quick,
                 "cpus": cpus,
                 "flips": flips,
+                "dispatch": args.dispatch,
                 "processes_measured": run_processes,
             },
         )
 
+    failed = False
+    # Wall-clock speedups need the cores to exist; on smaller machines
+    # both assertions skip (determinism is still enforced above).
+    skip_wall_asserts = not run_processes or cpus < max(worker_counts)
     if args.assert_speedup is not None:
-        if not run_processes or cpus < max(worker_counts):
+        if skip_wall_asserts:
             print(
                 f"SKIP --assert-speedup: {cpus} CPU(s) < {max(worker_counts)} workers "
                 "(wall-clock parallel speedup is unobservable here)"
             )
-            return 0
-        failed = False
-        if ie_speedup_at_max is None or ie_speedup_at_max < args.assert_speedup:
+        else:
+            if ie_speedup_at_max is None or ie_speedup_at_max < args.assert_speedup:
+                print(
+                    f"FAIL: IE speedup {ie_speedup_at_max} below required "
+                    f"{args.assert_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
+            if overhead is not None and overhead > 0.10:
+                print(
+                    f"FAIL: single-component pool overhead {overhead * 100:.1f}% "
+                    "exceeds the 10% bound",
+                    file=sys.stderr,
+                )
+                failed = True
+    if args.assert_dispatch_speedup is not None:
+        if skip_wall_asserts:
             print(
-                f"FAIL: IE speedup {ie_speedup_at_max} below required "
-                f"{args.assert_speedup:.2f}x",
+                f"SKIP --assert-dispatch-speedup: {cpus} CPU(s) < "
+                f"{max(worker_counts)} workers (the wave barrier only "
+                "costs wall time when workers actually run concurrently)"
+            )
+        elif (
+            dispatch_speedup is None
+            or dispatch_speedup < args.assert_dispatch_speedup
+        ):
+            print(
+                f"FAIL: steal-vs-wave speedup {dispatch_speedup} below "
+                f"required {args.assert_dispatch_speedup:.2f}x on the "
+                "imbalanced workload",
                 file=sys.stderr,
             )
             failed = True
-        if overhead is not None and overhead > 0.10:
-            print(
-                f"FAIL: single-component pool overhead {overhead * 100:.1f}% "
-                "exceeds the 10% bound",
-                file=sys.stderr,
-            )
-            failed = True
-        return 1 if failed else 0
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

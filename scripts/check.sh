@@ -59,11 +59,12 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -q tests/test_paral
 # Wall-clock parallel speedup needs real cores: the bench measures the
 # serial backend everywhere, skips the processes measurements cleanly on
 # single-CPU machines, and asserts the >=1.8x IE speedup (plus the <=10%
-# single-component pool-overhead bound) only when the CPUs are there.
+# single-component pool-overhead bound) and the >=1.3x steal-over-wave
+# dispatch speedup on the imbalanced workload only when the CPUs are there.
 CPUS="$(python -c 'import os; print(os.cpu_count() or 1)')"
 echo "== parallel inference benchmark (quick, serial + processes; ${CPUS} CPU(s)) =="
 if [ "${CPUS}" -ge 4 ]; then
-  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_parallel_inference.py --quick --assert-speedup 1.8 --json-out benchmarks/results/BENCH_parallel.json
+  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_parallel_inference.py --quick --assert-speedup 1.8 --assert-dispatch-speedup 1.3 --json-out benchmarks/results/BENCH_parallel.json
 else
   PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_parallel_inference.py --quick --json-out benchmarks/results/BENCH_parallel.json
 fi

@@ -13,7 +13,7 @@ picklable (no lambdas or closures).
 from __future__ import annotations
 
 import ast
-from typing import ClassVar, Iterator, List, Optional, Set
+from typing import ClassVar, Dict, Iterator, List, Optional, Set
 
 from repro.analysis.framework import Finding, Project, Rule, SourceFile, register
 
@@ -173,10 +173,19 @@ class SharedMemoryPublishRule(Rule):
         "may only be written while the owner is packing them (__init__ / "
         "pack / _pack*); once workers have attached, a write races their "
         "reads and breaks run-to-run determinism. Rebuild-and-repack instead "
-        "of mutating a published segment."
+        "of mutating a published segment. One sanctioned exception: a class "
+        "may name result-region writer methods in a `_result_region_writers` "
+        "class attribute; those methods may write shm attributes whose names "
+        "contain 'result' (the result-shipping protocol orders each region "
+        "write before its completion token, so the parent never reads a "
+        "region concurrently with the worker writing it)."
     )
 
     _ALLOWED_WRITERS = ("__init__", "pack")
+    #: Class attribute listing methods sanctioned to write result regions.
+    _WRITERS_MARKER = "_result_region_writers"
+    #: Substring an shm attribute must carry for the sanction to apply.
+    _RESULT_MARKER = "result"
 
     def applies_to(self, source: SourceFile) -> bool:
         return source.in_directory("parallel")
@@ -212,43 +221,74 @@ class SharedMemoryPublishRule(Rule):
         value = node.func.value
         return isinstance(value, ast.Attribute) and value.attr == "buf"
 
+    def _sanctioned_writers(self, class_def: ast.ClassDef) -> Set[str]:
+        """Method names listed in the class's ``_result_region_writers``."""
+        writers: Set[str] = set()
+        for node in class_def.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value = node.value
+            if value is None or not any(
+                isinstance(target, ast.Name) and target.id == self._WRITERS_MARKER
+                for target in targets
+            ):
+                continue
+            if isinstance(value, (ast.Tuple, ast.List)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        writers.add(element.value)
+        return writers
+
     def _check_class(
         self, source: SourceFile, class_def: ast.ClassDef
     ) -> Iterator[Finding]:
         shm_attrs = self._shm_attributes(class_def)
         if not shm_attrs:
             return
+        sanctioned = self._sanctioned_writers(class_def)
         for method in class_def.body:
             if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             if method.name in self._ALLOWED_WRITERS or method.name.startswith("_pack"):
                 continue
+            allow_result = method.name in sanctioned
             aliases = self._local_aliases(method, shm_attrs)
             for node in ast.walk(method):
                 target = self._buffer_write_target(node, shm_attrs, aliases)
-                if target is not None:
-                    yield source.finding(
-                        node, self.id,
-                        f"write to published shared-memory buffer '{target}' in "
-                        f"method '{method.name}' (writes are only safe during "
-                        "packing, before workers attach)",
-                    )
+                if target is None:
+                    continue
+                if allow_result and self._RESULT_MARKER in target:
+                    continue
+                yield source.finding(
+                    node, self.id,
+                    f"write to published shared-memory buffer '{target}' in "
+                    f"method '{method.name}' (writes are only safe during "
+                    "packing, before workers attach)",
+                )
 
-    def _local_aliases(self, method: ast.AST, shm_attrs: Set[str]) -> Set[str]:
-        """Local names assigned from a shared-memory attribute."""
-        aliases: Set[str] = set()
+    def _local_aliases(self, method: ast.AST, shm_attrs: Set[str]) -> Dict[str, str]:
+        """Local alias name -> the shared-memory attribute it points at."""
+        aliases: Dict[str, str] = {}
         for node in ast.walk(method):
             if not isinstance(node, ast.Assign):
                 continue
             if isinstance(node.value, ast.Attribute) and node.value.attr in shm_attrs:
                 for target in node.targets:
                     if isinstance(target, ast.Name):
-                        aliases.add(target.id)
+                        aliases[target.id] = node.value.attr
         return aliases
 
     def _buffer_write_target(
-        self, node: ast.AST, shm_attrs: Set[str], aliases: Set[str]
+        self, node: ast.AST, shm_attrs: Set[str], aliases: Dict[str, str]
     ) -> Optional[str]:
+        """The shm *attribute* a subscript write lands on, if any."""
         if not isinstance(node, (ast.Assign, ast.AugAssign)):
             return None
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
@@ -259,7 +299,7 @@ class SharedMemoryPublishRule(Rule):
             if isinstance(base, ast.Attribute) and base.attr in shm_attrs:
                 return base.attr
             if isinstance(base, ast.Name) and base.id in aliases:
-                return base.id
+                return aliases[base.id]
         return None
 
 
@@ -272,9 +312,10 @@ class PoolLifecycleRule(Rule):
     description: ClassVar[str] = (
         "a pool-like class (one that starts processes and owns packed "
         "shared-memory buffers in __init__) must never repack those buffers "
-        "on a live pool: workers attached to the old segment at fork time "
-        "and keep reading it, so a repack (ComponentBufferSet.pack(...) or "
-        "rebinding self.buffers outside __init__) silently desynchronises "
+        "on a live pool: workers attached to the old segments at fork time "
+        "and keep reading them, so a repack (any *BufferSet.pack(...) call, "
+        "or rebinding a buffer-set attribute like self.buffers or "
+        "self.result_buffers outside __init__) silently desynchronises "
         "parent and workers. Tear the pool down and fork a fresh one."
     )
 
@@ -286,9 +327,8 @@ class PoolLifecycleRule(Rule):
             if isinstance(node, ast.ClassDef) and self._is_pool_class(node):
                 yield from self._check_pool_class(source, node)
 
-    def _is_pool_class(self, class_def: ast.ClassDef) -> bool:
-        """A class whose __init__ binds both worker processes and buffers."""
-        init = next(
+    def _find_init(self, class_def: ast.ClassDef) -> Optional[ast.FunctionDef]:
+        return next(
             (
                 method
                 for method in class_def.body
@@ -296,6 +336,10 @@ class PoolLifecycleRule(Rule):
             ),
             None,
         )
+
+    def _is_pool_class(self, class_def: ast.ClassDef) -> bool:
+        """A class whose __init__ binds both worker processes and buffers."""
+        init = self._find_init(class_def)
         if init is None:
             return False
         bound = self._self_attribute_targets(init)
@@ -304,6 +348,12 @@ class PoolLifecycleRule(Rule):
     def _check_pool_class(
         self, source: SourceFile, class_def: ast.ClassDef
     ) -> Iterator[Finding]:
+        init = self._find_init(class_def)
+        bound = self._self_attribute_targets(init) if init is not None else set()
+        # Every buffer-set attribute the pool packed at fork time — e.g.
+        # ``buffers`` (component structure) and ``result_buffers`` (result
+        # regions) — is frozen for the pool's lifetime.
+        protected = {attr for attr in bound if "buffers" in attr}
         for method in class_def.body:
             if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -311,10 +361,11 @@ class PoolLifecycleRule(Rule):
                 continue
             for node in ast.walk(method):
                 if isinstance(node, ast.Assign):
-                    if "buffers" in self._self_attribute_targets_of(node):
+                    hits = self._self_attribute_targets_of(node) & protected
+                    for attr in sorted(hits):
                         yield source.finding(
                             node, self.id,
-                            f"method '{method.name}' rebinds self.buffers on a "
+                            f"method '{method.name}' rebinds self.{attr} on a "
                             "live pool; workers still read the segment packed "
                             "at fork time — build a new pool instead",
                         )
@@ -322,8 +373,8 @@ class PoolLifecycleRule(Rule):
                     yield source.finding(
                         node, self.id,
                         f"method '{method.name}' repacks shared-memory buffers "
-                        "on a live pool (ComponentBufferSet.pack outside "
-                        "__init__); build a new pool instead",
+                        "on a live pool (*BufferSet.pack outside __init__); "
+                        "build a new pool instead",
                     )
 
     def _self_attribute_targets(self, function: ast.FunctionDef) -> Set[str]:
@@ -345,13 +396,13 @@ class PoolLifecycleRule(Rule):
         return targets
 
     def _is_pack_call(self, node: ast.AST) -> bool:
-        """Matches ``ComponentBufferSet.pack(...)``."""
+        """Matches ``<Anything>BufferSet.pack(...)``."""
         if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
             return False
         if node.func.attr != "pack":
             return False
         value = node.func.value
-        return isinstance(value, ast.Name) and value.id == "ComponentBufferSet"
+        return isinstance(value, ast.Name) and value.id.endswith("BufferSet")
 
 
 @register

@@ -95,6 +95,15 @@ def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
         "components; results are bit-identical across backends)",
     )
     parser.add_argument(
+        "--parallel-dispatch",
+        choices=("steal", "wave"),
+        default="steal",
+        help="dispatch loop for per-component searches (steal: work-stealing "
+        "cursor, workers pull the next largest-first component as they "
+        "finish; wave: legacy barrier scheduler kept as a benchmark "
+        "baseline; results are bit-identical across both)",
+    )
+    parser.add_argument(
         "--no-partitioning",
         action="store_true",
         help="disable component-aware search (the paper's Tuffy-p mode)",
@@ -131,6 +140,7 @@ def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
         max_flips=arguments.max_flips,
         workers=arguments.workers,
         parallel_backend=arguments.parallel_backend,
+        parallel_dispatch=arguments.parallel_dispatch,
         use_partitioning=not arguments.no_partitioning,
         memory_budget_bytes=(
             arguments.memory_budget_kb * 1024 if arguments.memory_budget_kb else None

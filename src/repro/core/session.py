@@ -317,6 +317,7 @@ class EngineSession:
                     parallel_backend=config.parallel_backend,
                     workers=config.workers,
                     pool=pool,
+                    dispatch=config.parallel_dispatch,
                 )
             else:
                 marginals = sampler.run(mrf)
@@ -474,6 +475,7 @@ class EngineSession:
                     clock=SimulatedClock(config.cost_model),
                     parallel_backend=config.parallel_backend,
                     workers=config.workers,
+                    dispatch=config.parallel_dispatch,
                 )
                 assignment.update(outcome.best_assignment)
                 total_cost += outcome.best_cost
@@ -626,6 +628,7 @@ class EngineSession:
                 workers=config.workers,
                 cost_model=config.cost_model,
                 parallel_backend=config.parallel_backend,
+                dispatch=config.parallel_dispatch,
             )
         return self._searcher
 

@@ -12,13 +12,14 @@ combines them into a global assignment.  Component tasks run behind the
 ``parallel_backend`` seam (``auto`` | ``serial`` | ``threads`` |
 ``processes``, see :mod:`repro.parallel`): each component's search draws
 its RNG from a stream derived only from the run seed and the component
-index, so the merged result is bit-for-bit identical on every backend and
-worker count (deadline-bounded runs: identical across backends, and per
-worker count — more workers finish more components before the deadline).
-The ``processes``
+index, so the merged result is bit-for-bit identical on every backend,
+dispatch mode and worker count — including deadline-bounded runs, whose
+skipped set is decided by post-hoc bookkeeping over the simulated
+per-component costs rather than by wave membership.  The ``processes``
 backend ships component structure through shared memory and searches on
-all cores (the real Table 7 parallelism); results carry wall-clock and
-simulated timings either way.
+all cores (the real Table 7 parallelism), shipping results back through
+a shared-memory result region; results carry wall-clock and simulated
+timings either way.
 """
 
 from __future__ import annotations
@@ -75,12 +76,14 @@ class ComponentAwareWalkSAT:
         workers: int = 1,
         cost_model: Optional[CostModel] = None,
         parallel_backend: str = "auto",
+        dispatch: str = "steal",
     ) -> None:
         self.options = options or WalkSATOptions()
         self.rng = rng or RandomSource(0)
         self.workers = workers
         self.cost_model = cost_model or CostModel()
         self.parallel_backend = parallel_backend
+        self.dispatch = dispatch
         # State-reuse lifecycle: one kernel state per component, cached with
         # the decomposition and reset in place between rounds, instead of
         # rebuilding every buffer each run() call.  Keyed by the identity of
@@ -152,6 +155,7 @@ class ComponentAwareWalkSAT:
             local_states=lambda: self._component_states(components),
             placeholder=placeholder,
             pool=pool,
+            dispatch=self.dispatch,
         )
 
         component_results: List[WalkSATResult] = list(outcome.results)  # type: ignore[arg-type]

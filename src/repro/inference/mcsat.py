@@ -166,6 +166,7 @@ class MCSat:
         parallel_backend: str = "auto",
         workers: int = 1,
         pool=None,
+        dispatch: str = "steal",
     ) -> MarginalResult:
         """Estimate marginals component by component, optionally in parallel.
 
@@ -196,7 +197,7 @@ class MCSat:
         ]
         outcome = dispatch_components(
             components, tasks, parallel_backend=parallel_backend, workers=workers,
-            pool=pool,
+            pool=pool, dispatch=dispatch,
         )
         return merge_marginal_results(
             outcome.results, self.options.samples, self.options.burn_in

@@ -165,6 +165,8 @@ def run_components(
     local_states=None,
     placeholder: Optional[Callable[[int], object]] = None,
     pool=None,
+    dispatch: str = "steal",
+    stall_worker: Optional[Tuple[int, float]] = None,
 ):
     """Run one :class:`~repro.parallel.pool.ComponentTask` per component.
 
@@ -173,19 +175,21 @@ def run_components(
     ``processes``, see :func:`repro.parallel.resolve_parallel_backend`)
     and hands the tasks to the partition scheduler
     (:func:`repro.parallel.scheduler.run_component_tasks`), which
-    dispatches them largest-first, honors ``deadline_seconds`` by
-    stopping dispatch once the cumulative simulated time of completed
-    components reaches the deadline (skipped components receive
-    ``placeholder(index)``), and returns results in component order —
-    bit-identical across backends (and, when no deadline is set, across
-    worker counts; a deadline-bounded run may skip fewer components at
-    higher worker counts, since waves of ``workers`` tasks complete
-    before each deadline check).  ``local_states`` may be a sequence of
-    cached kernel states or a zero-arg callable building them; it is
-    consulted only on the in-process backends.  ``pool`` lends a
-    caller-owned persistent :class:`~repro.parallel.pool.WorkerPool` to
-    the ``processes`` backend (the caller keeps ownership — it is not
-    shut down here) and is ignored on the other backends.
+    dispatches them largest-first on the requested ``dispatch`` loop
+    (``steal`` work-stealing, ``wave`` legacy barrier) and returns
+    results in component order.  ``deadline_seconds`` is honored by
+    post-hoc bookkeeping over the per-component simulated costs — a
+    dispatch position counts iff the summed costs of the positions
+    before it stay under the deadline — so the set of skipped
+    components (each receiving ``placeholder(index)``) is bit-identical
+    across backends, dispatch modes *and* worker counts.
+    ``local_states`` may be a sequence of cached kernel states or a
+    zero-arg callable building them; it is consulted only on the
+    in-process backends.  ``pool`` lends a caller-owned persistent
+    :class:`~repro.parallel.pool.WorkerPool` to the ``processes``
+    backend (the caller keeps ownership — it is not shut down here) and
+    is ignored on the other backends.  ``stall_worker`` is the
+    slow-worker test hook, forwarded to the scheduler.
     """
     from repro.parallel import resolve_parallel_backend
     from repro.parallel.scheduler import run_component_tasks
@@ -202,4 +206,6 @@ def run_components(
         local_states=local_states,
         placeholder=placeholder,
         pool=pool,
+        dispatch=dispatch,
+        stall_worker=stall_worker,
     )

@@ -57,6 +57,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.grounding.clause_table import GroundClause
 from repro.mrf.graph import MRF
+from repro.utils import autotune
 from repro.utils.rng import RandomSource
 
 
@@ -558,7 +559,11 @@ KERNEL_BACKENDS = ("auto", "flat", "vectorized")
 #: structure build for MRFs at least this many clauses large; throwaway MRFs
 #: (e.g. SampleSAT constraint sets built per MC-SAT step) stay on the flat
 #: kernel.  See ROADMAP.md ("Search kernel") for the full selection rule.
-VECTOR_AUTO_MIN_CLAUSES = 256
+#: The crossover is calibrated per machine by an import-time micro-probe
+#: (default 256 on the reference container); ``REPRO_VECTOR_AUTO_MIN_CLAUSES``
+#: pins it and ``REPRO_AUTOTUNE=off`` keeps the default — selection only,
+#: results are bit-identical either way.
+VECTOR_AUTO_MIN_CLAUSES = autotune.threshold("VECTOR_AUTO_MIN_CLAUSES", 256)
 
 
 def available_backends() -> tuple:

@@ -47,6 +47,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.inference.state import SearchState
 from repro.mrf.graph import MRF
+from repro.utils import autotune
 from repro.utils.rng import RandomSource
 
 try:  # gated dependency: the container may not ship numpy
@@ -58,9 +59,13 @@ NUMPY_AVAILABLE = np is not None
 
 #: Per-clause candidate-adjacency size (sum of candidate atom degrees) at
 #: which the batched numpy greedy overtakes the scalar loop.  Measured
-#: crossover ~120 entries; kept a little above it so borderline clauses
-#: stay on the (predictable) scalar path.
-GREEDY_MIN_ENTRIES = 128
+#: crossover ~120 entries on the reference container; kept a little above
+#: it so borderline clauses stay on the (predictable) scalar path, and
+#: calibrated per machine by an import-time micro-probe
+#: (:mod:`repro.utils.autotune`): ``REPRO_GREEDY_MIN_ENTRIES`` pins it,
+#: ``REPRO_AUTOTUNE=off`` keeps the default.  Selection only — the batched
+#: and scalar greedy paths are bit-identical.
+GREEDY_MIN_ENTRIES = autotune.threshold("GREEDY_MIN_ENTRIES", 128)
 
 
 class VectorMRFView:

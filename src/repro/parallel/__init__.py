@@ -11,20 +11,24 @@ runs them in the calling thread (the executable specification),
 cost models), and ``processes`` forks a worker pool that receives every
 component's flat kernel structure through one shared-memory segment
 (:mod:`repro.parallel.buffers`) and runs the existing WalkSAT / MC-SAT
-drivers unchanged (:mod:`repro.parallel.pool`).  Dispatch (largest-first,
-deadline waves) lives in :mod:`repro.parallel.scheduler`; deterministic
-result merging in :mod:`repro.parallel.merge`.
+drivers unchanged (:mod:`repro.parallel.pool`), shipping results back
+through a per-component shared-memory result region.  Dispatch
+(largest-first work-stealing, with the legacy barrier waves kept as
+``parallel_dispatch="wave"``) lives in :mod:`repro.parallel.scheduler`;
+deterministic result merging in :mod:`repro.parallel.merge`.
 
 **Determinism contract**: each component's task runs on an RNG stream
 derived only from the run seed and the component index, and every merge
 is performed in component order — so MAP assignments and marginals are
-bit-for-bit identical across backends and worker counts
+bit-for-bit identical across backends, dispatch modes and worker counts
 (``tests/test_parallel_parity.py`` proves it on example1, RC and IE).
-The backend choice is purely a wall-clock decision.  One qualification:
-a run bounded by ``deadline_seconds`` checks the deadline between waves
-of ``workers`` tasks, so more workers may complete more components
-before the budget is spent — still deterministic per worker count, and
-still identical across backends.
+The backend choice is purely a wall-clock decision.  This holds for
+``deadline_seconds`` too: the components that count are decided by
+post-hoc bookkeeping over the per-component simulated costs (dispatch
+position ``p`` counts iff the summed costs of the positions before it
+stay under the deadline — the spend of a single sequential worker), not
+by wave membership or completion order, so the deadline outcome is the
+same on every backend, dispatch mode and worker count.
 
 This module keeps only the seam itself (constants + resolution) so that
 importing it from the config layer costs nothing; the heavy pieces import
@@ -38,6 +42,12 @@ import multiprocessing
 #: Valid values for the ``parallel_backend`` option of the component
 #: search drivers, the engine config and the CLI.
 PARALLEL_BACKENDS = ("auto", "serial", "threads", "processes")
+
+#: Valid values for the ``parallel_dispatch`` option of the scheduler, the
+#: engine config and the CLI: ``steal`` is the work-stealing dispatch loop
+#: (default), ``wave`` the legacy barrier scheduler kept as a benchmark
+#: baseline.  Results are bit-identical across both.
+DISPATCH_MODES = ("steal", "wave")
 
 
 def processes_available() -> bool:

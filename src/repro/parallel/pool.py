@@ -14,6 +14,16 @@ seed, the flip budget).  The function that executes a task —
   (:class:`~repro.parallel.buffers.ComponentBufferSet`) on first use,
   caches the MRF *and* its kernel state, and runs the identical function.
 
+Finished results ship back through shared memory, not pickling: every
+pool also packs a :class:`~repro.parallel.buffers.ResultBufferSet` —
+one reserved region per component — and workers write each result in
+place, replying with a tiny completion token ``(index, worker id,
+channel)``.  A result that does not fit its region (oversized trace,
+unexpected atom set) falls back to the pickled queue, counted but never
+truncated; :attr:`WorkerPool.shm_shipped` / :attr:`WorkerPool.pickle_shipped`
+/ :attr:`WorkerPool.shm_bytes` expose the split per pool lifetime (the
+scheduler reports per-run deltas).
+
 Because each task carries its own derived seed and runs the existing
 drivers unchanged, results are bit-for-bit identical across backends and
 worker counts; only wall-clock time changes.  Workers are forked, so the
@@ -33,8 +43,8 @@ from repro.inference.mcsat import MCSat, MCSatOptions
 from repro.inference.state import make_search_state
 from repro.inference.walksat import WalkSAT, WalkSATOptions
 from repro.mrf.graph import MRF
-from repro.parallel.buffers import ComponentBufferSet
-from repro.utils.clock import CostModel, SimulatedClock
+from repro.parallel.buffers import ComponentBufferSet, ResultBufferSet
+from repro.utils.clock import CostModel, SimulatedClock, wall_sleep
 from repro.utils.rng import RandomSource
 
 
@@ -105,6 +115,10 @@ def execute_component_task(
 #: place at the start of every try — a rebuilt state is identical.
 WORKER_STATE_CACHE_LIMIT = 64
 
+#: Completion-token channel tags (the only payloads besides errors).
+SHIPPED_SHM = "shm"
+SHIPPED_PICKLE = "pickle"
+
 
 class BoundedStateCache:
     """A small LRU map for worker-side kernel states."""
@@ -129,14 +143,31 @@ class BoundedStateCache:
         return len(self._entries)
 
 
-def _worker_main(buffers: ComponentBufferSet, task_queue, result_queue) -> None:
+def _worker_main(
+    buffers: ComponentBufferSet,
+    results: ResultBufferSet,
+    task_queue,
+    result_queue,
+    worker_id: int,
+    stall_seconds: float,
+) -> None:
     """Worker loop: rebuild-and-cache components, execute tasks, reply.
 
-    The buffer set is inherited through fork; MRFs and kernel states are
+    The buffer sets are inherited through fork; MRFs and kernel states are
     cached per (component, kernel backend) — bounded by
     ``WORKER_STATE_CACHE_LIMIT`` — so a component re-dispatched across
     rounds (or across a persistent session's requests) reuses its state
     exactly like the serial driver does.
+
+    A finished result is written into the component's shared-memory
+    result region and acknowledged with a ``(index, None, None,
+    worker_id, "shm")`` token; when the region refuses it (result too
+    large for the reservation) the full outcome rides the queue instead,
+    tagged ``"pickle"``.  The token is sent only *after* the region write
+    completes, so the parent's read is ordered-after the write without
+    any locking.  ``stall_seconds`` is the injected-slow-worker test
+    hook: it delays this worker before every task, forcing maximal
+    stealing skew while leaving results untouched.
     """
     states = BoundedStateCache()
     try:
@@ -144,6 +175,8 @@ def _worker_main(buffers: ComponentBufferSet, task_queue, result_queue) -> None:
             task = task_queue.get()
             if task is None:
                 break
+            if stall_seconds > 0.0:
+                wall_sleep(stall_seconds)
             try:
                 mrf = buffers.component(task.index)
                 state = None
@@ -154,41 +187,78 @@ def _worker_main(buffers: ComponentBufferSet, task_queue, result_queue) -> None:
                         state = make_search_state(mrf, backend=task.walksat.kernel_backend)
                         states.put(key, state)
                 outcome = execute_component_task(task, mrf, state)
-                result_queue.put((task.index, outcome, None))
+                if results.write_outcome(
+                    task.index, outcome.result, outcome.simulated_seconds, mrf.atom_ids
+                ):
+                    result_queue.put((task.index, None, None, worker_id, SHIPPED_SHM))
+                else:
+                    result_queue.put(
+                        (task.index, outcome, None, worker_id, SHIPPED_PICKLE)
+                    )
             except BaseException as error:  # surface, don't hang the parent
-                result_queue.put((task.index, None, repr(error)))
+                result_queue.put((task.index, None, repr(error), worker_id, None))
     finally:
         buffers.close()
+        results.close()
 
 
 class WorkerPool:
-    """A pool of forked workers sharing one component buffer set.
+    """A pool of forked workers sharing component and result buffer sets.
 
     The pool is reusable across runs (the engine session keeps one alive
-    between requests — workers' cached MRFs and kernel states stay warm)
-    and is a context manager: ``with WorkerPool(...) as pool`` guarantees
-    the shared-memory segment is unlinked even when the run raises.  The
+    between requests — workers' cached MRFs and kernel states stay warm,
+    and the result region is reused request after request) and is a
+    context manager: ``with WorkerPool(...) as pool`` guarantees both
+    shared-memory segments are unlinked even when the run raises.  The
     constructor itself cleans up on failure, so an exception between
-    packing the buffers and starting the workers can never leak the
+    packing the buffers and starting the workers can never leak a
     segment.  Never repack buffers on a live pool — build a new pool (the
     ``fork-pool-lifecycle`` analysis rule enforces this).
+
+    ``trace_capacity`` overrides the per-component result-region trace
+    sizing (tests force the pickled fallback with a tiny capacity);
+    ``stall_worker`` is the injected-slow-worker test hook: ``(worker
+    index, seconds)`` delays that worker before every task it takes.
     """
 
-    def __init__(self, components: Sequence[MRF], workers: int) -> None:
+    def __init__(
+        self,
+        components: Sequence[MRF],
+        workers: int,
+        trace_capacity: Optional[int] = None,
+        stall_worker: Optional[Tuple[int, float]] = None,
+    ) -> None:
         context = multiprocessing.get_context("fork")
         self.buffers = ComponentBufferSet.pack(components)
+        self.result_buffers = ResultBufferSet.pack(components, trace_capacity)
         self._packed: List[MRF] = list(components)
         self._closed = False
         self._processes: List[multiprocessing.process.BaseProcess] = []
+        #: Shipping telemetry, cumulative over the pool's lifetime; the
+        #: scheduler snapshots these around a run to report deltas.
+        self.shm_shipped = 0
+        self.pickle_shipped = 0
+        self.shm_bytes = 0
+        self._inflight: Dict[int, ComponentTask] = {}
         try:
             self._tasks = context.Queue()
             self._results = context.Queue()
             self.workers = max(1, min(workers, len(components) or 1))
-            for _ in range(self.workers):
+            for worker_id in range(self.workers):
+                stall_seconds = 0.0
+                if stall_worker is not None and stall_worker[0] == worker_id:
+                    stall_seconds = float(stall_worker[1])
                 self._processes.append(
                     context.Process(
                         target=_worker_main,
-                        args=(self.buffers, self._tasks, self._results),
+                        args=(
+                            self.buffers,
+                            self.result_buffers,
+                            self._tasks,
+                            self._results,
+                            worker_id,
+                            stall_seconds,
+                        ),
                         daemon=True,
                     )
                 )
@@ -196,13 +266,14 @@ class WorkerPool:
                 process.start()
         except BaseException:
             # Undo a partial start: without this, the shared-memory
-            # segment (and any already-forked workers) would leak.
+            # segments (and any already-forked workers) would leak.
             for process in self._processes:
                 if process.is_alive():
                     process.terminate()
                     process.join()
             self._closed = True
             self.buffers.destroy()
+            self.result_buffers.destroy()
             raise
 
     def __enter__(self) -> "WorkerPool":
@@ -223,22 +294,25 @@ class WorkerPool:
         return all(ours is theirs for ours, theirs in zip(self._packed, components))
 
     def submit(self, task: ComponentTask) -> None:
+        self._inflight[task.index] = task
         self._tasks.put(task)
 
-    def drain(self, count: int) -> List[ComponentOutcome]:
-        """Collect ``count`` results (any completion order).
+    def next_outcome(self) -> Tuple[ComponentOutcome, int]:
+        """Collect one finished task: ``(outcome, worker id)``.
 
-        Polls with a timeout so a worker dying without replying (OOM kill,
-        segfault in an extension) surfaces as a RuntimeError instead of
-        blocking the parent forever — _worker_main only converts *Python*
-        exceptions into error replies.
+        Blocks until any in-flight task completes (the work-stealing
+        drain: the scheduler reacts to each completion, not to a wave
+        barrier).  Polls with a timeout so a worker dying without
+        replying (OOM kill, segfault in an extension) surfaces as a
+        RuntimeError instead of blocking the parent forever —
+        ``_worker_main`` only converts *Python* exceptions into error
+        replies.
         """
-        outcomes: List[ComponentOutcome] = []
-        failures: List[str] = []
-        received = 0
-        while received < count:
+        while True:
             try:
-                index, outcome, error = self._results.get(timeout=0.5)
+                index, payload, error, worker_id, channel = self._results.get(
+                    timeout=0.5
+                )
             except queue_module.Empty:
                 dead = [p for p in self._processes if not p.is_alive()]
                 if dead:
@@ -248,17 +322,27 @@ class WorkerPool:
                         f"(exit codes {[p.exitcode for p in dead]})"
                     )
                 continue
-            received += 1
-            if error is not None:
-                failures.append(f"component {index}: {error}")
-            else:
-                outcomes.append(outcome)
-        if failures:
+            break
+        task = self._inflight.pop(index, None)
+        if error is not None:
             self.shutdown()
-            raise RuntimeError(
-                "parallel component task failed: " + "; ".join(failures)
+            raise RuntimeError(f"parallel component task failed: component {index}: {error}")
+        if channel == SHIPPED_SHM:
+            trace_label = ""
+            if task is not None and task.walksat is not None:
+                trace_label = task.walksat.trace_label
+            result, simulated_seconds = self.result_buffers.read_outcome(
+                index, self._packed[index].atom_ids, trace_label
             )
-        return outcomes
+            self.shm_shipped += 1
+            self.shm_bytes += self.result_buffers.outcome_nbytes(index)
+            return ComponentOutcome(index, result, simulated_seconds), worker_id
+        self.pickle_shipped += 1
+        return payload, worker_id
+
+    def drain(self, count: int) -> List[ComponentOutcome]:
+        """Collect ``count`` results (any completion order)."""
+        return [self.next_outcome()[0] for _ in range(count)]
 
     def shutdown(self) -> None:
         if self._closed:
@@ -269,3 +353,4 @@ class WorkerPool:
         for process in self._processes:
             process.join()
         self.buffers.destroy()
+        self.result_buffers.destroy()

@@ -9,51 +9,220 @@ component, and runs them
 * **largest-first** — components are dispatched in decreasing ``size()``
   order (ties by lower index), the classic list-scheduling heuristic the
   simulated Table 7 model already uses, so stragglers start early;
+* **work-stealing** (``dispatch="steal"``, the default) — a shared task
+  cursor over the largest-first order: every worker pulls the next
+  component the moment it finishes its current one, so no worker ever
+  idles at a barrier while another grinds through a giant component.
+  The per-wave barrier scheduler survives as ``dispatch="wave"`` (the
+  benchmark baseline): waves of ``workers`` tasks with a full barrier
+  between them;
 * on the resolved backend — in-process for ``serial``/``threads``
   (reusing the caller's cached kernel states), through the shared-memory
-  :class:`~repro.parallel.pool.WorkerPool` for ``processes``;
-* under the drivers' **deadline semantics** — when ``deadline_seconds``
-  is set, dispatch happens in waves of ``workers`` tasks and stops as
-  soon as the cumulative simulated time of completed components (summed
-  in dispatch order, a deterministic quantity) reaches the deadline;
-  undispatched components get the caller's placeholder result, exactly
-  like a WalkSAT try that never starts.
+  :class:`~repro.parallel.pool.WorkerPool` for ``processes``, whose
+  results ship back through the pool's shared-memory result regions.
+
+**Deadline accounting is post-hoc bookkeeping, not wave membership.**
+When ``deadline_seconds`` is set, the components that count are decided
+by a rule that references only deterministic quantities: dispatch
+position ``p`` is *counted* iff the left-to-right sum of the simulated
+costs of positions ``0..p-1`` stays below the deadline — exactly the
+spend a single worker executing the dispatch order sequentially would
+have accumulated when it reached ``p``.  Everything past the first
+excluded position gets the caller's placeholder result, *even if a
+worker already ran it* (an over-eager execution is discarded, its
+derived RNG stream touched nothing else).  Because the rule never
+mentions workers, waves, or completion order, deadline outcomes are
+bit-identical across ``serial | threads | processes``, across ``steal``
+and ``wave`` dispatch, and across worker counts — the old wave scheduler
+skipped *fewer* components at higher worker counts, which this replaces.
+Simulated costs are nonnegative, so the prefix sums are monotone and the
+cutoff becomes *provable* mid-run as soon as the known prefix crosses
+the deadline; dispatch stops submitting there, and with a deadline the
+in-flight window is capped at ``workers`` so at most ``workers - 1``
+results are ever discarded.
 
 Results are always returned **in component order** regardless of
 completion order, and every aggregate (sequential simulated seconds,
 list-scheduling makespan) is computed in the same order as the serial
-path, so seeded runs are bit-for-bit identical across backends and worker
-counts (``tests/test_parallel_parity.py``).
+path, so seeded runs are bit-for-bit identical across backends, dispatch
+modes and worker counts (``tests/test_parallel_parity.py``).  The
+telemetry on :class:`ScheduledOutcome` (steal counts, per-worker task
+counts, shm-vs-pickled shipping) is the one deliberately nondeterministic
+part — it reports what actually happened on the machine.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.inference.scheduling import ParallelOutcome, _list_schedule_makespan
 from repro.mrf.graph import MRF
+from repro.parallel import DISPATCH_MODES
 from repro.parallel.pool import (
     ComponentOutcome,
     ComponentTask,
     WorkerPool,
     execute_component_task,
 )
+from repro.utils.clock import wall_sleep
 from repro.utils.timer import Stopwatch
 
 
 class ScheduledOutcome(ParallelOutcome):
-    """A :class:`ParallelOutcome` plus the scheduler's dispatch record."""
+    """A :class:`ParallelOutcome` plus the scheduler's dispatch record.
 
-    def __init__(self, *args, dispatch_order=None, skipped=None, **kwargs) -> None:
+    ``dispatch_order`` and ``skipped`` are deterministic (part of the
+    parity contract); the remaining fields are execution telemetry —
+    ``executed`` tasks actually ran, of which ``discarded`` finished past
+    the deadline cutoff and were replaced by placeholders; ``steals`` is
+    how many tasks a worker pulled beyond its first (0 under ``wave``
+    dispatch — a barrier assignment is not a steal — and 0 when
+    per-worker attribution is unavailable: the serial path and the
+    wave-threads barrier); ``worker_task_counts`` maps worker id →
+    tasks executed;
+    ``shm_shipped`` / ``pickle_shipped`` / ``shm_bytes`` report the
+    result-shipping split on the processes backend.
+    """
+
+    def __init__(
+        self,
+        *args,
+        dispatch_order=None,
+        skipped=None,
+        dispatch: str = "steal",
+        executed: int = 0,
+        discarded: int = 0,
+        steals: int = 0,
+        worker_task_counts=None,
+        shm_shipped: int = 0,
+        pickle_shipped: int = 0,
+        shm_bytes: int = 0,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.dispatch_order: List[int] = dispatch_order or []
         self.skipped: List[int] = skipped or []
+        self.dispatch = dispatch
+        self.executed = executed
+        self.discarded = discarded
+        self.steals = steals
+        self.worker_task_counts: Dict[int, int] = worker_task_counts or {}
+        self.shm_shipped = shm_shipped
+        self.pickle_shipped = pickle_shipped
+        self.shm_bytes = shm_bytes
 
 
 def dispatch_order(components: Sequence[MRF]) -> List[int]:
     """Largest-first component order (ties broken by lower index)."""
     return sorted(range(len(components)), key=lambda i: (-components[i].size(), i))
+
+
+def deadline_cutoff(
+    costs: Sequence[Optional[float]], deadline: Optional[float]
+) -> Optional[int]:
+    """First dispatch position the deadline excludes, if provable.
+
+    ``costs`` holds the simulated seconds of each dispatch position
+    (``None`` while unknown).  Position ``p`` is counted iff the
+    left-to-right sum of positions ``0..p-1`` is below the deadline; the
+    sums are monotone (costs are nonnegative), so the first crossing is
+    final the moment every position before it is known — returning a
+    cutoff here is therefore sound even while later tasks are still in
+    flight.  Returns ``None`` when there is no deadline, or no cutoff is
+    provable yet (an unknown cost precedes any crossing).
+    """
+    if deadline is None:
+        return None
+    spent = 0.0
+    for position, cost in enumerate(costs):
+        if spent >= deadline:
+            return position
+        if cost is None:
+            return None
+        spent += cost
+    return None
+
+
+# ----------------------------------------------------------------------
+# Work-stealing (threads): shared cursor + module-level worker loop
+# ----------------------------------------------------------------------
+
+
+class _StealState:
+    """Shared cursor and bookkeeping for the in-process stealing loop.
+
+    One lock guards the claim/complete transitions; the task bodies run
+    outside it.  Claiming re-derives the provable deadline cutoff from
+    the costs recorded so far, so submission stops as early as the
+    accounting allows without ever guessing.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[int],
+        run_local: Callable[[int], ComponentOutcome],
+        deadline: Optional[float],
+        stall_worker: Optional[Tuple[int, float]],
+    ) -> None:
+        self.lock = threading.Lock()
+        self.order = order
+        self.run_local = run_local
+        self.deadline = deadline
+        self.stall_worker = stall_worker
+        self.cursor = 0
+        self.costs: List[Optional[float]] = [None] * len(order)
+        self.outcomes: List[Optional[ComponentOutcome]] = [None] * len(order)
+        self.counts: Dict[int, int] = {}
+        self.error: Optional[BaseException] = None
+
+    def claim(self) -> Optional[int]:
+        with self.lock:
+            if self.error is not None or self.cursor >= len(self.order):
+                return None
+            cutoff = deadline_cutoff(self.costs, self.deadline)
+            if cutoff is not None and self.cursor >= cutoff:
+                return None
+            position = self.cursor
+            self.cursor += 1
+            return position
+
+    def complete(
+        self, position: int, outcome: ComponentOutcome, worker_index: int
+    ) -> None:
+        with self.lock:
+            self.outcomes[position] = outcome
+            self.costs[position] = outcome.simulated_seconds
+            self.counts[worker_index] = self.counts.get(worker_index, 0) + 1
+
+    def fail(self, error: BaseException) -> None:
+        with self.lock:
+            if self.error is None:
+                self.error = error
+
+
+def _steal_thread_main(state: _StealState, worker_index: int) -> None:
+    """One stealing worker: pull from the shared cursor until it runs dry.
+
+    Module-level (not a closure) so the ``fork-task-closure`` discipline
+    holds for thread pools too.  The stall hook delays the chosen worker
+    before every task — the injected-slow-worker test uses it to force
+    maximal stealing skew without touching any result.
+    """
+    stall = state.stall_worker
+    while True:
+        position = state.claim()
+        if position is None:
+            return
+        if stall is not None and stall[0] == worker_index:
+            wall_sleep(stall[1])
+        try:
+            outcome = state.run_local(state.order[position])
+        except BaseException as error:  # re-raised by the driver
+            state.fail(error)
+            return
+        state.complete(position, outcome, worker_index)
 
 
 def run_component_tasks(
@@ -65,6 +234,8 @@ def run_component_tasks(
     local_states=None,
     placeholder: Optional[Callable[[int], ComponentOutcome]] = None,
     pool: Optional[WorkerPool] = None,
+    dispatch: str = "steal",
+    stall_worker: Optional[Tuple[int, float]] = None,
 ) -> ScheduledOutcome:
     """Run one task per component, returning results in component order.
 
@@ -73,29 +244,36 @@ def run_component_tasks(
     sequence or as a zero-argument callable; it is only consulted (and a
     callable only invoked) on the in-process backends, so callers never
     build states the processes backend would ignore.  ``placeholder``
-    builds the outcome of a component the deadline prevented from
-    dispatching (it must not consume the run's RNG streams — each
-    component owns a derived stream, so skipping one never shifts
-    another's).
+    builds the outcome of a component the deadline excluded (it must not
+    consume the run's RNG streams — each component owns a derived stream,
+    so skipping one never shifts another's).
 
     ``pool`` lends a caller-owned :class:`WorkerPool` (the engine
     session's persistent pool) to the ``processes`` backend: the pool must
     have been packed from exactly these component objects, it is *not*
     shut down here (the owner keeps it warm across calls), and it is
     ignored on the in-process backends.  Without it the scheduler builds
-    an ephemeral pool whose shared-memory segment is released in a
+    an ephemeral pool whose shared-memory segments are released in a
     ``finally`` even when a task raises.
 
-    Note the deadline caveat: waves are sized by ``workers``, so a
-    deadline-bounded run is deterministic per worker count but may skip
-    *fewer* components at higher worker counts (more work completes
-    before the budget is spent — the point of parallelism).  Without a
-    deadline, results are identical across worker counts unconditionally.
+    ``dispatch`` selects the dispatch loop (``"steal"`` work-stealing,
+    ``"wave"`` legacy barrier waves) — bit-identical results either way;
+    ``stall_worker=(index, seconds)`` is the slow-worker test hook for
+    the in-process stealing loop (the processes backend takes the
+    equivalent hook on the pool constructor).
+
+    Deadline-bounded runs count the components chosen by the post-hoc
+    prefix rule (see the module docstring): identical across backends,
+    dispatch modes *and* worker counts.
     """
     if len(tasks) != len(components):
         raise ValueError("one task per component is required")
     if workers <= 0:
         raise ValueError("workers must be positive")
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch mode {dispatch!r}; expected one of {DISPATCH_MODES}"
+        )
     if backend == "processes":
         local_states = None
         if pool is not None and not pool.matches(components):
@@ -107,17 +285,23 @@ def run_component_tasks(
         if callable(local_states):
             local_states = local_states()
     order = dispatch_order(components)
+    position_of = {index: position for position, index in enumerate(order)}
     slots: List[Optional[ComponentOutcome]] = [None] * len(tasks)
-    skipped: List[int] = []
-    dispatched: List[int] = []
+    costs: List[Optional[float]] = [None] * len(order)
+    worker_counts: Dict[int, int] = {}
+    executed = 0
     stopwatch = Stopwatch()
 
     owns_pool = False
-    executor: Optional[ThreadPoolExecutor] = None
+    shipping_mark = (0, 0, 0)
 
     def run_local(index: int) -> ComponentOutcome:
         state = local_states[index] if local_states is not None else None
         return execute_component_task(tasks[index], components[index], state)
+
+    def record(outcome: ComponentOutcome) -> None:
+        slots[outcome.index] = outcome
+        costs[position_of[outcome.index]] = outcome.simulated_seconds
 
     try:
         with stopwatch.measure():
@@ -125,39 +309,100 @@ def run_component_tasks(
                 if pool is None:
                     pool = WorkerPool(components, workers)
                     owns_pool = True
-            elif backend == "threads":
-                executor = ThreadPoolExecutor(max_workers=workers)
+                shipping_mark = (pool.shm_shipped, pool.pickle_shipped, pool.shm_bytes)
 
-            # Without a deadline the whole run is a single wave; with one,
-            # waves of `workers` tasks give a deterministic point at which
-            # the cumulative simulated spend is known and checked.
-            wave_size = len(order) if deadline_seconds is None else max(workers, 1)
+            if backend == "serial" or (
+                backend != "processes" and (workers == 1 or len(order) <= 1)
+            ):
+                # The executable specification: strictly sequential in
+                # dispatch order, stopping exactly at the deadline rule.
+                spent = 0.0
+                for position, index in enumerate(order):
+                    if deadline_seconds is not None and spent >= deadline_seconds:
+                        break
+                    outcome = run_local(index)
+                    executed += 1
+                    record(outcome)
+                    spent += outcome.simulated_seconds
+            elif dispatch == "steal":
+                if backend == "processes":
+                    executed = _run_processes_steal(
+                        order, tasks, pool, workers, deadline_seconds,
+                        costs, slots, position_of, worker_counts,
+                    )
+                else:
+                    state = _StealState(
+                        order, run_local, deadline_seconds, stall_worker
+                    )
+                    with ThreadPoolExecutor(max_workers=workers) as executor:
+                        futures = [
+                            executor.submit(_steal_thread_main, state, worker_index)
+                            for worker_index in range(min(workers, len(order)))
+                        ]
+                        for future in futures:
+                            future.result()
+                    if state.error is not None:
+                        raise state.error
+                    for position, outcome in enumerate(state.outcomes):
+                        if outcome is not None:
+                            record(outcome)
+                            executed += 1
+                    worker_counts.update(state.counts)
+            else:  # dispatch == "wave": the legacy barrier scheduler
+                # Waves of ``workers`` tasks with a full barrier between
+                # them — the baseline the stealing loop is benchmarked
+                # against (an imbalanced wave idles every worker behind
+                # its slowest member).
+                wave_size = max(workers, 1)
+                cursor = 0
+                executor = None
+                try:
+                    if backend == "threads":
+                        executor = ThreadPoolExecutor(max_workers=workers)
+                    while cursor < len(order):
+                        cutoff = deadline_cutoff(costs, deadline_seconds)
+                        if cutoff is not None and cursor >= cutoff:
+                            break
+                        wave = order[cursor : cursor + wave_size]
+                        cursor += len(wave)
+                        if backend == "processes":
+                            for index in wave:
+                                pool.submit(tasks[index])
+                            for _ in wave:
+                                outcome, worker_id = pool.next_outcome()
+                                record(outcome)
+                                worker_counts[worker_id] = (
+                                    worker_counts.get(worker_id, 0) + 1
+                                )
+                        elif executor is not None:
+                            for outcome in executor.map(run_local, wave):
+                                record(outcome)
+                        executed += len(wave)
+                finally:
+                    if executor is not None:
+                        executor.shutdown()
+
+            # Post-hoc bookkeeping: the counted prefix of the dispatch
+            # order, by the deterministic rule (module docstring).
+            counted: List[int] = []
             spent = 0.0
-            cursor = 0
-            while cursor < len(order):
+            for position, index in enumerate(order):
                 if deadline_seconds is not None and spent >= deadline_seconds:
                     break
-                wave = order[cursor : cursor + wave_size]
-                cursor += len(wave)
-                dispatched.extend(wave)
-                if pool is not None:
-                    for index in wave:
-                        pool.submit(tasks[index])
-                    outcomes = pool.drain(len(wave))
-                elif executor is not None:
-                    outcomes = list(executor.map(run_local, wave))
-                else:
-                    outcomes = [run_local(index) for index in wave]
-                for outcome in outcomes:
-                    slots[outcome.index] = outcome
-                # Deterministic accounting: completed durations summed in
-                # dispatch order, not completion order (the wave is a
-                # barrier, so folding it in dispatch order onto the running
-                # sum is the same left-to-right float addition sequence).
-                for index in wave:
-                    spent += slots[index].simulated_seconds
+                cost = costs[position]
+                if cost is None:
+                    raise RuntimeError(
+                        "internal scheduler error: counted dispatch position "
+                        f"{position} (component {index}) never executed"
+                    )
+                counted.append(index)
+                spent += cost
 
-            for index in order[cursor:]:
+            skipped: List[int] = []
+            discarded = 0
+            for index in order[len(counted):]:
+                if slots[index] is not None:
+                    discarded += 1
                 skipped.append(index)
                 if placeholder is None:
                     raise RuntimeError(
@@ -167,15 +412,71 @@ def run_component_tasks(
     finally:
         if pool is not None and owns_pool:
             pool.shutdown()
-        if executor is not None:
-            executor.shutdown()
+
+    shm_shipped = pickle_shipped = shm_bytes = 0
+    if backend == "processes" and pool is not None:
+        shm_shipped = pool.shm_shipped - shipping_mark[0]
+        pickle_shipped = pool.pickle_shipped - shipping_mark[1]
+        shm_bytes = pool.shm_bytes - shipping_mark[2]
 
     durations = [slot.simulated_seconds for slot in slots]
+    participating = len(worker_counts)
     return ScheduledOutcome(
         results=[slot.result for slot in slots],
         wall_seconds=stopwatch.total,
         sequential_simulated_seconds=sum(durations),
         parallel_simulated_seconds=_list_schedule_makespan(durations, workers),
-        dispatch_order=dispatched,
+        dispatch_order=counted,
         skipped=sorted(skipped),
+        dispatch=dispatch,
+        executed=executed,
+        discarded=discarded,
+        steals=(
+            max(0, executed - participating)
+            if dispatch == "steal" and participating
+            else 0
+        ),
+        worker_task_counts=worker_counts,
+        shm_shipped=shm_shipped,
+        pickle_shipped=pickle_shipped,
+        shm_bytes=shm_bytes,
     )
+
+
+def _run_processes_steal(
+    order: Sequence[int],
+    tasks: Sequence[ComponentTask],
+    pool: WorkerPool,
+    workers: int,
+    deadline: Optional[float],
+    costs: List[Optional[float]],
+    slots: List[Optional[ComponentOutcome]],
+    position_of: Dict[int, int],
+    worker_counts: Dict[int, int],
+) -> int:
+    """The stealing loop on the forked pool.
+
+    The pool's task queue *is* the shared cursor: tasks enter it in
+    largest-first order and whichever worker frees up first takes the
+    head.  Without a deadline everything is submitted up-front (maximum
+    stealing, zero parent involvement until completions); with one, the
+    in-flight window is capped at ``workers`` so no more than
+    ``workers - 1`` tasks can ever run past the provable cutoff.
+    """
+    window = len(order) if deadline is None else max(workers, 1)
+    submitted = 0
+    completed = 0
+    while True:
+        cutoff = deadline_cutoff(costs, deadline)
+        limit = len(order) if cutoff is None else min(cutoff, len(order))
+        while submitted < limit and submitted - completed < window:
+            pool.submit(tasks[order[submitted]])
+            submitted += 1
+        if completed >= submitted:
+            break
+        outcome, worker_id = pool.next_outcome()
+        completed += 1
+        slots[outcome.index] = outcome
+        costs[position_of[outcome.index]] = outcome.simulated_seconds
+        worker_counts[worker_id] = worker_counts.get(worker_id, 0) + 1
+    return completed

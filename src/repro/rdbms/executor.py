@@ -33,6 +33,7 @@ from repro.rdbms.operators import PhysicalOperator, TableScan, iter_plan
 from repro.rdbms.optimizer import PlannedQuery
 from repro.rdbms.schema import TableSchema
 from repro.rdbms.table import Table
+from repro.utils import autotune
 from repro.utils.timer import Stopwatch
 
 #: Valid values for the ``execution_backend`` option of the executor, the
@@ -46,8 +47,11 @@ EXECUTION_BACKENDS = ("auto", "row", "columnar")
 #: cache warm (one query per MLN clause over shared atom tables) it wins at
 #: every size.  Kept a little above the cold break-even so tiny tables stay
 #: on the (allocation-free) row engine, mirroring VECTOR_AUTO_MIN_CLAUSES
-#: in the search kernel.
-COLUMNAR_AUTO_MIN_ROWS = 128
+#: in the search kernel.  Like that threshold, the crossover is calibrated
+#: per machine by an import-time micro-probe (:mod:`repro.utils.autotune`):
+#: ``REPRO_COLUMNAR_AUTO_MIN_ROWS`` pins it, ``REPRO_AUTOTUNE=off`` keeps
+#: the default — selection only, results are identical on both engines.
+COLUMNAR_AUTO_MIN_ROWS = autotune.threshold("COLUMNAR_AUTO_MIN_ROWS", 128)
 
 
 def available_execution_backends() -> tuple:

@@ -1,0 +1,162 @@
+"""Adaptive kernel-threshold calibration.
+
+The auto backends pick an implementation per workload size: the
+vectorized WalkSAT kernel above ``VECTOR_AUTO_MIN_CLAUSES`` clauses, its
+batched greedy step above ``GREEDY_MIN_ENTRIES`` adjacency entries, the
+columnar executor above ``COLUMNAR_AUTO_MIN_ROWS`` rows.  Those
+crossovers used to be hardcoded numbers measured on one machine; this
+module replaces them with a **cached import-time micro-probe** that
+times the actual trade — a small numpy bulk call against an equivalent
+pure-Python loop — on the machine the process runs on, and derives the
+break-even batch size from the measured per-call overhead and per-item
+costs.
+
+The thresholds only steer the ``auto`` backend *choice*; every backend
+is bit-identical in results, so a noisy probe can cost performance but
+never correctness.  The probe is still bounded and overridable so CI
+stays deterministic:
+
+* ``REPRO_<NAME>=<int>`` pins one threshold exactly (e.g.
+  ``REPRO_GREEDY_MIN_ENTRIES=64``);
+* ``REPRO_AUTOTUNE=off`` (or ``0`` / ``no`` / ``false``) disables
+  probing entirely and every threshold keeps its built-in default — the
+  test suite runs in this mode (see the repo-root ``conftest.py``) so
+  expectations about auto-backend selection don't depend on host speed;
+* probe results are clamped to ``[default / 4, default * 4]`` and
+  rounded to a power of two, so an outlier measurement can only shift a
+  crossover, not invalidate it.
+
+Each threshold is probed at most once per process (module-level cache);
+call sites evaluate it at import time, keeping the hot paths free of
+any autotune machinery.  Wall-clock reads are fine here — this module
+lives in ``repro/utils``, outside the ``det-wallclock`` scope, and its
+output never feeds a seeded result.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Optional
+
+_DISABLED_VALUES = ("0", "off", "no", "false")
+
+#: Probe results per threshold name, so repeated imports (or repeated
+#: threshold() calls in tests) never re-time.
+_CACHE: Dict[str, int] = {}
+
+#: Shared probe measurements (per-item python cost, per-call numpy
+#: overhead), cached so the three thresholds time the machine once.
+_MEASURED: Dict[str, float] = {}
+
+#: Loop size used by the probes: big enough that per-item costs
+#: dominate timer resolution, small enough to keep import fast (<1 ms).
+_PROBE_SIZE = 256
+
+#: Timing repetitions; best-of guards against scheduler noise.
+_PROBE_REPEATS = 5
+
+
+def autotune_enabled() -> bool:
+    """Whether micro-probing is enabled for this process."""
+    return os.environ.get("REPRO_AUTOTUNE", "on").lower() not in _DISABLED_VALUES
+
+
+def _best_time(operation: Callable[[], object]) -> float:
+    """Best-of-N wall seconds for one call of ``operation``."""
+    best = float("inf")
+    for _ in range(_PROBE_REPEATS):
+        start = time.perf_counter()
+        operation()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _measure_crossover() -> Optional[float]:
+    """Break-even batch size where a numpy bulk op beats a Python loop.
+
+    Model: a bulk call costs ``overhead + size * per_item_np``; the
+    scalar loop costs ``size * per_item_py``.  The crossover is where
+    they meet: ``overhead / (per_item_py - per_item_np)``.  Returns
+    ``None`` when numpy is missing or the measurement degenerates (the
+    loop not measurably slower per item), in which case callers keep
+    their defaults.
+    """
+    try:
+        import numpy
+    except ImportError:
+        return None
+    values = list(range(_PROBE_SIZE))
+    source = numpy.arange(_PROBE_SIZE, dtype=numpy.int64)
+    out = numpy.empty(_PROBE_SIZE, dtype=numpy.int64)
+
+    def python_loop() -> int:
+        total = 0
+        for value in values:
+            total += value * 2 + 1
+        return total
+
+    def numpy_bulk() -> None:
+        numpy.add(source, source, out=out)
+        numpy.add(out, 1, out=out)
+
+    per_item_py = _best_time(python_loop) / _PROBE_SIZE
+    bulk_seconds = _best_time(numpy_bulk)
+    # At probe size the bulk call is dominated by fixed per-call
+    # overhead; treating it all as overhead biases the crossover up,
+    # which errs toward the predictable scalar path on borderline sizes.
+    if per_item_py <= 0.0:
+        return None
+    return bulk_seconds / per_item_py
+
+
+def _round_power_of_two(value: float) -> int:
+    """The power of two nearest to ``value`` (geometrically)."""
+    if value <= 1.0:
+        return 1
+    power = 1
+    while power * power * 2 <= value * value:  # compare without math.log
+        power *= 2
+    return power
+
+
+def threshold(name: str, default: int) -> int:
+    """Resolve one auto-backend crossover threshold.
+
+    Resolution order: explicit ``REPRO_<name>`` env override, then the
+    built-in ``default`` when autotuning is off (or the probe is
+    inconclusive), else the measured crossover scaled by the ratio of
+    the measured break-even to the reference machine's — clamped to
+    ``[default / 4, default * 4]`` and rounded to a power of two.
+    """
+    override = os.environ.get(f"REPRO_{name}")
+    if override is not None:
+        pinned = int(override)
+        if pinned <= 0:
+            raise ValueError(f"REPRO_{name} must be positive, got {pinned}")
+        return pinned
+    if not autotune_enabled():
+        return default
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    crossover = _MEASURED.get("crossover")
+    if crossover is None:
+        measured = _measure_crossover()
+        crossover = -1.0 if measured is None else measured
+        _MEASURED["crossover"] = crossover
+    if crossover <= 0.0:
+        resolved = default
+    else:
+        # The defaults already encode each call site's relative per-item
+        # work (the greedy gather is heavier per entry than a row
+        # filter); scale them by how this machine's generic break-even
+        # compares to the reference crossover the defaults were measured
+        # at (~128 elements), keeping the call sites' relative order.
+        scaled = default * (crossover / 128.0)
+        resolved = min(max(_round_power_of_two(scaled), default // 4), default * 4)
+        resolved = max(resolved, 1)
+    _CACHE[name] = resolved
+    return resolved

@@ -19,6 +19,19 @@ import time
 from dataclasses import dataclass, field
 
 
+def wall_sleep(seconds: float) -> None:
+    """Block the calling thread for ``seconds`` of real time.
+
+    The sanctioned wall-clock sleep for code under the ``det-wallclock``
+    analysis rule (the deterministic core must not call ``time.*``
+    directly).  It is used only for *pacing* — the scheduler's injected
+    slow-worker test hook — never for anything that feeds results, so
+    determinism is unaffected.
+    """
+    if seconds > 0:
+        time.sleep(seconds)
+
+
 class WallClock:
     """A clock backed by :func:`time.perf_counter`."""
 

@@ -288,6 +288,63 @@ class TestSharedMemoryPublish:
             """})
         assert report.findings == []
 
+    def test_sanctioned_result_writer_is_clean(self, tmp_path: Path) -> None:
+        # The result-shipping carve-out: a method named in
+        # `_result_region_writers` may write shm attributes whose names
+        # contain 'result' — directly or through a local alias.
+        report = analyze(tmp_path, {"parallel/buffers.py": """\
+            class ResultBufferSet:
+                _result_region_writers = ("write_outcome",)
+
+                def __init__(self, shm):
+                    self._result_ints = shm.buf.cast("q")
+                    self._result_floats = shm.buf.cast("d")
+
+                def write_outcome(self, index, value):
+                    ints = self._result_ints
+                    ints[index] = value
+                    self._result_floats[index] = float(value)
+            """})
+        assert report.findings == []
+
+    def test_sanctioned_writer_still_flagged_on_non_result_buffers(
+        self, tmp_path: Path
+    ) -> None:
+        # The sanction covers only result regions: the same method writing
+        # a structure buffer is still a publish-after-pack violation.
+        report = analyze(tmp_path, {"parallel/buffers.py": """\
+            class ResultBufferSet:
+                _result_region_writers = ("write_outcome",)
+
+                def __init__(self, shm):
+                    self._ints = shm.buf.cast("q")
+                    self._result_ints = shm.buf.cast("q")
+
+                def write_outcome(self, index, value):
+                    self._result_ints[index] = value
+                    self._ints[index] = value
+            """})
+        found = messages(report, "fork-shm-publish")
+        assert len(found) == 1
+        assert "'_ints'" in found[0]
+
+    def test_unsanctioned_method_writing_result_region_fires(
+        self, tmp_path: Path
+    ) -> None:
+        report = analyze(tmp_path, {"parallel/buffers.py": """\
+            class ResultBufferSet:
+                _result_region_writers = ("write_outcome",)
+
+                def __init__(self, shm):
+                    self._result_ints = shm.buf.cast("q")
+
+                def clobber(self, index, value):
+                    self._result_ints[index] = value
+            """})
+        found = messages(report, "fork-shm-publish")
+        assert len(found) == 1
+        assert "'clobber'" in found[0]
+
 
 class TestPoolTaskClosure:
     def test_lambda_and_nested_function_fire(self, tmp_path: Path) -> None:
@@ -355,6 +412,27 @@ class TestPoolLifecycle:
                     self.buffers.destroy()
             """})
         assert report.findings == []
+
+    def test_result_buffer_repack_and_rebind_fire(self, tmp_path: Path) -> None:
+        # The rule generalises over every packed buffer set the pool owns:
+        # the result regions are as frozen as the component structure.
+        report = analyze(tmp_path, {"parallel/pool.py": """\
+            class WorkerPool:
+                def __init__(self, components, workers):
+                    self.buffers = ComponentBufferSet.pack(components)
+                    self.result_buffers = ResultBufferSet.pack(components)
+                    self._processes = [spawn() for _ in range(workers)]
+
+                def rebind(self, components):
+                    self.result_buffers = fresh_buffers(components)
+
+                def repack(self, components):
+                    ResultBufferSet.pack(components)
+            """})
+        found = messages(report, "fork-pool-lifecycle")
+        assert len(found) == 2
+        assert any("rebinds self.result_buffers" in message for message in found)
+        assert any("repacks shared-memory buffers" in message for message in found)
 
     def test_non_pool_class_and_other_dirs_are_clean(self, tmp_path: Path) -> None:
         repacker = """\

@@ -1,0 +1,121 @@
+"""The adaptive kernel-threshold calibration (repro.utils.autotune).
+
+The suite runs with ``REPRO_AUTOTUNE=off`` pinned by the repo-root
+conftest, so these tests flip the environment explicitly per case and
+restore it via monkeypatch.  The probe's *output* is machine-dependent by
+design; what the tests pin down is the resolution order (env override >
+off-mode default > cached probe), the clamping contract, and the
+power-of-two rounding — the properties CI determinism rests on.
+"""
+
+import pytest
+
+from repro.utils import autotune
+
+
+@pytest.fixture(autouse=True)
+def clean_caches():
+    saved_cache = dict(autotune._CACHE)
+    saved_measured = dict(autotune._MEASURED)
+    autotune._CACHE.clear()
+    autotune._MEASURED.clear()
+    yield
+    autotune._CACHE.clear()
+    autotune._CACHE.update(saved_cache)
+    autotune._MEASURED.clear()
+    autotune._MEASURED.update(saved_measured)
+
+
+class TestEnvOverride:
+    def test_env_pin_wins_over_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "on")
+        monkeypatch.setenv("REPRO_MY_THRESHOLD", "96")
+        assert autotune.threshold("MY_THRESHOLD", 128) == 96
+
+    def test_env_pin_applies_even_when_autotune_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "off")
+        monkeypatch.setenv("REPRO_MY_THRESHOLD", "32")
+        assert autotune.threshold("MY_THRESHOLD", 128) == 32
+
+    def test_env_pin_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MY_THRESHOLD", "0")
+        with pytest.raises(ValueError):
+            autotune.threshold("MY_THRESHOLD", 128)
+
+    def test_env_pin_must_be_an_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MY_THRESHOLD", "fast")
+        with pytest.raises(ValueError):
+            autotune.threshold("MY_THRESHOLD", 128)
+
+
+class TestOffMode:
+    @pytest.mark.parametrize("value", ("off", "0", "no", "false", "OFF", "False"))
+    def test_disabled_values_keep_the_default(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_AUTOTUNE", value)
+        assert not autotune.autotune_enabled()
+        assert autotune.threshold("MY_THRESHOLD", 128) == 128
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTOTUNE", raising=False)
+        assert autotune.autotune_enabled()
+
+
+class TestProbeResolution:
+    def test_probed_threshold_is_cached_per_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "on")
+        first = autotune.threshold("MY_THRESHOLD", 128)
+        assert autotune._CACHE["MY_THRESHOLD"] == first
+        # Poison the shared measurement: a second call must not re-probe.
+        autotune._MEASURED["crossover"] = 1e9
+        assert autotune.threshold("MY_THRESHOLD", 128) == first
+
+    def test_probe_is_shared_across_thresholds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "on")
+        autotune.threshold("FIRST", 128)
+        measured = dict(autotune._MEASURED)
+        autotune.threshold("SECOND", 256)
+        assert autotune._MEASURED == measured
+
+    def test_result_is_clamped_power_of_two(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "on")
+        for default in (128, 256):
+            resolved = autotune.threshold(f"T{default}", default)
+            assert default // 4 <= resolved <= default * 4
+            assert resolved & (resolved - 1) == 0  # power of two
+
+    def test_extreme_crossovers_hit_the_clamp(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "on")
+        autotune._MEASURED["crossover"] = 1e9  # pathologically slow numpy
+        assert autotune.threshold("SLOW", 128) == 128 * 4
+        autotune._MEASURED["crossover"] = 1e-9  # pathologically fast numpy
+        assert autotune.threshold("FAST", 128) == 128 // 4
+
+    def test_inconclusive_probe_keeps_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "on")
+        autotune._MEASURED["crossover"] = -1.0  # the "no numpy" sentinel
+        assert autotune.threshold("MY_THRESHOLD", 128) == 128
+
+
+class TestRounding:
+    def test_round_power_of_two(self):
+        assert autotune._round_power_of_two(0.5) == 1
+        assert autotune._round_power_of_two(1.0) == 1
+        assert autotune._round_power_of_two(2.0) == 2
+        assert autotune._round_power_of_two(127.0) == 128
+        assert autotune._round_power_of_two(128.0) == 128
+        # Geometric midpoint: 181.02 ~= sqrt(128*256) rounds up past it.
+        assert autotune._round_power_of_two(180.0) == 128
+        assert autotune._round_power_of_two(182.0) == 256
+
+
+class TestCallSites:
+    def test_thresholds_resolve_to_defaults_under_test_env(self):
+        # The repo-root conftest pins REPRO_AUTOTUNE=off, so the suite
+        # always sees the reference crossovers at the three call sites.
+        from repro.inference.state import VECTOR_AUTO_MIN_CLAUSES
+        from repro.inference.vector_kernel import GREEDY_MIN_ENTRIES
+        from repro.rdbms.executor import COLUMNAR_AUTO_MIN_ROWS
+
+        assert VECTOR_AUTO_MIN_CLAUSES == 256
+        assert GREEDY_MIN_ENTRIES == 128
+        assert COLUMNAR_AUTO_MIN_ROWS == 128

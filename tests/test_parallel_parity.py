@@ -4,9 +4,11 @@ The determinism contract of ``repro.parallel`` (see its module docstring):
 per-component RNG streams derive only from the run seed and the component
 index, and merges happen in component order — so MAP best assignments and
 MC-SAT marginals are **bit-for-bit identical** across
-``serial``/``threads``/``processes`` backends and across worker counts
-(1, 2, 4), on example1, RC and IE.  The backend is purely a wall-clock
-decision.
+``serial``/``threads``/``processes`` backends, across worker counts
+(1, 2, 4) and across dispatch modes (``steal``/``wave``), on example1,
+RC and IE — with and without a deadline (whose skipped set is post-hoc
+bookkeeping, independent of backend, dispatch and workers).  The backend
+is purely a wall-clock decision.
 """
 
 import pytest
@@ -77,6 +79,36 @@ class TestMapParity:
                 ], key
                 # The deterministic simulated accounting is also identical.
                 assert result.simulated_seconds == reference.simulated_seconds, key
+
+    @pytest.mark.parametrize("workload", ("example1", "RC"))
+    @pytest.mark.parametrize("deadline", (None, 1e-9))
+    def test_wave_and_steal_dispatch_bit_identical(
+        self, workloads, workload, deadline
+    ):
+        components = workloads[workload]
+        reference = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=2000, deadline_seconds=deadline),
+            RandomSource(0),
+            parallel_backend="serial",
+            dispatch="steal",
+        ).run(components, total_flips=2000)
+        for backend in BACKENDS:
+            for workers in WORKER_COUNTS:
+                for dispatch in ("steal", "wave"):
+                    result = ComponentAwareWalkSAT(
+                        WalkSATOptions(max_flips=2000, deadline_seconds=deadline),
+                        RandomSource(0),
+                        workers=workers,
+                        parallel_backend=backend,
+                        dispatch=dispatch,
+                    ).run(components, total_flips=2000)
+                    key = (workload, backend, workers, dispatch, deadline)
+                    assert result.best_assignment == reference.best_assignment, key
+                    assert result.best_cost == reference.best_cost, key
+                    assert result.flips == reference.flips, key
+                    assert (
+                        result.skipped_components == reference.skipped_components
+                    ), key
 
     def test_engine_map_parity_across_backends(self):
         results = {}
@@ -166,3 +198,11 @@ class TestBackendResolution:
         assert InferenceConfig(parallel_backend="processes").parallel_backend == (
             "processes"
         )
+
+    def test_config_validates_parallel_dispatch(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            InferenceConfig(parallel_dispatch="barrier")
+        assert InferenceConfig().parallel_dispatch == "steal"
+        assert InferenceConfig(parallel_dispatch="wave").parallel_dispatch == "wave"

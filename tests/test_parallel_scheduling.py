@@ -2,9 +2,11 @@
 
 Covers the pieces under the ``parallel_backend`` seam that the parity
 suite does not: the shared-memory component buffers round-trip exactly,
-dispatch is largest-first, ``scheduling.run_components`` stops dispatching
-once the deadline's simulated budget is spent (under every backend), and
-the Gauss-Seidel refinement merge is backend-independent.
+dispatch is largest-first, ``scheduling.run_components`` honors the
+deadline by post-hoc bookkeeping (a dispatch position counts iff the
+summed simulated costs of the positions before it stay under the
+deadline — identical across backends, dispatch modes and worker counts),
+and the Gauss-Seidel refinement merge is backend-independent.
 """
 
 import math
@@ -174,8 +176,11 @@ class TestDeadlineHandling:
         assert outcome.sequential_simulated_seconds == 0.0
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    @pytest.mark.parametrize("workers", (1, 2))
-    def test_deadline_stops_dispatch_after_first_wave(self, backend, workers):
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    @pytest.mark.parametrize("dispatch", ("steal", "wave"))
+    def test_tiny_deadline_counts_only_first_position(
+        self, backend, workers, dispatch
+    ):
         components = sized_components()
         tasks = walksat_tasks(components)
         outcome = run_components(
@@ -185,16 +190,15 @@ class TestDeadlineHandling:
             workers=workers,
             deadline_seconds=1e-9,
             placeholder=zero_flip_placeholder(components),
+            dispatch=dispatch,
         )
-        # The first wave (of `workers` largest components) dispatches; its
-        # simulated spend then exceeds the deadline and the rest is skipped.
-        expected_dispatched = dispatch_order(components)[:workers]
-        assert outcome.dispatch_order == expected_dispatched
-        assert outcome.skipped == sorted(
-            set(range(len(components))) - set(expected_dispatched)
-        )
+        # Post-hoc rule: position 0 always counts (zero spend before it);
+        # its cost alone exceeds the tiny deadline, so everything after is
+        # skipped — on every backend, dispatch mode and worker count.
+        assert outcome.dispatch_order == dispatch_order(components)[:1]
+        assert outcome.skipped == [1, 2]
         for index, result in enumerate(outcome.results):
-            if index in expected_dispatched:
+            if index == 0:
                 assert result.flips > 0
             else:
                 assert result.flips == 0
@@ -225,25 +229,31 @@ class TestDeadlineHandling:
         assert result.best_assignment == reference.best_assignment
         assert result.best_cost == reference.best_cost
 
-    def test_deadline_run_identical_across_backends_at_fixed_workers(self):
-        """The qualified contract: under a deadline, results depend on the
-        worker count (waves of `workers` complete before each check) but
-        are still bit-identical across backends for a fixed worker count."""
+    def test_deadline_run_identical_across_backends_and_workers(self):
+        """The strengthened contract: the deadline outcome is decided by
+        post-hoc bookkeeping over the simulated costs, so it is identical
+        across backends *and* worker counts (the old wave scheduler
+        completed more components at higher worker counts)."""
         components = sized_components()
-        results = {}
+        reference = ComponentAwareWalkSAT(
+            WalkSATOptions(max_flips=900, deadline_seconds=1e-9),
+            RandomSource(0),
+            workers=1,
+            parallel_backend="serial",
+        ).run(components, total_flips=900)
+        assert reference.skipped_components == [1, 2]
         for backend in BACKENDS:
-            results[backend] = ComponentAwareWalkSAT(
-                WalkSATOptions(max_flips=900, deadline_seconds=1e-9),
-                RandomSource(0),
-                workers=2,
-                parallel_backend=backend,
-            ).run(components, total_flips=900)
-        reference = results["serial"]
-        assert reference.skipped_components == [2]  # wave of 2 dispatched
-        for backend, result in results.items():
-            assert result.best_assignment == reference.best_assignment, backend
-            assert result.best_cost == reference.best_cost, backend
-            assert result.skipped_components == reference.skipped_components
+            for workers in (1, 2, 4):
+                result = ComponentAwareWalkSAT(
+                    WalkSATOptions(max_flips=900, deadline_seconds=1e-9),
+                    RandomSource(0),
+                    workers=workers,
+                    parallel_backend=backend,
+                ).run(components, total_flips=900)
+                label = f"{backend}/workers={workers}"
+                assert result.best_assignment == reference.best_assignment, label
+                assert result.best_cost == reference.best_cost, label
+                assert result.skipped_components == reference.skipped_components
 
     def test_no_deadline_dispatches_everything_in_one_wave(self):
         components = sized_components()
