@@ -15,6 +15,13 @@ pool alive between requests.  This benchmark prices the two claims:
   ``delta_grounding=False`` re-executes everything.  The grounding delta
   report's counters (queries executed vs clauses replayed) are printed
   alongside the wall-clock ratio.
+* **Concurrent admission** on one warm session: the same batch of
+  requests is submitted through the admission queue with 1/2/4 in
+  flight and the aggregate requests/sec compared.  In-flight requests
+  overlap parent-side setup with pool-side search, so aggregate
+  throughput should rise with admission width when cores exist.
+  ``--assert-concurrent-speedup X`` requires the widest width to reach
+  X times the width-1 rate (the check target is 1.5x at width 4).
 
 Warm results are asserted bit-identical to cold results before any
 timing is reported, so the numbers compare identical work (the session
@@ -93,6 +100,35 @@ def measure_requests(program, workers: int, flips: int, requests: int):
     return requests / cold_seconds, requests / warm_seconds, pool_launches
 
 
+def measure_concurrent(program, workers: int, flips: int, requests: int, inflight: int):
+    """Aggregate requests/sec with ``inflight`` requests admitted at once.
+
+    One warm session serves the whole batch; every interleaved result is
+    asserted bit-identical to the solo warm-up request before the rate
+    is reported.
+    """
+    config = InferenceConfig(
+        seed=BENCH_SEED,
+        max_flips=flips,
+        workers=workers,
+        parallel_backend="auto",
+        max_inflight_requests=inflight,
+    )
+    with TuffyEngine(program, config) as engine:
+        reference = engine.run_map()  # warm up: ground + components + pool fork
+        started = time.perf_counter()
+        futures = [engine.submit_map() for _request in range(requests)]
+        results = [future.result() for future in futures]
+        seconds = max(time.perf_counter() - started, 1e-9)
+        for result in results:
+            assert result.assignment == reference.assignment, (
+                "interleaved request diverged from its solo run"
+            )
+            assert result.cost == reference.cost
+            assert result.flips == reference.flips
+    return requests / seconds
+
+
 def measure_delta_reground(program_factory, flips: int):
     """Wall seconds of a delta reground vs a full reground, plus counters."""
 
@@ -141,6 +177,22 @@ def main(argv=None) -> int:
         "the highest worker count (skipped when the machine has fewer CPUs "
         "than workers)",
     )
+    parser.add_argument(
+        "--concurrent",
+        default="1,2,4",
+        help="comma-separated admission widths for the concurrent axis "
+        "(aggregate requests/sec with N requests in flight on one warm "
+        "session); pass an empty string to disable the axis",
+    )
+    parser.add_argument(
+        "--assert-concurrent-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless aggregate requests/sec at the widest "
+        "admission width reaches X times the width-1 rate (skipped when the "
+        "machine has fewer CPUs than the widest width)",
+    )
     from benchmarks.harness import add_json_out_argument, emit, emit_json, render_table
 
     add_json_out_argument(parser)
@@ -188,6 +240,46 @@ def main(argv=None) -> int:
         if workers == max(worker_counts):
             speedup_at_max = speedup
 
+    concurrent_counts = [
+        int(token) for token in args.concurrent.split(",") if token.strip()
+    ]
+    concurrent_rows = []
+    concurrent_rps = {}
+    # Two pool workers are enough to overlap parent-side setup with
+    # pool-side search; admission width, not worker count, is the axis.
+    concurrent_workers = min(2, max(worker_counts))
+    for inflight in concurrent_counts:
+        rps = measure_concurrent(
+            dataset.program, concurrent_workers, flips, requests, inflight
+        )
+        concurrent_rps[inflight] = rps
+    concurrent_speedup = None
+    if concurrent_counts:
+        base_width = min(concurrent_counts)
+        base_rps = concurrent_rps[base_width]
+        for inflight in concurrent_counts:
+            ratio = concurrent_rps[inflight] / base_rps
+            concurrent_rows.append(
+                (
+                    "IE",
+                    inflight,
+                    concurrent_workers,
+                    f"{concurrent_rps[inflight]:.2f}",
+                    f"{ratio:.2f}x",
+                )
+            )
+            json_rows.append(
+                {
+                    "workload": "IE",
+                    "mode": "concurrent",
+                    "inflight": inflight,
+                    "workers": concurrent_workers,
+                    "aggregate_requests_per_sec": concurrent_rps[inflight],
+                    "concurrent_over_serial": ratio,
+                }
+            )
+        concurrent_speedup = concurrent_rps[max(concurrent_counts)] / base_rps
+
     delta_seconds, full_seconds, report = measure_delta_reground(
         lambda: fresh_dataset("IE", factor).program, flips
     )
@@ -212,6 +304,12 @@ def main(argv=None) -> int:
         ["workload", "workers", "cold req/s", "warm req/s", "warm/cold", "pool forks"],
         rows,
     )
+    if concurrent_rows:
+        table += "\n\n" + render_table(
+            "Concurrent admission — aggregate requests/sec on one warm session (IE)",
+            ["workload", "in-flight", "workers", "agg req/s", "vs width 1"],
+            concurrent_rows,
+        )
     table += "\n\n" + render_table(
         "Delta vs full reground after one evidence fact (IE)",
         ["reground", "seconds", "queries", "replayed", "tables loaded", "tables reused"],
@@ -260,6 +358,31 @@ def main(argv=None) -> int:
             f"OK: warm sessions {speedup_at_max:.2f}x cold at "
             f"{max(worker_counts)} workers (required {args.assert_speedup:.2f}x); "
             f"delta reground {delta_speedup:.2f}x faster than full"
+        )
+
+    if args.assert_concurrent_speedup is not None:
+        if not concurrent_counts:
+            print("SKIP --assert-concurrent-speedup: --concurrent axis disabled")
+            return 0
+        widest = max(concurrent_counts)
+        if cpus < widest:
+            print(
+                f"SKIP --assert-concurrent-speedup: {cpus} CPU(s) < "
+                f"{widest} in-flight requests"
+            )
+            return 0
+        if concurrent_speedup is None or concurrent_speedup < args.assert_concurrent_speedup:
+            print(
+                f"FAIL: concurrent aggregate requests/sec {concurrent_speedup} "
+                f"below required {args.assert_concurrent_speedup:.2f}x at "
+                f"width {widest}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: concurrent admission {concurrent_speedup:.2f}x the width-1 "
+            f"aggregate rate at width {widest} "
+            f"(required {args.assert_concurrent_speedup:.2f}x)"
         )
     return 0
 

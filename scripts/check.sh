@@ -70,12 +70,14 @@ else
 fi
 
 # Warm engine sessions: one session serving repeated requests must beat
-# a cold engine per request.  The >=3x warm/cold requests/sec assertion
-# at 4 workers needs real cores; the bench always runs (and refreshes
-# BENCH_session.json) but only asserts when the CPUs are there.
-echo "== session benchmark (quick, warm vs cold + delta reground; ${CPUS} CPU(s)) =="
+# a cold engine per request, and admitting requests concurrently must
+# raise aggregate throughput.  The >=3x warm/cold requests/sec assertion
+# at 4 workers and the >=1.5x concurrent-4 aggregate assertion need real
+# cores; the bench always runs (and refreshes BENCH_session.json) but
+# only asserts when the CPUs are there.
+echo "== session benchmark (quick, warm vs cold + concurrent admission + delta reground; ${CPUS} CPU(s)) =="
 if [ "${CPUS}" -ge 4 ]; then
-  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_session.py --quick --assert-speedup 3 --json-out benchmarks/results/BENCH_session.json
+  PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_session.py --quick --assert-speedup 3 --assert-concurrent-speedup 1.5 --json-out benchmarks/results/BENCH_session.json
 else
   PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_session.py --quick --json-out benchmarks/results/BENCH_session.json
 fi

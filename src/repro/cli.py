@@ -130,6 +130,25 @@ def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
         "reused; every request uses the same seed, so all N results are "
         "bit-identical) and print per-request timings plus requests/sec",
     )
+    parser.add_argument(
+        "--max-inflight-requests",
+        type=int,
+        default=1,
+        metavar="N",
+        help="session admission width: how many submitted requests may be "
+        "in flight at once (every result is bit-identical whether the "
+        "request runs alone or interleaved)",
+    )
+    parser.add_argument(
+        "--session-concurrent",
+        type=int,
+        default=1,
+        metavar="N",
+        help="submit the --session-requests requests through the session's "
+        "admission queue with N in flight at a time (implies "
+        "--max-inflight-requests N) and print aggregate requests/sec "
+        "instead of per-request timings",
+    )
 
 
 def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
@@ -146,6 +165,11 @@ def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
             arguments.memory_budget_kb * 1024 if arguments.memory_budget_kb else None
         ),
         mcsat_samples=arguments.mcsat_samples,
+        max_inflight_requests=max(
+            getattr(arguments, "max_inflight_requests", 1),
+            getattr(arguments, "session_concurrent", 1),
+            1,
+        ),
     )
 
 
@@ -166,16 +190,29 @@ def _print_summary(result, stream) -> None:
 
 def _run_inference(program: MLNProgram, arguments: argparse.Namespace, stream) -> int:
     requests = max(getattr(arguments, "session_requests", 1), 1)
+    concurrent = max(getattr(arguments, "session_concurrent", 1), 1)
     with TuffyEngine(program, _config_from_arguments(arguments)) as engine:
         request_seconds = []
-        for _request in range(requests):
+        batch_seconds = None
+        if concurrent > 1:
+            # Admit every request through the session's queue with
+            # ``concurrent`` in flight; all results are bit-identical (same
+            # seed), so printing the last one is printing all of them.
             watch = Stopwatch()
             with watch.measure():
-                if arguments.marginal:
-                    result = engine.run_marginal()
-                else:
-                    result = engine.run_map()
-            request_seconds.append(watch.total)
+                submit = engine.submit_marginal if arguments.marginal else engine.submit_map
+                futures = [submit() for _request in range(requests)]
+                result = [future.result() for future in futures][-1]
+            batch_seconds = watch.total
+        else:
+            for _request in range(requests):
+                watch = Stopwatch()
+                with watch.measure():
+                    if arguments.marginal:
+                        result = engine.run_marginal()
+                    else:
+                        result = engine.run_map()
+                request_seconds.append(watch.total)
         if arguments.marginal:
             print("# marginal probabilities (P(atom) >= 0.01)", file=stream)
             atoms = engine.grounding_result.atoms
@@ -189,7 +226,11 @@ def _run_inference(program: MLNProgram, arguments: argparse.Namespace, stream) -
                 print(atom, file=stream)
         print("#", file=stream)
         _print_summary(result, stream)
-        if requests > 1:
+        if batch_seconds is not None:
+            _print_concurrent_summary(
+                engine, requests, concurrent, batch_seconds, stream
+            )
+        elif requests > 1:
             _print_session_summary(engine, request_seconds, stream)
     return 0
 
@@ -203,6 +244,23 @@ def _print_session_summary(engine: TuffyEngine, request_seconds, stream) -> None
     warm = request_seconds[1:]
     if warm and sum(warm) > 0:
         print(f"{'warm requests/sec':>20}: {len(warm) / sum(warm):.2f}", file=stream)
+    stats = engine.stats
+    print(f"{'ground runs':>20}: {stats.ground_runs}", file=stream)
+    print(f"{'pool launches':>20}: {stats.pool_launches}", file=stream)
+
+
+def _print_concurrent_summary(
+    engine: TuffyEngine, requests: int, concurrent: int, batch_seconds, stream
+) -> None:
+    """Aggregate throughput of a ``--session-concurrent`` batch run."""
+    print("# session (concurrent)", file=stream)
+    print(f"{'requests':>20}: {requests}", file=stream)
+    print(f"{'in-flight':>20}: {concurrent}", file=stream)
+    print(f"{'batch wall':>20}: {batch_seconds:.4f}s", file=stream)
+    if batch_seconds > 0:
+        print(
+            f"{'aggregate req/sec':>20}: {requests / batch_seconds:.2f}", file=stream
+        )
     stats = engine.stats
     print(f"{'ground runs':>20}: {stats.ground_runs}", file=stream)
     print(f"{'pool launches':>20}: {stats.pool_launches}", file=stream)

@@ -77,6 +77,13 @@ class InferenceConfig:
     only the clauses touching changed predicates.  Both preserve the
     determinism contract: a warm request with seed S is bit-identical to a
     cold run with seed S.
+    ``max_inflight_requests`` is the session's admission width: how many
+    submitted requests (``submit_map`` / ``submit_marginal``) may be in
+    flight at once, sharing the persistent pool, shared-memory result
+    banks and kernel-state leases.  Every request's result is
+    bit-identical whether it runs alone or interleaved — concurrency
+    only changes wall-clock time.  The default of 1 serializes requests
+    (the pre-admission behavior).
     """
 
     seed: int = 0
@@ -106,6 +113,7 @@ class InferenceConfig:
     # Sessions (warm request path).
     persistent_pool: bool = True
     delta_grounding: bool = True
+    max_inflight_requests: int = 1
     # Cost model of the simulated clock.
     cost_model: CostModel = field(default_factory=CostModel)
 
@@ -146,3 +154,5 @@ class InferenceConfig:
             raise ConfigurationError("gauss_seidel_rounds must be positive")
         if self.mcsat_samples <= 0:
             raise ConfigurationError("mcsat_samples must be positive")
+        if self.max_inflight_requests <= 0:
+            raise ConfigurationError("max_inflight_requests must be positive")

@@ -123,17 +123,39 @@ class TuffyEngine:
         """Add one evidence fact; the next request delta-regrounds."""
         return self.session.add_evidence(predicate_name, arguments, truth)
 
+    def remove_evidence(self, predicate_name: str, arguments):
+        """Retract one evidence fact; the next request delta-regrounds."""
+        return self.session.remove_evidence(predicate_name, arguments)
+
     # ------------------------------------------------------------------
     # Inference requests
     # ------------------------------------------------------------------
 
-    def run_map(self, seed: Optional[int] = None) -> InferenceResult:
+    def run_map(
+        self, seed: Optional[int] = None, deadline_seconds: Optional[float] = None
+    ) -> InferenceResult:
         """Run the full MAP pipeline and return the best world found.
 
-        ``seed`` overrides ``config.seed`` for this request only; repeated
-        calls are warm requests on the underlying session.
+        ``seed`` overrides ``config.seed`` and ``deadline_seconds``
+        overrides ``config.deadline_seconds`` for this request only;
+        repeated calls are warm requests on the underlying session.
         """
-        return self.session.run_map(seed=seed)
+        return self.session.run_map(seed=seed, deadline_seconds=deadline_seconds)
+
+    def submit_map(
+        self, seed: Optional[int] = None, deadline_seconds: Optional[float] = None
+    ):
+        """Admit one MAP request without blocking; returns a future.
+
+        Up to ``config.max_inflight_requests`` submitted requests run
+        interleaved over the session; each result is bit-identical to
+        running the same request alone.
+        """
+        return self.session.submit_map(seed=seed, deadline_seconds=deadline_seconds)
+
+    def submit_marginal(self, seed: Optional[int] = None):
+        """Admit one MC-SAT marginal request without blocking; returns a future."""
+        return self.session.submit_marginal(seed=seed, sampler_factory=MCSat)
 
     def run_marginal(self, seed: Optional[int] = None) -> InferenceResult:
         """Estimate marginal probabilities with MC-SAT (Appendix A.5).

@@ -138,6 +138,26 @@ class MLNProgram:
         self.evidence.append(EvidenceAtom(atom, truth))
         return atom
 
+    def remove_evidence(
+        self, predicate_name: str, arguments: Sequence[str]
+    ) -> GroundAtom:
+        """Retract one evidence fact (the mirror of :meth:`add_evidence`).
+
+        The fact must exist.  The typed domains keep any constants the
+        fact introduced — domains only ever grow, matching the closed
+        finite-domain semantics (the constants may appear in other facts
+        or query atoms).
+        """
+        predicate = self._predicate(predicate_name)
+        atom = make_atom(predicate, arguments)
+        for index, fact in enumerate(self.evidence):
+            if fact.atom == atom:
+                del self.evidence[index]
+                return fact.atom
+        raise ProgramError(
+            f"no evidence fact {atom} to remove"
+        )
+
     def add_query_atom(self, predicate_name: str, arguments: Sequence[str]) -> GroundAtom:
         """Explicitly add one query atom (an unknown the search must decide)."""
         predicate = self._predicate(predicate_name)

@@ -25,22 +25,52 @@ simulated buffer cache absorbs repeated clause-table scans — less I/O is
 the point of the warm path, and the deterministic search clock is
 unchanged.
 
+Concurrent admission
+--------------------
+:meth:`submit_map` / :meth:`submit_marginal` admit up to
+``config.max_inflight_requests`` requests at once (futures); the blocking
+:meth:`run_map` / :meth:`run_marginal` are ``submit`` + ``result()``.
+Interleaved requests share the persistent pool (whose shared-memory
+result region holds one *bank* per admitted request), the grounding
+caches and the kernel-state lease, but each request is self-contained:
+its own RNG stream, timer, simulated-time accounting and telemetry.  The
+contract extends verbatim: every request's MAP assignment, marginals,
+skipped set and scheduling outcome are bit-identical whether the request
+runs alone or interleaved with others, on every backend, dispatch mode
+and worker count — concurrency only changes wall-clock time.
+
+Two rules make that hold.  *Setup is serialized, search is concurrent*:
+everything that touches session state (grounding, loading, pool
+checkout, lease checkout, stats) happens under the session lock, while
+the search itself — the long part — runs outside it.  *Live state is
+leased, never shared*: reusable kernel states live in a
+:class:`SearchStateLease`; a request checks them out exclusively, and a
+concurrent request that finds the lease empty builds its own fresh
+states (bit-identical, because WalkSAT fully rewrites states at attempt
+0).  A re-ground drains in-flight searches before invalidating derived
+state, so buffers are never torn down under a running request.
+
 Delta-grounding
 ---------------
-:meth:`add_evidence` mutates the program *and* the session's registry in
-lockstep, bumping only the touched predicate's version counter.  The next
-:meth:`ground` then replays every clause whose predicates are unchanged
-from the grounder's replay cache and re-runs only the affected relational
-queries (:class:`~repro.grounding.bottom_up.GroundingDeltaReport` records
-the split).  Components whose atoms and clauses are unchanged are adopted
+:meth:`add_evidence` / :meth:`remove_evidence` mutate the program *and*
+the session's registry in lockstep, bumping only the touched predicate's
+version counter.  The next :meth:`ground` then replays every clause
+whose predicates are unchanged from the grounder's replay cache and
+re-runs only the affected relational queries
+(:class:`~repro.grounding.bottom_up.GroundingDeltaReport` records the
+split).  Components whose atoms and clauses are unchanged are adopted
 from the previous decomposition so their caches survive the delta.
+Retraction keeps the atom record (ids are stable) and flips its truth:
+``None`` for open-world predicates (the atom becomes a search variable
+again) and ``False`` for closed-world ones, whose unlisted atoms are
+implicitly false — see :meth:`~repro.grounding.atoms.AtomRegistry.remove_evidence`.
 
 The evidence-delta determinism contract: the registry's state is a pure
 function of (the program at first registry build, the ordered
-:meth:`add_evidence` calls).  A comparator must *replay the same call
-sequence* on a fresh session — building a cold engine from the final
-program text would register the delta atoms in a different order and get
-different atom ids.
+``add_evidence`` / ``remove_evidence`` calls).  A comparator must *replay
+the same call sequence* on a fresh session — building a cold engine from
+the final program text would register the delta atoms in a different
+order and get different atom ids.
 
 Pool lifecycle
 --------------
@@ -48,17 +78,19 @@ The persistent pool is keyed on the component list it was packed from
 (identity per element).  A pool is never repacked in place — a grounding
 change tears it down and the next request forks a fresh one (the
 ``fork-pool-lifecycle`` analysis rule enforces the never-repack rule).
-Unclosed sessions shut their pool down at garbage collection via
-``weakref.finalize``; call :meth:`close` (or use the session as a context
-manager) for deterministic teardown.
+Unclosed sessions shut their pool (and the admission executor) down at
+garbage collection via ``weakref.finalize``; call :meth:`close` (or use
+the session as a context manager) for deterministic teardown.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import weakref
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import InferenceConfig
 from repro.core.program import MLNProgram
@@ -71,7 +103,7 @@ from repro.grounding.top_down import TopDownGrounder
 from repro.inference.component_walksat import ComponentAwareWalkSAT
 from repro.inference.mcsat import MCSat, MCSatOptions
 from repro.inference.samplesat import SampleSATOptions
-from repro.inference.state import SearchState, make_search_state
+from repro.inference.state import make_search_state
 from repro.inference.tracing import TimeCostTrace, merge_traces
 from repro.inference.walksat import WalkSAT, WalkSATOptions
 from repro.mrf.components import ComponentDecomposition, connected_components
@@ -89,8 +121,16 @@ from repro.utils.rng import RandomSource
 from repro.utils.timer import Timer
 
 
-def _shutdown_holder(holder: Dict[str, Optional[WorkerPool]]) -> None:
-    """GC-time pool teardown (module-level so ``finalize`` holds no session ref)."""
+def _shutdown_holder(holder: Dict[str, object]) -> None:
+    """GC-time teardown (module-level so ``finalize`` holds no session ref).
+
+    The admission executor drains first — in-flight requests may still
+    need the pool — then the pool's workers and shared memory go.
+    """
+    executor = holder.get("executor")
+    if executor is not None:
+        holder["executor"] = None
+        executor.shutdown(wait=True)
     pool = holder.get("pool")
     if pool is not None:
         holder["pool"] = None
@@ -113,12 +153,92 @@ class SessionStats:
 
 @dataclass
 class InferenceRequest:
-    """Per-request state: nothing in here survives to the next request."""
+    """Per-request state: nothing in here survives to the next request.
+
+    Fully self-contained so concurrently admitted requests cannot
+    interfere: the RNG stream and timer are private, and the simulated
+    database seconds are accounted per request (``ground_mark`` is the
+    grounding share captured at admission; ``db_simulated`` accumulates
+    this request's own loading charges) instead of being derived from the
+    shared clock's motion, which another in-flight request could advance.
+    ``session_phases`` snapshots the session timer at admission so a
+    concurrent re-ground is not billed to this request's phase report.
+    """
 
     seed: int
     rng: RandomSource
     timer: Timer = field(default_factory=Timer)
-    started_clock: float = 0.0
+    request_id: int = 0
+    kind: str = "map"
+    deadline_seconds: Optional[float] = None
+    db_simulated: float = 0.0
+    ground_mark: float = 0.0
+    session_phases: Dict[str, float] = field(default_factory=dict)
+
+
+class SearchStateLease:
+    """Checked-out/returned cache of reusable kernel search states.
+
+    The warm path reuses kernel states across requests (WalkSAT rewrites
+    them at attempt 0, so reuse is bit-safe) — but a *live* state must
+    never be shared by two in-flight requests.  The lease makes reuse
+    exclusive: :meth:`checkout` hands the cached entry to exactly one
+    request (a concurrent request finds the slot empty and builds fresh
+    states via ``builder``), and :meth:`checkin` returns it when the
+    request finishes.  If two requests check in under the same key the
+    first one wins and the other states are dropped — correctness never
+    depends on which states are cached, only on exclusivity.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, str], object] = {}
+
+    def checkout(self, key: Tuple[str, str], builder: Callable[[], object]):
+        """Take exclusive ownership of the cached entry, or build fresh."""
+        with self._lock:
+            cached = self._entries.pop(key, None)
+        if cached is not None:
+            return cached
+        return builder()
+
+    def checkin(self, key: Tuple[str, str], value: object) -> None:
+        """Return a checked-out (or freshly built) entry to the cache."""
+        with self._lock:
+            self._entries.setdefault(key, value)
+
+    def invalidate(self) -> None:
+        """Drop every cached entry (after a re-ground)."""
+        with self._lock:
+            self._entries.clear()
+
+    def held(self, key: Tuple[str, str]) -> bool:
+        """Whether an entry is currently cached (i.e. *not* checked out)."""
+        with self._lock:
+            return key in self._entries
+
+
+@dataclass
+class _RequestPlan:
+    """Everything a request's search phase needs, assembled under the lock.
+
+    The serve methods build the plan during the serialized setup phase
+    and then search outside the lock using only the plan, the request and
+    immutable session state — no session attribute is written past this
+    point (the ``req-state-isolation`` analysis rule checks that).
+    """
+
+    lease_key: Optional[Tuple[str, str]] = None
+    leased_value: object = None
+    decomposition: Optional[ComponentDecomposition] = None
+    size_bound: Optional[float] = None
+    small: List[MRF] = field(default_factory=list)
+    oversized: List[MRF] = field(default_factory=list)
+    load_plan: object = None
+    pool: Optional[WorkerPool] = None
+    searcher: Optional[ComponentAwareWalkSAT] = None
+    options: Optional[WalkSATOptions] = None
+    sampler: object = None
 
 
 class EngineSession:
@@ -127,8 +247,25 @@ class EngineSession:
     Owns the database, atom registry, grounding result, MRF, component
     decomposition and (on the ``processes`` backend) the persistent worker
     pool; :class:`~repro.core.engine.TuffyEngine` is a thin per-request
-    driver over one of these.
+    driver over one of these.  Up to ``config.max_inflight_requests``
+    submitted requests may be in flight at once (see the module
+    docstring's *Concurrent admission* section).
     """
+
+    #: Methods that run per-request code: their bodies must not write any
+    #: session-level attribute (reads and calls into the sanctioned
+    #: plumbing methods are fine).  The ``req-state-isolation`` analysis
+    #: rule enforces this so a request can never corrupt another's state.
+    _request_scoped_methods = (
+        "_serve_map",
+        "_serve_marginal",
+        "_prepare_partitioned",
+        "_prepare_monolithic",
+        "_prepare_marginal",
+        "_search_partitioned",
+        "_search_monolithic",
+        "_search_marginal",
+    )
 
     def __init__(
         self,
@@ -160,12 +297,23 @@ class EngineSession:
         #: request's simulated time.
         self._ground_clock_mark: float = 0.0
         self._split: Optional[Tuple[List[MRF], List[MRF]]] = None
-        self._searcher: Optional[ComponentAwareWalkSAT] = None
-        self._mono_state: Optional[SearchState] = None
-        # The pool lives in a plain dict so ``weakref.finalize`` can tear it
-        # down after the session is collected without keeping the session
-        # alive (tests rarely close engines explicitly).
-        self._pool_holder: Dict[str, Optional[WorkerPool]] = {"pool": None}
+        self._state_lease = SearchStateLease()
+        # Serializes session-state mutation (grounding, loading, pool and
+        # lease checkout).  Reentrant because the pipeline stages call
+        # each other (serve -> ground -> build_mrf ...).
+        self._lock = threading.RLock()
+        # Guards the in-flight search count.  Deliberately separate from
+        # ``_lock``: a finishing search only ever takes ``_search_gate``,
+        # so ``ground()`` can wait for the drain *while holding*
+        # ``_lock`` without deadlocking.
+        self._search_gate = threading.Condition(threading.Lock())
+        self._active_searches = 0
+        self._next_request_id = 0
+        # The pool and admission executor live in a plain dict so
+        # ``weakref.finalize`` can tear them down after the session is
+        # collected without keeping the session alive (tests rarely close
+        # engines explicitly).
+        self._pool_holder: Dict[str, object] = {"pool": None, "executor": None}
         self._finalizer = weakref.finalize(self, _shutdown_holder, self._pool_holder)
         self._closed = False
 
@@ -174,7 +322,7 @@ class EngineSession:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Tear down the persistent pool.  Idempotent."""
+        """Drain in-flight requests and tear down executor + pool.  Idempotent."""
         self._closed = True
         self._finalizer()
 
@@ -190,100 +338,146 @@ class EngineSession:
 
     def registry(self) -> AtomRegistry:
         """The session's atom registry (built lazily from the program)."""
-        if self._registry is None:
-            self._registry = self.program.build_atom_registry()
-        return self._registry
+        with self._lock:
+            if self._registry is None:
+                self._registry = self.program.build_atom_registry()
+            return self._registry
 
     def add_evidence(self, predicate_name: str, arguments, truth: bool = True):
         """Add one evidence fact to the program *and* the live registry.
 
         Forces the registry into existence first so its state is a pure
-        function of (program at first build, ordered ``add_evidence``
-        calls) — the replayable contract the delta parity suite relies on.
-        The touched predicate's version counter is bumped; the next
-        :meth:`ground` re-runs only the clauses reading that predicate.
+        function of (program at first build, ordered ``add_evidence`` /
+        ``remove_evidence`` calls) — the replayable contract the delta
+        parity suite relies on.  The touched predicate's version counter
+        is bumped; the next :meth:`ground` re-runs only the clauses
+        reading that predicate.
         """
-        registry = self.registry()
-        atom = self.program.add_evidence(predicate_name, arguments, truth)
-        registry.register(atom, truth)
-        return atom
+        with self._lock:
+            registry = self.registry()
+            atom = self.program.add_evidence(predicate_name, arguments, truth)
+            registry.register(atom, truth)
+            return atom
+
+    def remove_evidence(self, predicate_name: str, arguments):
+        """Retract one evidence fact from the program *and* the registry.
+
+        The mirror of :meth:`add_evidence` and part of the same replayable
+        call sequence.  The atom's id is stable — the registry keeps the
+        record and flips its truth (``None`` open-world, ``False``
+        closed-world); the predicate version bump makes the next
+        :meth:`ground` reload that predicate's atom table and re-run only
+        the clauses reading it.
+        """
+        with self._lock:
+            registry = self.registry()
+            atom = self.program.remove_evidence(predicate_name, arguments)
+            registry.remove_evidence(atom)
+            return atom
 
     # ------------------------------------------------------------------
     # Pipeline stages (session-lived, delta-aware)
     # ------------------------------------------------------------------
 
     def ground(self) -> GroundingResult:
-        """Ground the program, replaying unchanged clauses from cache."""
-        registry = self.registry()
-        if (
-            self.grounding_result is not None
-            and self._ground_version == registry.version
-        ):
-            return self.grounding_result
-        config = self.config
-        is_delta = self.grounding_result is not None
-        clauses = self.program.clauses()
-        with self.timer.measure("grounding"):
-            if config.grounding_strategy == "bottom-up":
-                result = self._bottom_up_grounder().ground(clauses, registry)
-                self.last_ground_report = self._bottom_up_grounder().last_report
-            else:
-                grounder = TopDownGrounder(
-                    merge_duplicates=config.merge_duplicate_clauses,
-                    memory_model=self.memory_model,
+        """Ground the program, replaying unchanged clauses from cache.
+
+        A re-ground first waits for every in-flight search to finish:
+        the derived state about to be invalidated (pool shared memory,
+        leased kernel states) must never be torn down under a running
+        request.  New requests cannot start setup meanwhile because this
+        method holds the session lock.
+        """
+        with self._lock:
+            registry = self.registry()
+            if (
+                self.grounding_result is not None
+                and self._ground_version == registry.version
+            ):
+                return self.grounding_result
+            self._drain_searches()
+            config = self.config
+            is_delta = self.grounding_result is not None
+            clauses = self.program.clauses()
+            with self.timer.measure("grounding"):
+                if config.grounding_strategy == "bottom-up":
+                    result = self._bottom_up_grounder().ground(clauses, registry)
+                    self.last_ground_report = self._bottom_up_grounder().last_report
+                else:
+                    grounder = TopDownGrounder(
+                        merge_duplicates=config.merge_duplicate_clauses,
+                        memory_model=self.memory_model,
+                    )
+                    result = grounder.ground(clauses, registry)
+                    self.last_ground_report = None
+            if config.use_lazy_closure:
+                closure = active_closure(result.clauses)
+                result = GroundingResult(
+                    atoms=result.atoms,
+                    clauses=closure.as_store(),
+                    seconds=result.seconds,
+                    per_clause=result.per_clause,
+                    intermediate_tuples=result.intermediate_tuples,
+                    strategy=result.strategy,
                 )
-                result = grounder.ground(clauses, registry)
-                self.last_ground_report = None
-        if config.use_lazy_closure:
-            closure = active_closure(result.clauses)
-            result = GroundingResult(
-                atoms=result.atoms,
-                clauses=closure.as_store(),
-                seconds=result.seconds,
-                per_clause=result.per_clause,
-                intermediate_tuples=result.intermediate_tuples,
-                strategy=result.strategy,
-            )
-        self.grounding_result = result
-        self._ground_version = registry.version
-        self._ground_clock_mark = self.database.clock.now()
-        self.stats.ground_runs += 1
-        if is_delta:
-            self.stats.delta_ground_runs += 1
-        self._invalidate_derived()
-        return result
+            self.grounding_result = result
+            self._ground_version = registry.version
+            self._ground_clock_mark = self.database.clock.now()
+            self.stats.ground_runs += 1
+            if is_delta:
+                self.stats.delta_ground_runs += 1
+            self._invalidate_derived()
+            return result
 
     def build_mrf(self) -> MRF:
         """Build (and cache) the ground MRF for the current grounding."""
-        grounding = self.ground()
-        if self.mrf is None:
-            self.mrf = MRF.from_store(grounding.clauses)
-        return self.mrf
+        with self._lock:
+            grounding = self.ground()
+            if self.mrf is None:
+                self.mrf = MRF.from_store(grounding.clauses)
+            return self.mrf
 
     def detect_components(self) -> ComponentDecomposition:
         """Detect components, adopting unchanged ones from the last grounding."""
-        mrf = self.build_mrf()
-        if self.components is None:
-            with self.timer.measure("component_detection"):
-                decomposition = connected_components(mrf)
-            self._adopt_components(decomposition)
-            self.components = decomposition
-        return self.components
+        with self._lock:
+            mrf = self.build_mrf()
+            if self.components is None:
+                with self.timer.measure("component_detection"):
+                    decomposition = connected_components(mrf)
+                self._adopt_components(decomposition)
+                self.components = decomposition
+            return self.components
 
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
 
-    def run_map(self, seed: Optional[int] = None) -> InferenceResult:
-        """Run one MAP request against the warm session state."""
-        config = self.config
-        grounding = self.ground()
-        mrf = self.build_mrf()
-        request = self._begin_request(seed)
-        self.stats.map_requests += 1
-        if config.use_partitioning:
-            return self._run_partitioned(mrf, grounding, request)
-        return self._run_monolithic(mrf, grounding, request)
+    def submit_map(
+        self, seed: Optional[int] = None, deadline_seconds: Optional[float] = None
+    ) -> "Future[InferenceResult]":
+        """Admit one MAP request; returns a future with its result.
+
+        Up to ``config.max_inflight_requests`` submitted requests run
+        interleaved over the shared session state.  ``deadline_seconds``
+        overrides ``config.deadline_seconds`` for this request only.
+        """
+        return self._admission_executor().submit(
+            self._serve_map, seed, deadline_seconds
+        )
+
+    def submit_marginal(
+        self, seed: Optional[int] = None, sampler_factory=None
+    ) -> "Future[InferenceResult]":
+        """Admit one MC-SAT marginal request; returns a future."""
+        return self._admission_executor().submit(
+            self._serve_marginal, seed, sampler_factory
+        )
+
+    def run_map(
+        self, seed: Optional[int] = None, deadline_seconds: Optional[float] = None
+    ) -> InferenceResult:
+        """Run one MAP request against the warm session state (blocking)."""
+        return self.submit_map(seed, deadline_seconds).result()
 
     def run_marginal(
         self, seed: Optional[int] = None, sampler_factory=None
@@ -293,12 +487,145 @@ class EngineSession:
         ``sampler_factory`` defaults to :class:`~repro.inference.mcsat.MCSat`;
         the engine passes its module-global so tests can monkeypatch it.
         """
+        return self.submit_marginal(seed, sampler_factory).result()
+
+    # ------------------------------------------------------------------
+    # Request serving (request-scoped: no session-state writes)
+    # ------------------------------------------------------------------
+
+    def _serve_map(
+        self, seed: Optional[int], deadline_seconds: Optional[float]
+    ) -> InferenceResult:
+        """One MAP request: serialized setup, then search outside the lock."""
+        with self._lock:
+            grounding = self.ground()
+            mrf = self.build_mrf()
+            request = self._begin_request(seed, "map", deadline_seconds)
+            if self.config.use_partitioning:
+                plan = self._prepare_partitioned(mrf, request)
+                search = self._search_partitioned
+            else:
+                plan = self._prepare_monolithic(mrf, request)
+                search = self._search_monolithic
+            self._enter_search()
+        try:
+            return search(plan, mrf, grounding, request)
+        finally:
+            self._finish_request(plan)
+
+    def _serve_marginal(
+        self, seed: Optional[int], sampler_factory
+    ) -> InferenceResult:
+        """One marginal request: serialized setup, then search outside the lock."""
+        with self._lock:
+            grounding = self.ground()
+            mrf = self.build_mrf()
+            request = self._begin_request(seed, "marginal", None)
+            plan = self._prepare_marginal(request, sampler_factory)
+            self._enter_search()
+        try:
+            return self._search_marginal(plan, mrf, grounding, request)
+        finally:
+            self._finish_request(plan)
+
+    def _prepare_partitioned(self, mrf: MRF, request: InferenceRequest) -> _RequestPlan:
+        """Assemble a partitioned-MAP plan (runs under the session lock)."""
+        config = self.config
+        decomposition = self.detect_components()
+        size_bound = self._size_bound()
+        small_components, oversized = self._split_components(decomposition, size_bound)
+        plan = _RequestPlan(
+            decomposition=decomposition,
+            size_bound=size_bound,
+            small=small_components,
+            oversized=oversized,
+        )
+
+        # Batch loading of the in-budget components (I/O accounting only) —
+        # charged to the request, like every per-request database access.
+        with request.timer.measure("loading"):
+            if small_components:
+                budget = size_bound if size_bound is not None else float(mrf.size() + 1)
+                loader = BatchLoader(self.database, budget, self.memory_model)
+                mark = self.database.clock.now()
+                plan.load_plan = loader.load(small_components, batched=True)
+                request.db_simulated += self.database.clock.now() - mark
+
+        if small_components:
+            plan.pool = self._pool_for(small_components)
+            plan.options = WalkSATOptions(
+                max_flips=config.max_flips,
+                max_tries=config.max_tries,
+                noise=config.noise,
+                deadline_seconds=request.deadline_seconds,
+                trace_label="tuffy",
+                kernel_backend=config.kernel_backend,
+            )
+            # A fresh searcher per request: its options and RNG are
+            # request-specific, so it must never be shared.
+            plan.searcher = ComponentAwareWalkSAT(
+                options=plan.options,
+                rng=request.rng,
+                workers=config.workers,
+                cost_model=config.cost_model,
+                parallel_backend=config.parallel_backend,
+                dispatch=config.parallel_dispatch,
+            )
+            resolved = resolve_parallel_backend(
+                config.parallel_backend,
+                workers=config.workers,
+                task_count=len(small_components),
+            )
+            if resolved != "processes":
+                # In-process backends reuse kernel states across warm
+                # requests via the lease; the processes backend keeps the
+                # equivalent cache inside each pool worker.
+                key = ("components", config.kernel_backend)
+                states = self._state_lease.checkout(
+                    key,
+                    lambda: [
+                        make_search_state(component, backend=config.kernel_backend)
+                        for component in small_components
+                    ],
+                )
+                if len(states) != len(small_components):
+                    states = [
+                        make_search_state(component, backend=config.kernel_backend)
+                        for component in small_components
+                    ]
+                plan.lease_key = key
+                plan.leased_value = states
+        return plan
+
+    def _prepare_monolithic(self, mrf: MRF, request: InferenceRequest) -> _RequestPlan:
+        """Assemble a monolithic (Tuffy-p) plan (runs under the session lock)."""
+        config = self.config
+        options = WalkSATOptions(
+            max_flips=config.max_flips,
+            max_tries=config.max_tries,
+            noise=config.noise,
+            target_cost=config.target_cost,
+            deadline_seconds=request.deadline_seconds,
+            trace_label="tuffy-p",
+            kernel_backend=config.kernel_backend,
+        )
+        # Warm path: reuse the full-MRF kernel state across requests via
+        # the lease.  Safe for bit-parity because attempt 0 of
+        # run_on_state fully rewrites it (randomize with random_restarts,
+        # reset otherwise); safe for concurrency because checkout is
+        # exclusive — an interleaved request builds its own state.
+        key = ("monolithic", config.kernel_backend)
+        state = self._state_lease.checkout(
+            key, lambda: make_search_state(mrf, None, backend=options.kernel_backend)
+        )
+        return _RequestPlan(lease_key=key, leased_value=state, options=options)
+
+    def _prepare_marginal(
+        self, request: InferenceRequest, sampler_factory
+    ) -> _RequestPlan:
+        """Assemble an MC-SAT plan (runs under the session lock)."""
         config = self.config
         factory = sampler_factory if sampler_factory is not None else MCSat
-        grounding = self.ground()
-        mrf = self.build_mrf()
-        request = self._begin_request(seed)
-        self.stats.marginal_requests += 1
         sampler = factory(
             MCSatOptions(
                 samples=config.mcsat_samples,
@@ -308,108 +635,23 @@ class EngineSession:
             ),
             request.rng,
         )
-        decomposition = self.detect_components() if config.use_partitioning else None
-        with request.timer.measure("search"):
-            if decomposition is not None and decomposition.component_count > 1:
-                pool = self._pool_for(decomposition.components)
-                marginals = sampler.run_components(
-                    decomposition.components,
-                    parallel_backend=config.parallel_backend,
-                    workers=config.workers,
-                    pool=pool,
-                    dispatch=config.parallel_dispatch,
-                )
-            else:
-                marginals = sampler.run(mrf)
-        assignment = marginals.most_likely()
-        cost = assignment_cost(mrf, assignment, hard_as_infinite=False)
-        # With partitioning disabled the decomposition is *not* computed for
-        # this request; reuse one an earlier request already paid for, else
-        # report the single monolithic search graph.
-        if decomposition is not None:
-            component_count = decomposition.component_count
-        elif self.components is not None:
-            component_count = self.components.component_count
-        else:
-            component_count = 1
-        return InferenceResult(
-            label="tuffy-mcsat",
-            assignment=assignment,
-            cost=cost + grounding.clauses.evidence_violation_cost,
-            atoms=grounding.atoms,
-            grounding=grounding,
-            component_count=component_count,
-            phase_seconds=self._phase_seconds(request),
-            simulated_seconds=self._database_simulated(request),
-            memory=self.memory_model.snapshot(),
-            marginals=marginals,
+        decomposition = (
+            self.detect_components() if config.use_partitioning else None
         )
+        plan = _RequestPlan(decomposition=decomposition, sampler=sampler)
+        if decomposition is not None and decomposition.component_count > 1:
+            plan.pool = self._pool_for(decomposition.components)
+        return plan
 
-    # ------------------------------------------------------------------
-    # MAP internals
-    # ------------------------------------------------------------------
-
-    def _run_monolithic(
-        self, mrf: MRF, grounding: GroundingResult, request: InferenceRequest
-    ) -> InferenceResult:
-        """Tuffy-p: one WalkSAT over the whole MRF (no partitioning)."""
-        config = self.config
-        clock = SimulatedClock(config.cost_model)
-        options = WalkSATOptions(
-            max_flips=config.max_flips,
-            max_tries=config.max_tries,
-            noise=config.noise,
-            target_cost=config.target_cost,
-            deadline_seconds=config.deadline_seconds,
-            trace_label="tuffy-p",
-            kernel_backend=config.kernel_backend,
-        )
-        with request.timer.measure("search"):
-            # Warm path: reuse the full-MRF kernel state across requests.
-            # Safe for bit-parity because attempt 0 of run_on_state fully
-            # rewrites it (randomize with random_restarts, reset otherwise).
-            if self._mono_state is None:
-                self._mono_state = make_search_state(
-                    mrf, None, backend=options.kernel_backend
-                )
-            searcher = WalkSAT(options, request.rng, clock)
-            outcome = searcher.run_on_state(self._mono_state, None)
-        trace = outcome.trace
-        trace.grounding_seconds = self._database_simulated(request)
-        peak_state_bytes = config.bytes_per_state_unit * mrf.size()
-        return InferenceResult(
-            label="tuffy-p",
-            assignment=outcome.best_assignment,
-            cost=outcome.best_cost + grounding.clauses.evidence_violation_cost,
-            atoms=grounding.atoms,
-            grounding=grounding,
-            flips=outcome.flips,
-            component_count=1,
-            phase_seconds=self._phase_seconds(request),
-            simulated_seconds=self._database_simulated(request) + clock.now(),
-            trace=trace,
-            memory=self.memory_model.snapshot(),
-            peak_memory_bytes=peak_state_bytes,
-        )
-
-    def _run_partitioned(
-        self, mrf: MRF, grounding: GroundingResult, request: InferenceRequest
+    def _search_partitioned(
+        self,
+        plan: _RequestPlan,
+        mrf: MRF,
+        grounding: GroundingResult,
+        request: InferenceRequest,
     ) -> InferenceResult:
         """Tuffy: component-aware search, with Algorithm 3 for oversized parts."""
         config = self.config
-        decomposition = self.detect_components()
-        size_bound = self._size_bound()
-        small_components, oversized = self._split_components(decomposition, size_bound)
-
-        # Batch loading of the in-budget components (I/O accounting only) —
-        # charged to the request, like every per-request database access.
-        with request.timer.measure("loading"):
-            load_plan = None
-            if small_components:
-                budget = size_bound if size_bound is not None else float(mrf.size() + 1)
-                loader = BatchLoader(self.database, budget, self.memory_model)
-                load_plan = loader.load(small_components, batched=True)
-
         assignment: Dict[int, bool] = {}
         total_cost = grounding.clauses.evidence_violation_cost
         total_flips = 0
@@ -418,20 +660,13 @@ class EngineSession:
         peak_state_units = 0
 
         with request.timer.measure("search"):
-            if small_components:
-                searcher = self._component_searcher()
-                searcher.options = WalkSATOptions(
-                    max_flips=config.max_flips,
-                    max_tries=config.max_tries,
-                    noise=config.noise,
-                    deadline_seconds=config.deadline_seconds,
-                    trace_label="tuffy",
-                    kernel_backend=config.kernel_backend,
-                )
-                searcher.rng = request.rng
-                pool = self._pool_for(small_components)
-                component_outcome = searcher.run(
-                    small_components, total_flips=config.max_flips, pool=pool
+            if plan.small:
+                component_outcome = plan.searcher.run(
+                    plan.small,
+                    total_flips=config.max_flips,
+                    pool=plan.pool,
+                    local_states=plan.leased_value,
+                    request_id=request.request_id,
                 )
                 assignment.update(component_outcome.best_assignment)
                 total_cost += component_outcome.best_cost
@@ -442,19 +677,19 @@ class EngineSession:
                     if config.workers > 1
                     else component_outcome.simulated_seconds
                 )
-                if load_plan is not None:
+                if plan.load_plan is not None:
                     peak_state_units = int(
-                        max(peak_state_units, load_plan.peak_batch_size())
+                        max(peak_state_units, plan.load_plan.peak_batch_size())
                     )
                 else:
                     peak_state_units = max(
                         peak_state_units,
-                        max((c.size() for c in small_components), default=0),
+                        max((c.size() for c in plan.small), default=0),
                     )
 
-            for index, component in enumerate(oversized):
+            for index, component in enumerate(plan.oversized):
                 partitioner = GreedyPartitioner(
-                    size_bound if size_bound is not None else math.inf
+                    plan.size_bound if plan.size_bound is not None else math.inf
                 )
                 partitioning = partitioner.partition(component)
                 # Partition-parallel first pass + Gauss-Seidel cut repair.
@@ -496,7 +731,7 @@ class EngineSession:
             atoms=grounding.atoms,
             grounding=grounding,
             flips=total_flips,
-            component_count=decomposition.component_count,
+            component_count=plan.decomposition.component_count,
             phase_seconds=self._phase_seconds(request),
             simulated_seconds=self._database_simulated(request)
             + simulated_search_seconds,
@@ -505,32 +740,166 @@ class EngineSession:
             peak_memory_bytes=config.bytes_per_state_unit * max(peak_state_units, 1),
         )
 
+    def _search_monolithic(
+        self,
+        plan: _RequestPlan,
+        mrf: MRF,
+        grounding: GroundingResult,
+        request: InferenceRequest,
+    ) -> InferenceResult:
+        """Tuffy-p: one WalkSAT over the whole MRF (no partitioning)."""
+        config = self.config
+        clock = SimulatedClock(config.cost_model)
+        with request.timer.measure("search"):
+            searcher = WalkSAT(plan.options, request.rng, clock)
+            outcome = searcher.run_on_state(plan.leased_value, None)
+        trace = outcome.trace
+        trace.grounding_seconds = self._database_simulated(request)
+        peak_state_bytes = config.bytes_per_state_unit * mrf.size()
+        return InferenceResult(
+            label="tuffy-p",
+            assignment=outcome.best_assignment,
+            cost=outcome.best_cost + grounding.clauses.evidence_violation_cost,
+            atoms=grounding.atoms,
+            grounding=grounding,
+            flips=outcome.flips,
+            component_count=1,
+            phase_seconds=self._phase_seconds(request),
+            simulated_seconds=self._database_simulated(request) + clock.now(),
+            trace=trace,
+            memory=self.memory_model.snapshot(),
+            peak_memory_bytes=peak_state_bytes,
+        )
+
+    def _search_marginal(
+        self,
+        plan: _RequestPlan,
+        mrf: MRF,
+        grounding: GroundingResult,
+        request: InferenceRequest,
+    ) -> InferenceResult:
+        """MC-SAT over the components (or the whole MRF)."""
+        config = self.config
+        decomposition = plan.decomposition
+        with request.timer.measure("search"):
+            if decomposition is not None and decomposition.component_count > 1:
+                marginals = plan.sampler.run_components(
+                    decomposition.components,
+                    parallel_backend=config.parallel_backend,
+                    workers=config.workers,
+                    pool=plan.pool,
+                    dispatch=config.parallel_dispatch,
+                    request_id=request.request_id,
+                )
+            else:
+                marginals = plan.sampler.run(mrf)
+        assignment = marginals.most_likely()
+        cost = assignment_cost(mrf, assignment, hard_as_infinite=False)
+        # With partitioning disabled the decomposition is *not* computed for
+        # this request; reuse one an earlier request already paid for, else
+        # report the single monolithic search graph.
+        if decomposition is not None:
+            component_count = decomposition.component_count
+        elif self.components is not None:
+            component_count = self.components.component_count
+        else:
+            component_count = 1
+        return InferenceResult(
+            label="tuffy-mcsat",
+            assignment=assignment,
+            cost=cost + grounding.clauses.evidence_violation_cost,
+            atoms=grounding.atoms,
+            grounding=grounding,
+            component_count=component_count,
+            phase_seconds=self._phase_seconds(request),
+            simulated_seconds=self._database_simulated(request),
+            memory=self.memory_model.snapshot(),
+            marginals=marginals,
+        )
+
     # ------------------------------------------------------------------
     # Session plumbing
     # ------------------------------------------------------------------
 
-    def _begin_request(self, seed: Optional[int]) -> InferenceRequest:
+    def _admission_executor(self) -> ThreadPoolExecutor:
+        """The lazily-created request executor (admission width = workers)."""
+        with self._lock:
+            executor = self._pool_holder.get("executor")
+            if executor is None:
+                executor = ThreadPoolExecutor(
+                    max_workers=self.config.max_inflight_requests,
+                    thread_name_prefix="session-request",
+                )
+                self._pool_holder["executor"] = executor
+            return executor
+
+    def _begin_request(
+        self, seed: Optional[int], kind: str, deadline_seconds: Optional[float]
+    ) -> InferenceRequest:
+        """Open a request context (runs under the session lock)."""
         request_seed = self.config.seed if seed is None else seed
         self.stats.requests += 1
+        if kind == "map":
+            self.stats.map_requests += 1
+        else:
+            self.stats.marginal_requests += 1
+        self._next_request_id += 1
         return InferenceRequest(
             seed=request_seed,
             rng=RandomSource(request_seed),
-            started_clock=self.database.clock.now(),
+            request_id=self._next_request_id,
+            kind=kind,
+            deadline_seconds=(
+                self.config.deadline_seconds
+                if deadline_seconds is None
+                else deadline_seconds
+            ),
+            ground_mark=self._ground_clock_mark,
+            session_phases=dict(self.timer.breakdown()),
         )
+
+    def _enter_search(self) -> None:
+        """Count this request as in-flight (still under the session lock)."""
+        with self._search_gate:
+            self._active_searches += 1
+
+    def _finish_request(self, plan: Optional[_RequestPlan]) -> None:
+        """Check leased state back in and release the in-flight slot.
+
+        Check-in happens *before* the slot release: a re-ground waiting in
+        :meth:`_drain_searches` proceeds only after the lease is whole
+        again, so its ``invalidate`` drops every state.
+        """
+        if plan is not None and plan.lease_key is not None:
+            self._state_lease.checkin(plan.lease_key, plan.leased_value)
+        with self._search_gate:
+            self._active_searches -= 1
+            self._search_gate.notify_all()
+
+    def _drain_searches(self) -> None:
+        """Wait until no search is in flight (called holding the session lock).
+
+        The finish path (:meth:`_finish_request`) never takes the session
+        lock, so waiting here while holding it cannot deadlock.
+        """
+        with self._search_gate:
+            while self._active_searches:
+                self._search_gate.wait()
 
     def _database_simulated(self, request: InferenceRequest) -> float:
         """Simulated database seconds visible to this request.
 
-        The grounding share (paid once per grounding) plus whatever this
-        request itself charged to the database clock — so request N sees
-        the same value a cold run with the same seed would.
+        The grounding share (captured at admission) plus whatever this
+        request itself charged to the database clock during loading — so
+        request N sees the same value a cold run with the same seed
+        would, even when other requests advance the shared clock
+        concurrently.
         """
-        delta = self.database.clock.now() - request.started_clock
-        return self._ground_clock_mark + delta
+        return request.ground_mark + request.db_simulated
 
     def _phase_seconds(self, request: InferenceRequest) -> Dict[str, float]:
-        """Session phases (grounding, component detection) + request phases."""
-        return {**self.timer.breakdown(), **request.timer.breakdown()}
+        """Session phases as of this request's admission + request phases."""
+        return {**request.session_phases, **request.timer.breakdown()}
 
     def _bottom_up_grounder(self) -> BottomUpGrounder:
         if self._grounder is None:
@@ -551,13 +920,14 @@ class EngineSession:
         The old decomposition is kept around so :meth:`detect_components`
         can adopt unchanged components; the pool is torn down immediately —
         its shared-memory buffers were packed from the old components and
-        are never repacked in place.
+        are never repacked in place.  Safe against in-flight requests
+        because :meth:`ground` drains them first.
         """
         self.mrf = None
         self._previous_components = self.components
         self.components = None
         self._split = None
-        self._mono_state = None
+        self._state_lease.invalidate()
         pool = self._pool_holder["pool"]
         if pool is not None:
             self._pool_holder["pool"] = None
@@ -602,9 +972,8 @@ class EngineSession:
 
         When nothing is oversized the "small" list *is*
         ``decomposition.components`` — the same object every request — so
-        the component searcher's identity-keyed state cache and the pool's
-        ``matches()`` check stay warm, and the MAP and marginal paths share
-        one pool.
+        the pool's ``matches()`` check stays warm and the MAP and
+        marginal paths share one pool.
         """
         if self._split is None:
             oversized: List[MRF] = []
@@ -619,26 +988,15 @@ class EngineSession:
             self._split = (small, oversized)
         return self._split
 
-    def _component_searcher(self) -> ComponentAwareWalkSAT:
-        if self._searcher is None:
-            config = self.config
-            self._searcher = ComponentAwareWalkSAT(
-                options=WalkSATOptions(kernel_backend=config.kernel_backend),
-                rng=RandomSource(config.seed),
-                workers=config.workers,
-                cost_model=config.cost_model,
-                parallel_backend=config.parallel_backend,
-                dispatch=config.parallel_dispatch,
-            )
-        return self._searcher
-
     def _pool_for(self, components: List[MRF]) -> Optional[WorkerPool]:
         """The persistent pool for these components, or ``None``.
 
         Lends a pool only when the backend actually resolves to
         ``processes`` for this task count and ``persistent_pool`` is on.
         A pool packed from a different component list is torn down and a
-        fresh one forked (never repacked in place).
+        fresh one forked (never repacked in place).  The pool is packed
+        with one result bank per admissible request so interleaved
+        requests ship results through disjoint shared-memory regions.
         """
         config = self.config
         if not config.persistent_pool:
@@ -656,7 +1014,11 @@ class EngineSession:
         if pool is not None:
             self._pool_holder["pool"] = None
             pool.shutdown()
-        pool = WorkerPool(components, config.workers)
+        pool = WorkerPool(
+            components,
+            config.workers,
+            result_banks=config.max_inflight_requests,
+        )
         self._pool_holder["pool"] = pool
         self.stats.pool_launches += 1
         return pool

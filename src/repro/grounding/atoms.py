@@ -63,6 +63,10 @@ class AtomRegistry:
         self._by_key: Dict[Tuple[str, Tuple[str, ...]], int] = {}
         self._version = 0
         self._predicate_versions: Dict[str, int] = {}
+        #: Closed-world atoms whose ``False`` is the retraction default,
+        #: not asserted evidence — re-registering them with a truth value
+        #: is a re-assertion, never a conflict.
+        self._defaulted: set = set()
         AtomRegistry._next_token += 1
         self._identity_token = AtomRegistry._next_token
 
@@ -113,15 +117,43 @@ class AtomRegistry:
             return atom_id
         record = self._records[atom_id - 1]
         if truth is not None:
-            if record.truth is not None and record.truth != truth:
+            retracted = atom_id in self._defaulted
+            if record.truth is not None and record.truth != truth and not retracted:
                 raise ValueError(f"conflicting evidence for atom {atom}")
-            if record.truth is None:
+            if record.truth != truth or retracted:
                 record.truth = truth
+                self._defaulted.discard(atom_id)
                 self._bump(atom.predicate.name)
         return atom_id
 
     def register_evidence(self, atom: GroundAtom, truth: bool) -> int:
         return self.register(atom, truth)
+
+    def remove_evidence(self, atom: GroundAtom) -> int:
+        """Retract an evidence atom's truth value, keeping its id stable.
+
+        An open-world predicate's atom reverts to ``truth = None`` — it
+        becomes a search variable again.  A closed-world predicate's atom
+        reverts to ``truth = False``: unlisted atoms of a closed-world
+        predicate are implicitly false (that is how the grounders treat
+        them — they only ever see the registered rows), so retraction
+        means falling back to the closed-world default, never to unknown
+        (``None`` would illegally create a query variable for a predicate
+        that cannot have one).  The predicate's version counter is bumped
+        either way, so the next grounding reloads its atom table and
+        re-runs exactly the clauses reading it.
+        """
+        atom_id = self.lookup(atom.predicate.name, atom.argument_values())
+        if atom_id is None:
+            raise KeyError(f"cannot retract unregistered atom {atom}")
+        record = self._records[atom_id - 1]
+        if record.truth is None:
+            raise ValueError(f"atom {atom} carries no evidence to retract")
+        record.truth = False if atom.predicate.closed_world else None
+        if atom.predicate.closed_world:
+            self._defaulted.add(atom_id)
+        self._bump(atom.predicate.name)
+        return atom_id
 
     # ------------------------------------------------------------------
     # Lookup

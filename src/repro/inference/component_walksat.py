@@ -43,7 +43,13 @@ from repro.utils.rng import RandomSource
 
 @dataclass
 class ComponentSearchResult:
-    """Combined result of the per-component searches."""
+    """Combined result of the per-component searches.
+
+    The telemetry fields (``steals``, ``worker_task_counts``,
+    ``shm_shipped``, ``pickle_shipped``) are per-request — the scheduler
+    counts them for exactly this run even when a shared persistent pool
+    is interleaving several admitted requests.
+    """
 
     best_assignment: Dict[int, bool]
     best_cost: float
@@ -54,6 +60,10 @@ class ComponentSearchResult:
     parallel_simulated_seconds: float
     trace: TimeCostTrace = field(default_factory=TimeCostTrace)
     skipped_components: List[int] = field(default_factory=list)
+    steals: int = 0
+    worker_task_counts: Dict[int, int] = field(default_factory=dict)
+    shm_shipped: int = 0
+    pickle_shipped: int = 0
 
     @property
     def component_count(self) -> int:
@@ -100,12 +110,23 @@ class ComponentAwareWalkSAT:
         total_flips: Optional[int] = None,
         initial_assignment: Optional[Mapping[int, bool]] = None,
         pool=None,
+        local_states: Optional[Sequence[SearchState]] = None,
+        request_id: int = 0,
     ) -> ComponentSearchResult:
         """Search every component and merge the per-component best states.
 
         ``pool`` lends a caller-owned persistent worker pool (the engine
         session's) to the ``processes`` backend; see
         :func:`repro.inference.scheduling.run_components`.
+
+        ``local_states`` supplies caller-owned kernel states (one per
+        component) for the in-process backends — the engine session
+        passes a checked-out lease here so two concurrently admitted
+        requests never run on the same live :class:`SearchState`; when
+        omitted, this instance's own per-component cache is used (safe
+        because the session builds one searcher per request).
+        ``request_id`` tags the tasks so a shared pool routes
+        completions back to this request.
         """
         from repro.parallel.merge import merge_walksat_results
         from repro.parallel.pool import ComponentOutcome, ComponentTask
@@ -152,10 +173,15 @@ class ComponentAwareWalkSAT:
             deadline_seconds=self.options.deadline_seconds,
             # Lazy: built (and cached) only when the resolved backend runs
             # in-process — the processes backend caches states per worker.
-            local_states=lambda: self._component_states(components),
+            local_states=(
+                local_states
+                if local_states is not None
+                else lambda: self._component_states(components)
+            ),
             placeholder=placeholder,
             pool=pool,
             dispatch=self.dispatch,
+            request_id=request_id,
         )
 
         component_results: List[WalkSATResult] = list(outcome.results)  # type: ignore[arg-type]
@@ -172,6 +198,10 @@ class ComponentAwareWalkSAT:
             parallel_simulated_seconds=outcome.parallel_simulated_seconds,
             trace=trace,
             skipped_components=list(getattr(outcome, "skipped", [])),
+            steals=int(getattr(outcome, "steals", 0)),
+            worker_task_counts=dict(getattr(outcome, "worker_task_counts", {})),
+            shm_shipped=int(getattr(outcome, "shm_shipped", 0)),
+            pickle_shipped=int(getattr(outcome, "pickle_shipped", 0)),
         )
 
     # ------------------------------------------------------------------

@@ -167,6 +167,7 @@ class MCSat:
         workers: int = 1,
         pool=None,
         dispatch: str = "steal",
+        request_id: int = 0,
     ) -> MarginalResult:
         """Estimate marginals component by component, optionally in parallel.
 
@@ -178,6 +179,9 @@ class MCSat:
         marginals are bit-identical across ``parallel_backend`` values and
         worker counts (the parallel parity suite proves it), and the
         ``processes`` backend samples the components on all cores.
+        ``request_id`` tags the tasks with the admitted session request
+        they serve, so a shared persistent pool routes completions back
+        to this request when several are in flight.
         """
         from repro.inference.scheduling import run_components as dispatch_components
         from repro.parallel.merge import merge_marginal_results
@@ -197,7 +201,7 @@ class MCSat:
         ]
         outcome = dispatch_components(
             components, tasks, parallel_backend=parallel_backend, workers=workers,
-            pool=pool, dispatch=dispatch,
+            pool=pool, dispatch=dispatch, request_id=request_id,
         )
         return merge_marginal_results(
             outcome.results, self.options.samples, self.options.burn_in

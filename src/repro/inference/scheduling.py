@@ -167,6 +167,7 @@ def run_components(
     pool=None,
     dispatch: str = "steal",
     stall_worker: Optional[Tuple[int, float]] = None,
+    request_id: int = 0,
 ):
     """Run one :class:`~repro.parallel.pool.ComponentTask` per component.
 
@@ -189,7 +190,10 @@ def run_components(
     :class:`~repro.parallel.pool.WorkerPool` to the ``processes``
     backend (the caller keeps ownership — it is not shut down here) and
     is ignored on the other backends.  ``stall_worker`` is the
-    slow-worker test hook, forwarded to the scheduler.
+    slow-worker test hook, forwarded to the scheduler.  ``request_id``
+    names the admitted session request this run serves — a shared
+    persistent pool uses it to route completions back to the right
+    request when several are in flight.
     """
     from repro.parallel import resolve_parallel_backend
     from repro.parallel.scheduler import run_component_tasks
@@ -208,4 +212,5 @@ def run_components(
         pool=pool,
         dispatch=dispatch,
         stall_worker=stall_worker,
+        request_id=request_id,
     )

@@ -223,6 +223,14 @@ class ResultBufferSet:
     no nondeterminism.  The rule sanctions precisely this via the
     ``_result_region_writers`` marker below: the named methods may write
     result-region attributes (and nothing else).
+
+    Concurrent request admission adds one more dimension: a segment
+    packed with ``banks=N`` holds ``N`` independent copies of the whole
+    per-component layout, so up to ``N`` in-flight requests can each
+    have a live result for the *same* component index without
+    clobbering each other.  Every write/read names its ``(index, bank)``
+    pair; the pool assigns each admitted request a private bank for the
+    duration of its run.
     """
 
     #: Sanctioned result-region writers (see the ``fork-shm-publish``
@@ -234,10 +242,14 @@ class ResultBufferSet:
         shm: shared_memory.SharedMemory,
         directory: List[ResultDirectoryEntry],
         owner: bool,
+        banks: int = 1,
+        bank_stride: int = 0,
     ) -> None:
         self._shm = shm
         self.directory = directory
         self._owner = owner
+        self.banks = banks
+        self._bank_stride = bank_stride
         self._result_ints = shm.buf.cast("q")
         self._result_floats = shm.buf.cast("d")
 
@@ -246,11 +258,14 @@ class ResultBufferSet:
         cls,
         components: Sequence[MRF],
         trace_capacity: Optional[int] = None,
+        banks: int = 1,
     ) -> "ResultBufferSet":
-        """Reserve one result region per component.
+        """Reserve ``banks`` result regions per component.
 
         ``trace_capacity`` overrides the per-component trace sizing (the
-        fallback tests use a tiny capacity to force the pickled path).
+        fallback tests use a tiny capacity to force the pickled path);
+        ``banks`` is the number of independent full copies of the layout
+        — one per concurrently admitted request.
         """
         directory: List[ResultDirectoryEntry] = []
         total = 0
@@ -263,8 +278,18 @@ class ResultBufferSet:
             )
             directory.append((total, n_atoms, capacity))
             total += RESULT_HEADER_SLOTS + n_atoms + 3 * capacity
-        shm = shared_memory.SharedMemory(create=True, size=max(total, 1) * 8)
-        return cls(shm, directory, owner=True)
+        banks = max(1, banks)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(total, 1) * banks * 8
+        )
+        return cls(shm, directory, owner=True, banks=banks, bank_stride=total)
+
+    def _region(self, index: int, bank: int) -> ResultDirectoryEntry:
+        """The ``(base, n_atoms, capacity)`` triple for ``(index, bank)``."""
+        if not 0 <= bank < self.banks:
+            raise IndexError(f"result bank {bank} outside 0..{self.banks - 1}")
+        base, n_atoms, capacity = self.directory[index]
+        return base + bank * self._bank_stride, n_atoms, capacity
 
     # ------------------------------------------------------------------
     # Writing (worker side)
@@ -276,6 +301,7 @@ class ResultBufferSet:
         result: object,
         simulated_seconds: float,
         atom_ids: Sequence[int],
+        bank: int = 0,
     ) -> bool:
         """Ship one finished result through the component's region.
 
@@ -285,8 +311,10 @@ class ResultBufferSet:
         in ``atom_ids`` (packed atom) order, which is exactly the
         insertion order of the driver-built result dictionaries, so the
         parent-side reconstruction is bit-identical, dict order included.
+        ``bank`` selects the admitted request's private copy of the
+        region, so interleaved requests never overwrite each other.
         """
-        base, n_atoms, capacity = self.directory[index]
+        base, n_atoms, capacity = self._region(index, bank)
         ints = self._result_ints
         floats = self._result_floats
         value_off = base + RESULT_HEADER_SLOTS
@@ -339,16 +367,21 @@ class ResultBufferSet:
     # ------------------------------------------------------------------
 
     def read_outcome(
-        self, index: int, atom_ids: Sequence[int], trace_label: str = ""
+        self,
+        index: int,
+        atom_ids: Sequence[int],
+        trace_label: str = "",
+        bank: int = 0,
     ) -> Tuple[object, float]:
         """Rebuild ``(result, simulated_seconds)`` from a written region.
 
         ``atom_ids`` must be the component's packed atom order (the
         parent reads it off the component MRF it packed); ``trace_label``
         restores the label the worker's driver options carried — labels
-        travel with the task, not the region.
+        travel with the task, not the region.  ``bank`` must match the
+        bank the completion token's task was submitted with.
         """
-        base, n_atoms, _capacity = self.directory[index]
+        base, n_atoms, _capacity = self._region(index, bank)
         ints = self._result_ints
         floats = self._result_floats
         kind = ints[base]
@@ -395,9 +428,9 @@ class ResultBufferSet:
             f"result region {index} read before any worker wrote it (kind {kind})"
         )
 
-    def outcome_nbytes(self, index: int) -> int:
+    def outcome_nbytes(self, index: int, bank: int = 0) -> int:
         """Bytes the last shipped result actually occupied (telemetry)."""
-        base, n_atoms, _capacity = self.directory[index]
+        base, n_atoms, _capacity = self._region(index, bank)
         trace_len = self._result_ints[base + 8]
         return 8 * (RESULT_HEADER_SLOTS + n_atoms + 3 * trace_len)
 

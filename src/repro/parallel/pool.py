@@ -16,13 +16,23 @@ seed, the flip budget).  The function that executes a task —
 
 Finished results ship back through shared memory, not pickling: every
 pool also packs a :class:`~repro.parallel.buffers.ResultBufferSet` —
-one reserved region per component — and workers write each result in
-place, replying with a tiny completion token ``(index, worker id,
-channel)``.  A result that does not fit its region (oversized trace,
-unexpected atom set) falls back to the pickled queue, counted but never
-truncated; :attr:`WorkerPool.shm_shipped` / :attr:`WorkerPool.pickle_shipped`
-/ :attr:`WorkerPool.shm_bytes` expose the split per pool lifetime (the
-scheduler reports per-run deltas).
+one reserved region per component per *result bank* — and workers write
+each result in place, replying with a tiny completion token
+``(request id, index, worker id, channel)``.  A result that does not
+fit its region (oversized trace, unexpected atom set) falls back to the
+pickled queue, counted but never truncated; shipping telemetry is kept
+per admitted request (:meth:`WorkerPool.finish_request` hands the
+scheduler counters attributable to exactly one request) with
+:attr:`WorkerPool.shm_shipped` / :attr:`WorkerPool.pickle_shipped` /
+:attr:`WorkerPool.shm_bytes` still accumulating pool-lifetime totals.
+
+Concurrent admission: tasks are tagged ``(request_id, index)``, so one
+pool can multiplex several requests' task streams over the same worker
+set and shared task queue.  Each admitted request checks out a private
+result bank for its lifetime; completion tokens that belong to another
+request are stashed and handed to that request's draining thread, so
+every request sees exactly its own completions in completion order —
+the same stream it would see running alone.
 
 Because each task carries its own derived seed and runs the existing
 drivers unchanged, results are bit-for-bit identical across backends and
@@ -35,9 +45,10 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
-from collections import OrderedDict
+import threading
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.inference.mcsat import MCSat, MCSatOptions
 from repro.inference.state import make_search_state
@@ -58,6 +69,14 @@ class ComponentTask:
     (``parent_rng.spawn(index + 1).seed``), computed by the caller so the
     stream is a pure function of the run seed and the component id,
     independent of which worker runs the task or when.
+
+    ``request_id`` tags the task with the admitted request it belongs to
+    — the pool routes the completion token back to whichever thread is
+    draining that request.  ``result_bank`` is assigned by the pool at
+    submit time: the request's private copy of the shared-memory result
+    regions (``-1`` forces the pickled fallback when no bank is free).
+    Neither field feeds the search itself, so they cannot perturb
+    results.
     """
 
     index: int
@@ -67,6 +86,8 @@ class ComponentTask:
     mcsat: Optional[MCSatOptions] = None
     cost_model: CostModel = field(default_factory=CostModel)
     initial_assignment: Optional[Dict[int, bool]] = None
+    request_id: int = 0
+    result_bank: int = 0
 
 
 @dataclass
@@ -159,15 +180,17 @@ def _worker_main(
     rounds (or across a persistent session's requests) reuses its state
     exactly like the serial driver does.
 
-    A finished result is written into the component's shared-memory
-    result region and acknowledged with a ``(index, None, None,
-    worker_id, "shm")`` token; when the region refuses it (result too
-    large for the reservation) the full outcome rides the queue instead,
-    tagged ``"pickle"``.  The token is sent only *after* the region write
-    completes, so the parent's read is ordered-after the write without
-    any locking.  ``stall_seconds`` is the injected-slow-worker test
-    hook: it delays this worker before every task, forcing maximal
-    stealing skew while leaving results untouched.
+    A finished result is written into the ``(component, result bank)``
+    shared-memory region the task names and acknowledged with a
+    ``(request_id, index, None, None, worker_id, "shm")`` token; when
+    the region refuses it (result too large for the reservation) — or
+    the task carries no bank (``result_bank < 0``) — the full outcome
+    rides the queue instead, tagged ``"pickle"``.  The token is sent
+    only *after* the region write completes, so the parent's read is
+    ordered-after the write without any locking.  ``stall_seconds`` is
+    the injected-slow-worker test hook: it delays this worker before
+    every task, forcing maximal stealing skew while leaving results
+    untouched.
     """
     states = BoundedStateCache()
     try:
@@ -187,16 +210,24 @@ def _worker_main(
                         state = make_search_state(mrf, backend=task.walksat.kernel_backend)
                         states.put(key, state)
                 outcome = execute_component_task(task, mrf, state)
-                if results.write_outcome(
-                    task.index, outcome.result, outcome.simulated_seconds, mrf.atom_ids
+                if task.result_bank >= 0 and results.write_outcome(
+                    task.index,
+                    outcome.result,
+                    outcome.simulated_seconds,
+                    mrf.atom_ids,
+                    bank=task.result_bank,
                 ):
-                    result_queue.put((task.index, None, None, worker_id, SHIPPED_SHM))
+                    result_queue.put(
+                        (task.request_id, task.index, None, None, worker_id, SHIPPED_SHM)
+                    )
                 else:
                     result_queue.put(
-                        (task.index, outcome, None, worker_id, SHIPPED_PICKLE)
+                        (task.request_id, task.index, outcome, None, worker_id, SHIPPED_PICKLE)
                     )
             except BaseException as error:  # surface, don't hang the parent
-                result_queue.put((task.index, None, repr(error), worker_id, None))
+                result_queue.put(
+                    (task.request_id, task.index, None, repr(error), worker_id, None)
+                )
     finally:
         buffers.close()
         results.close()
@@ -218,7 +249,11 @@ class WorkerPool:
     ``trace_capacity`` overrides the per-component result-region trace
     sizing (tests force the pickled fallback with a tiny capacity);
     ``stall_worker`` is the injected-slow-worker test hook: ``(worker
-    index, seconds)`` delays that worker before every task it takes.
+    index, seconds)`` delays that worker before every task it takes;
+    ``result_banks`` is the number of requests that may be in flight at
+    once — each gets a private copy of the result regions (a request
+    admitted beyond the bank count still runs, shipping its results
+    through the pickled fallback).
     """
 
     def __init__(
@@ -227,19 +262,35 @@ class WorkerPool:
         workers: int,
         trace_capacity: Optional[int] = None,
         stall_worker: Optional[Tuple[int, float]] = None,
+        result_banks: int = 1,
     ) -> None:
         context = multiprocessing.get_context("fork")
         self.buffers = ComponentBufferSet.pack(components)
-        self.result_buffers = ResultBufferSet.pack(components, trace_capacity)
+        self.result_buffers = ResultBufferSet.pack(
+            components, trace_capacity, banks=result_banks
+        )
         self._packed: List[MRF] = list(components)
         self._closed = False
         self._processes: List[multiprocessing.process.BaseProcess] = []
-        #: Shipping telemetry, cumulative over the pool's lifetime; the
-        #: scheduler snapshots these around a run to report deltas.
+        #: Shipping telemetry, cumulative over the pool's lifetime;
+        #: per-request counters (see :meth:`finish_request`) are what the
+        #: scheduler reports, so interleaved requests stay attributable.
         self.shm_shipped = 0
         self.pickle_shipped = 0
         self.shm_bytes = 0
-        self._inflight: Dict[int, ComponentTask] = {}
+        self._inflight: Dict[Tuple[int, int], ComponentTask] = {}
+        #: Completion tokens read off the shared queue by a thread
+        #: draining a *different* request, parked for their owner.
+        self._parked: Dict[int, Deque[tuple]] = {}
+        self._route_lock = threading.Lock()
+        #: Wakes request threads the instant a token is parked for them;
+        #: one thread at a time (the elected drainer) blocks on the
+        #: results queue so a parked token never waits out a poll cycle.
+        self._route_cond = threading.Condition(self._route_lock)
+        self._drainer_busy = False
+        self._bank_of: Dict[int, int] = {}
+        self._free_banks: List[int] = list(range(max(1, result_banks)))
+        self._request_shipping: Dict[int, List[int]] = {}
         try:
             self._tasks = context.Queue()
             self._results = context.Queue()
@@ -294,55 +345,135 @@ class WorkerPool:
         return all(ours is theirs for ours, theirs in zip(self._packed, components))
 
     def submit(self, task: ComponentTask) -> None:
-        self._inflight[task.index] = task
+        """Queue one task, tagging it with its request's result bank.
+
+        The first task of a request checks out a private bank for the
+        request's lifetime (returned by :meth:`finish_request`); when
+        every bank is taken the task is tagged ``-1`` and its results
+        ride the pickled fallback — correct, just slower.
+        """
+        with self._route_lock:
+            bank = self._bank_of.get(task.request_id)
+            if bank is None:
+                bank = self._free_banks.pop(0) if self._free_banks else -1
+                self._bank_of[task.request_id] = bank
+            self._inflight[(task.request_id, task.index)] = task
+        task.result_bank = bank
         self._tasks.put(task)
 
-    def next_outcome(self) -> Tuple[ComponentOutcome, int]:
-        """Collect one finished task: ``(outcome, worker id)``.
+    def next_outcome(self, request_id: int = 0) -> Tuple[ComponentOutcome, int]:
+        """Collect one finished task of ``request_id``: ``(outcome, worker id)``.
 
-        Blocks until any in-flight task completes (the work-stealing
-        drain: the scheduler reacts to each completion, not to a wave
-        barrier).  Polls with a timeout so a worker dying without
-        replying (OOM kill, segfault in an extension) surfaces as a
-        RuntimeError instead of blocking the parent forever —
-        ``_worker_main`` only converts *Python* exceptions into error
-        replies.
+        Blocks until one of *this request's* in-flight tasks completes
+        (the work-stealing drain: the scheduler reacts to each
+        completion, not to a wave barrier).  Tokens belonging to other
+        admitted requests are parked for their own draining threads (see
+        :meth:`_route_token`), so each request observes exactly the
+        completion stream it would see running alone.
         """
-        while True:
-            try:
-                index, payload, error, worker_id, channel = self._results.get(
-                    timeout=0.5
-                )
-            except queue_module.Empty:
-                dead = [p for p in self._processes if not p.is_alive()]
-                if dead:
-                    self.shutdown()
-                    raise RuntimeError(
-                        f"{len(dead)} parallel worker(s) died before replying "
-                        f"(exit codes {[p.exitcode for p in dead]})"
-                    )
-                continue
-            break
-        task = self._inflight.pop(index, None)
+        token = self._route_token(request_id)
+        _, index, payload, error, worker_id, channel = token
+        with self._route_lock:
+            task = self._inflight.pop((request_id, index), None)
         if error is not None:
             self.shutdown()
             raise RuntimeError(f"parallel component task failed: component {index}: {error}")
+        shipping = self._shipping_for(request_id)
         if channel == SHIPPED_SHM:
             trace_label = ""
-            if task is not None and task.walksat is not None:
-                trace_label = task.walksat.trace_label
+            bank = 0
+            if task is not None:
+                bank = max(0, task.result_bank)
+                if task.walksat is not None:
+                    trace_label = task.walksat.trace_label
             result, simulated_seconds = self.result_buffers.read_outcome(
-                index, self._packed[index].atom_ids, trace_label
+                index, self._packed[index].atom_ids, trace_label, bank=bank
             )
-            self.shm_shipped += 1
-            self.shm_bytes += self.result_buffers.outcome_nbytes(index)
+            nbytes = self.result_buffers.outcome_nbytes(index, bank=bank)
+            with self._route_lock:
+                self.shm_shipped += 1
+                self.shm_bytes += nbytes
+                shipping[0] += 1
+                shipping[2] += nbytes
             return ComponentOutcome(index, result, simulated_seconds), worker_id
-        self.pickle_shipped += 1
+        with self._route_lock:
+            self.pickle_shipped += 1
+            shipping[1] += 1
         return payload, worker_id
 
-    def drain(self, count: int) -> List[ComponentOutcome]:
-        """Collect ``count`` results (any completion order)."""
-        return [self.next_outcome()[0] for _ in range(count)]
+    def _route_token(self, request_id: int) -> tuple:
+        """Return the next completion token belonging to ``request_id``.
+
+        One thread at a time — the elected drainer — blocks on the
+        shared results queue; every other admitted request's thread
+        waits on the routing condition instead.  A drainer that pulls a
+        token for a different request parks it on the owner's deque and
+        wakes everyone, so the owner claims it immediately rather than
+        waiting out a poll cycle.  The drainer polls with a timeout so a
+        worker dying without replying (OOM kill, segfault in an
+        extension) surfaces as a RuntimeError instead of blocking the
+        parent forever — ``_worker_main`` only converts *Python*
+        exceptions into error replies.
+        """
+        while True:
+            with self._route_cond:
+                while True:
+                    parked = self._parked.get(request_id)
+                    if parked:
+                        return parked.popleft()
+                    if not self._drainer_busy:
+                        self._drainer_busy = True
+                        break
+                    # Timed wait for liveness: if the drainer dies with an
+                    # exception after the notify, someone must take over.
+                    self._route_cond.wait(timeout=0.5)
+            token = None
+            try:
+                try:
+                    token = self._results.get(timeout=0.5)
+                except queue_module.Empty:
+                    dead = [p for p in self._processes if not p.is_alive()]
+                    if dead:
+                        self.shutdown()
+                        raise RuntimeError(
+                            f"{len(dead)} parallel worker(s) died before replying "
+                            f"(exit codes {[p.exitcode for p in dead]})"
+                        )
+            finally:
+                with self._route_cond:
+                    self._drainer_busy = False
+                    if token is not None and token[0] != request_id:
+                        self._parked.setdefault(token[0], deque()).append(token)
+                        token = None
+                    self._route_cond.notify_all()
+            if token is not None:
+                return token
+
+    def _shipping_for(self, request_id: int) -> List[int]:
+        """The request's ``[shm, pickle, bytes]`` counters (created lazily)."""
+        with self._route_lock:
+            return self._request_shipping.setdefault(request_id, [0, 0, 0])
+
+    def finish_request(self, request_id: int) -> Tuple[int, int, int]:
+        """Close out one admitted request: return its bank and counters.
+
+        Returns the ``(shm_shipped, pickle_shipped, shm_bytes)`` shipped
+        for exactly this request — the scheduler reports these, so a
+        warm pool's telemetry never bleeds across requests — and frees
+        the request's result bank for the next admission.
+        """
+        with self._route_lock:
+            bank = self._bank_of.pop(request_id, None)
+            if bank is not None and bank >= 0:
+                self._free_banks.append(bank)
+                self._free_banks.sort()
+            self._parked.pop(request_id, None)
+            shm, pickled, nbytes = self._request_shipping.pop(request_id, (0, 0, 0))
+        return shm, pickled, nbytes
+
+    def drain(self, count: int, request_id: int = 0) -> List[ComponentOutcome]:
+        """Collect ``count`` results of one request (any completion order)."""
+        return [self.next_outcome(request_id)[0] for _ in range(count)]
 
     def shutdown(self) -> None:
         if self._closed:

@@ -83,7 +83,9 @@ class ScheduledOutcome(ParallelOutcome):
     wave-threads barrier); ``worker_task_counts`` maps worker id →
     tasks executed;
     ``shm_shipped`` / ``pickle_shipped`` / ``shm_bytes`` report the
-    result-shipping split on the processes backend.
+    result-shipping split on the processes backend, counted per request
+    (a warm pool's lifetime totals never bleed into one request's
+    record).
     """
 
     def __init__(
@@ -236,6 +238,7 @@ def run_component_tasks(
     pool: Optional[WorkerPool] = None,
     dispatch: str = "steal",
     stall_worker: Optional[Tuple[int, float]] = None,
+    request_id: int = 0,
 ) -> ScheduledOutcome:
     """Run one task per component, returning results in component order.
 
@@ -265,6 +268,16 @@ def run_component_tasks(
     Deadline-bounded runs count the components chosen by the post-hoc
     prefix rule (see the module docstring): identical across backends,
     dispatch modes *and* worker counts.
+
+    ``request_id`` names the admitted request this run belongs to; every
+    task is stamped with it, so a shared persistent pool can multiplex
+    several concurrent requests' task streams (each request keeps its own
+    largest-first cursor, deadline accounting and completion drain —
+    whichever worker frees up next simply takes the head of whichever
+    stream reaches the shared queue first).  Because dispatch order, the
+    derived per-component seeds, and the post-hoc counting rule are all
+    per-request, an interleaved run's outcome is bit-identical to running
+    the request alone.
     """
     if len(tasks) != len(components):
         raise ValueError("one task per component is required")
@@ -284,6 +297,8 @@ def run_component_tasks(
         pool = None
         if callable(local_states):
             local_states = local_states()
+    for task in tasks:
+        task.request_id = request_id
     order = dispatch_order(components)
     position_of = {index: position for position, index in enumerate(order)}
     slots: List[Optional[ComponentOutcome]] = [None] * len(tasks)
@@ -293,7 +308,7 @@ def run_component_tasks(
     stopwatch = Stopwatch()
 
     owns_pool = False
-    shipping_mark = (0, 0, 0)
+    shm_shipped = pickle_shipped = shm_bytes = 0
 
     def run_local(index: int) -> ComponentOutcome:
         state = local_states[index] if local_states is not None else None
@@ -309,7 +324,6 @@ def run_component_tasks(
                 if pool is None:
                     pool = WorkerPool(components, workers)
                     owns_pool = True
-                shipping_mark = (pool.shm_shipped, pool.pickle_shipped, pool.shm_bytes)
 
             if backend == "serial" or (
                 backend != "processes" and (workers == 1 or len(order) <= 1)
@@ -328,7 +342,7 @@ def run_component_tasks(
                 if backend == "processes":
                     executed = _run_processes_steal(
                         order, tasks, pool, workers, deadline_seconds,
-                        costs, slots, position_of, worker_counts,
+                        costs, slots, position_of, worker_counts, request_id,
                     )
                 else:
                     state = _StealState(
@@ -369,7 +383,7 @@ def run_component_tasks(
                             for index in wave:
                                 pool.submit(tasks[index])
                             for _ in wave:
-                                outcome, worker_id = pool.next_outcome()
+                                outcome, worker_id = pool.next_outcome(request_id)
                                 record(outcome)
                                 worker_counts[worker_id] = (
                                     worker_counts.get(worker_id, 0) + 1
@@ -410,14 +424,13 @@ def run_component_tasks(
                     )
                 slots[index] = placeholder(index)
     finally:
+        if backend == "processes" and pool is not None:
+            # Close out this request's admission: collect the shipping
+            # counters attributable to exactly this request and free its
+            # result bank for the next one.
+            shm_shipped, pickle_shipped, shm_bytes = pool.finish_request(request_id)
         if pool is not None and owns_pool:
             pool.shutdown()
-
-    shm_shipped = pickle_shipped = shm_bytes = 0
-    if backend == "processes" and pool is not None:
-        shm_shipped = pool.shm_shipped - shipping_mark[0]
-        pickle_shipped = pool.pickle_shipped - shipping_mark[1]
-        shm_bytes = pool.shm_bytes - shipping_mark[2]
 
     durations = [slot.simulated_seconds for slot in slots]
     participating = len(worker_counts)
@@ -453,6 +466,7 @@ def _run_processes_steal(
     slots: List[Optional[ComponentOutcome]],
     position_of: Dict[int, int],
     worker_counts: Dict[int, int],
+    request_id: int = 0,
 ) -> int:
     """The stealing loop on the forked pool.
 
@@ -462,6 +476,13 @@ def _run_processes_steal(
     stealing, zero parent involvement until completions); with one, the
     in-flight window is capped at ``workers`` so no more than
     ``workers - 1`` tasks can ever run past the provable cutoff.
+
+    Under concurrent admission the same queue multiplexes several
+    requests' streams — this loop submits only its own request's tasks
+    and drains only its own completions (:meth:`WorkerPool.next_outcome`
+    parks other requests' tokens for their draining threads), so the
+    per-request cursor, window and deadline accounting are untouched by
+    interleaving.
     """
     window = len(order) if deadline is None else max(workers, 1)
     submitted = 0
@@ -474,7 +495,7 @@ def _run_processes_steal(
             submitted += 1
         if completed >= submitted:
             break
-        outcome, worker_id = pool.next_outcome()
+        outcome, worker_id = pool.next_outcome(request_id)
         completed += 1
         slots[outcome.index] = outcome
         costs[position_of[outcome.index]] = outcome.simulated_seconds

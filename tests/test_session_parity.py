@@ -133,8 +133,10 @@ class TestWarmMapParity:
             for _request in range(3):
                 warm = engine.run_map()
             _assert_same_map(warm, cold)
-            # The full-MRF kernel state is cached across requests.
-            assert engine.session._mono_state is not None
+            # The full-MRF kernel state is cached across requests (checked
+            # back into the lease once no request holds it).
+            kernel_backend = engine.config.kernel_backend
+            assert engine.session._state_lease.held(("monolithic", kernel_backend))
 
 
 class TestWarmMarginalParity:
@@ -239,6 +241,121 @@ class TestEvidenceDelta:
             engine.run_map()
             assert engine.stats.components_adopted >= 1
             assert engine.stats.components_rebuilt >= 1
+
+
+class TestEvidenceRetraction:
+    """remove_evidence mirrors add_evidence: same delta machinery, same contract."""
+
+    def test_retraction_regrounds_only_clauses_touching_changed_predicate(self):
+        with TuffyEngine(figure1_program(), InferenceConfig(seed=0, max_flips=3000)) as engine:
+            engine.run_map()
+            # Retract a 'wrote' fact: only the co-author rule reads it; the
+            # other three clauses replay and only the wrote table reloads —
+            # the exact counters of the add-evidence delta.
+            atom = engine.remove_evidence("wrote", ("Joe", "P2"))
+            engine.run_map()
+            report = engine.session.last_ground_report
+            assert report.is_delta
+            assert report.queries_executed == 1
+            assert report.clauses_replayed == 3
+            assert report.atom_tables_loaded == 1
+            assert report.atom_tables_reused == 2
+            assert engine.stats.ground_runs == 2
+            assert engine.stats.delta_ground_runs == 1
+            # 'wrote' is closed-world: the record survives with the
+            # closed-world default truth, never as a query variable.
+            registry = engine.session.registry()
+            atom_id = registry.lookup("wrote", atom.argument_values())
+            assert registry.truth(atom_id) is False
+
+    def test_open_world_retraction_reopens_the_atom_as_a_variable(self):
+        with TuffyEngine(figure1_program(), InferenceConfig(seed=0, max_flips=3000)) as engine:
+            engine.run_map()
+            # 'cat' is open-world and read by all four clauses: everything
+            # re-executes, and only the cat atom table reloads.
+            atom = engine.remove_evidence("cat", ("P2", "DB"))
+            result = engine.run_map()
+            report = engine.session.last_ground_report
+            # Every clause reads 'cat', so nothing replays (is_delta False).
+            assert report.queries_executed == 4
+            assert report.clauses_replayed == 0
+            assert report.atom_tables_loaded == 1
+            assert report.atom_tables_reused == 2
+            registry = engine.session.registry()
+            atom_id = registry.lookup("cat", atom.argument_values())
+            assert registry.truth(atom_id) is None
+            # The retracted atom is a search variable again.
+            assert atom_id in result.assignment
+
+    def test_retraction_matches_replaying_comparator(self):
+        def drive(config):
+            engine = TuffyEngine(figure1_program(), config)
+            engine.ground()  # fix the registry before the delta, per contract
+            engine.remove_evidence("wrote", ("Joe", "P2"))
+            map_result = engine.run_map()
+            marginal_result = engine.run_marginal()
+            engine.close()
+            return map_result, marginal_result
+
+        with TuffyEngine(figure1_program(), InferenceConfig(seed=0, max_flips=3000)) as warm_engine:
+            warm_engine.run_map()
+            warm_engine.remove_evidence("wrote", ("Joe", "P2"))
+            warm_map = warm_engine.run_map()
+            warm_marginal = warm_engine.run_marginal()
+
+        # Comparator 1: fresh session replaying the same call sequence.
+        replay_map, replay_marginal = drive(InferenceConfig(seed=0, max_flips=3000))
+        # Comparator 2: replay cache disabled — every clause re-executes its
+        # relational query, proving replayed stores match executed stores.
+        full_map, full_marginal = drive(
+            InferenceConfig(seed=0, max_flips=3000, delta_grounding=False)
+        )
+
+        for other in (replay_map, full_map):
+            assert warm_map.assignment == other.assignment
+            assert warm_map.cost == other.cost
+            assert warm_map.flips == other.flips
+        for other in (replay_marginal, full_marginal):
+            assert warm_marginal.marginals.probabilities == other.marginals.probabilities
+
+    def test_add_then_retract_round_trip_is_replayable(self):
+        def drive(config):
+            engine = TuffyEngine(figure1_program(), config)
+            engine.ground()
+            engine.add_evidence("wrote", ("Jake", "P2"))
+            engine.remove_evidence("wrote", ("Jake", "P2"))
+            result = engine.run_map()
+            engine.close()
+            return result
+
+        warm = drive(InferenceConfig(seed=0, max_flips=3000))
+        replay = drive(InferenceConfig(seed=0, max_flips=3000))
+        assert warm.assignment == replay.assignment
+        assert warm.cost == replay.cost
+        assert warm.flips == replay.flips
+
+    def test_retract_then_reassert_restores_the_original_result(self):
+        # Re-asserting a retracted closed-world fact must not trip the
+        # conflicting-evidence check: the retraction default (False) is
+        # not asserted evidence.  The round trip lands back on the
+        # original result (atom ids are stable across the cycle).
+        with TuffyEngine(figure1_program(), InferenceConfig(seed=0, max_flips=3000)) as engine:
+            baseline = engine.run_map()
+            engine.remove_evidence("wrote", ("Joe", "P2"))
+            engine.run_map()
+            engine.add_evidence("wrote", ("Joe", "P2"))
+            restored = engine.run_map()
+            assert restored.assignment == baseline.assignment
+            assert restored.cost == baseline.cost
+            assert restored.flips == baseline.flips
+            assert engine.stats.ground_runs == 3
+
+    def test_retracting_unknown_fact_raises(self):
+        from repro.core.errors import ProgramError
+
+        with TuffyEngine(figure1_program(), InferenceConfig(seed=0, max_flips=3000)) as engine:
+            with pytest.raises(ProgramError):
+                engine.remove_evidence("wrote", ("Nobody", "P999"))
 
 
 @pytest.mark.skipif(not processes_available(), reason="fork start method unavailable")
