@@ -161,7 +161,9 @@ class InferenceRequest:
     grounding share captured at admission; ``db_simulated`` accumulates
     this request's own loading charges) instead of being derived from the
     shared clock's motion, which another in-flight request could advance.
-    ``session_phases`` snapshots the session timer at admission so a
+    ``session_phases`` snapshots the session timer at the end of this
+    request's setup (so phases its own setup recorded — component
+    detection on a fresh grounding — are included) and never again, so a
     concurrent re-ground is not billed to this request's phase report.
     """
 
@@ -322,7 +324,12 @@ class EngineSession:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain in-flight requests and tear down executor + pool.  Idempotent."""
+        """Drain in-flight requests and tear down executor + pool.
+
+        Idempotent; ``submit_*`` / ``run_*`` raise afterwards (a closed
+        session's resources are gone and would otherwise be silently —
+        and permanently — recreated).
+        """
         self._closed = True
         self._finalizer()
 
@@ -507,6 +514,7 @@ class EngineSession:
             else:
                 plan = self._prepare_monolithic(mrf, request)
                 search = self._search_monolithic
+            self._snapshot_session_phases(request)
             self._enter_search()
         try:
             return search(plan, mrf, grounding, request)
@@ -522,6 +530,7 @@ class EngineSession:
             mrf = self.build_mrf()
             request = self._begin_request(seed, "marginal", None)
             plan = self._prepare_marginal(request, sampler_factory)
+            self._snapshot_session_phases(request)
             self._enter_search()
         try:
             return self._search_marginal(plan, mrf, grounding, request)
@@ -822,8 +831,15 @@ class EngineSession:
     # ------------------------------------------------------------------
 
     def _admission_executor(self) -> ThreadPoolExecutor:
-        """The lazily-created request executor (admission width = workers)."""
+        """The lazily-created request executor (admission width = config).
+
+        Refuses after :meth:`close`: the finalizer has already torn the
+        executor and pool down, so a late submit would silently recreate
+        both with nothing left to ever shut them down again.
+        """
         with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit a request to a closed EngineSession")
             executor = self._pool_holder.get("executor")
             if executor is None:
                 executor = ThreadPoolExecutor(
@@ -897,8 +913,18 @@ class EngineSession:
         """
         return request.ground_mark + request.db_simulated
 
+    def _snapshot_session_phases(self, request: InferenceRequest) -> None:
+        """Re-snapshot the session timer at the end of this request's setup.
+
+        Runs under the session lock, after plan preparation: session
+        phases this request itself triggered — ``component_detection``
+        on a fresh grounding — land in its phase report, while phases a
+        *later* request records (a concurrent re-ground) stay out.
+        """
+        request.session_phases = dict(self.timer.breakdown())
+
     def _phase_seconds(self, request: InferenceRequest) -> Dict[str, float]:
-        """Session phases as of this request's admission + request phases."""
+        """Session phases as of this request's setup + request phases."""
         return {**request.session_phases, **request.timer.breakdown()}
 
     def _bottom_up_grounder(self) -> BottomUpGrounder:
@@ -994,7 +1020,13 @@ class EngineSession:
         Lends a pool only when the backend actually resolves to
         ``processes`` for this task count and ``persistent_pool`` is on.
         A pool packed from a different component list is torn down and a
-        fresh one forked (never repacked in place).  The pool is packed
+        fresh one forked (never repacked in place) — but only after every
+        in-flight search has drained: a concurrently admitted request may
+        still be reading the old pool's shared-memory result regions, and
+        ``shutdown`` destroys them (the same guard :meth:`ground` applies
+        before :meth:`_invalidate_derived`).  Setup is serialized under
+        the session lock and the caller has not yet entered its own
+        search, so the drain cannot wait on itself.  The pool is packed
         with one result bank per admissible request so interleaved
         requests ship results through disjoint shared-memory regions.
         """
@@ -1012,6 +1044,7 @@ class EngineSession:
         if pool is not None and pool.matches(components):
             return pool
         if pool is not None:
+            self._drain_searches()
             self._pool_holder["pool"] = None
             pool.shutdown()
         pool = WorkerPool(

@@ -380,12 +380,19 @@ class WorkerPool:
             raise RuntimeError(f"parallel component task failed: component {index}: {error}")
         shipping = self._shipping_for(request_id)
         if channel == SHIPPED_SHM:
-            trace_label = ""
-            bank = 0
-            if task is not None:
-                bank = max(0, task.result_bank)
-                if task.walksat is not None:
-                    trace_label = task.walksat.trace_label
+            if task is None:
+                # The token names a task this pool never recorded in
+                # flight — an internal routing error.  Guessing a bank
+                # would read another request's live result region, so
+                # fail loudly instead.
+                raise RuntimeError(
+                    f"completion token for component {index} of request "
+                    f"{request_id} has no in-flight task record"
+                )
+            bank = task.result_bank
+            trace_label = (
+                task.walksat.trace_label if task.walksat is not None else ""
+            )
             result, simulated_seconds = self.result_buffers.read_outcome(
                 index, self._packed[index].atom_ids, trace_label, bank=bank
             )

@@ -169,6 +169,74 @@ class TestConcurrentAdmissionParity:
             assert engine.stats.ground_runs == 2
 
 
+class TestSessionGuards:
+    """Lifecycle and accounting edges of the admission path."""
+
+    def test_submit_after_close_raises(self):
+        engine = TuffyEngine(_delta_program(), _config())
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.submit_map(seed=0)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.submit_marginal(seed=0)
+
+    def test_first_request_reports_component_detection_phase(self):
+        # Component detection runs during the first request's setup, after
+        # admission — its time must still land in that request's report.
+        with TuffyEngine(_program(), _config(workers=2)) as engine:
+            result = engine.run_map(seed=0)
+        assert "component_detection" in result.phase_seconds
+
+    def test_mismatched_pool_teardown_waits_for_inflight_searches(self, monkeypatch):
+        # Regression: _pool_for used to shut a mismatched pool down while
+        # another admitted request was still draining its shared-memory
+        # result regions.  The teardown must wait for the drain.
+        from repro.core import session as session_module
+        from repro.core.session import EngineSession
+
+        session = EngineSession(_delta_program(), _config(
+            parallel_backend="processes", workers=2))
+        events = []
+
+        class OldPool:
+            def matches(self, components):
+                return False
+
+            def shutdown(self):
+                events.append(("shutdown", session._active_searches))
+
+        class FreshPool:
+            def __init__(self, components, workers, result_banks=1):
+                events.append(("forked", len(components)))
+
+            def shutdown(self):
+                pass
+
+        monkeypatch.setattr(session_module, "WorkerPool", FreshPool)
+        monkeypatch.setattr(
+            session_module, "resolve_parallel_backend", lambda *a, **k: "processes"
+        )
+        session._pool_holder["pool"] = OldPool()
+        session._enter_search()  # a concurrent request mid-search
+
+        done = threading.Event()
+
+        def swap_pool():
+            session._pool_for([object(), object()])
+            done.set()
+
+        thread = threading.Thread(target=swap_pool)
+        thread.start()
+        try:
+            assert not done.wait(0.2), "teardown did not wait for the drain"
+            assert events == []
+        finally:
+            session._finish_request(None)
+            thread.join(timeout=5.0)
+        assert done.is_set()
+        assert events == [("shutdown", 0), ("forked", 2)]
+
+
 def conflicted_chain(n_atoms, first_atom=1, weight=1.0):
     """A chain component that never reaches zero cost (predictable flips)."""
     store = GroundClauseStore()
@@ -288,6 +356,18 @@ class TestSharedPoolMultiplexing:
         total_shm = sum(shm for shm, _pickled in shipped)
         total_pickled = sum(pickled for _shm, pickled in shipped)
         assert total_shm + total_pickled == 2 * len(components)
+
+    def test_shm_token_without_inflight_record_raises(self):
+        # Regression: a shm completion token with no in-flight record used
+        # to default to bank 0 — another request's live result region.
+        components = [conflicted_chain(3)]
+        with WorkerPool(components, 1) as pool:
+            task = walksat_tasks(components)[0]
+            pool.submit(task)
+            with pool._route_lock:
+                pool._inflight.clear()
+            with pytest.raises(RuntimeError, match="no in-flight task record"):
+                pool.next_outcome(task.request_id)
 
     def test_warm_sequential_requests_report_per_request_shipping(self):
         # Regression for the stale-telemetry bug: the second warm request
