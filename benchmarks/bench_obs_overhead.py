@@ -1,0 +1,226 @@
+"""Observability overhead — tracing must be close to free.
+
+The obs subsystem (``repro.obs``) promises two prices:
+
+* **NullTracer ≤ 2%**: with tracing off, the hot path still crosses the
+  tracer seam (``with tracer.span(...)`` at every phase/component
+  boundary), so the no-op tracer's dispatch cost is charged on every
+  request.  The benchmark counts the spans a real request emits, times
+  that many NullTracer enter/exits directly, and expresses the product
+  as a fraction of the measured per-request seconds — a deterministic
+  accounting that does not depend on run-to-run noise.
+* **Full tracing ≤ 10%**: warm requests/sec on one session with
+  ``tracing="on"`` (RecordingTracer + live metrics + span stitching)
+  must stay within 10% of the ``tracing="off"`` rate on the same
+  workload.  Span granularity is phases and components, never flips, so
+  the recorded volume is a few dozen spans per request.
+
+Bit-parity of the two modes is the parity suite's job
+(``tests/test_obs_parity.py``); this benchmark prices them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.core import InferenceConfig, TuffyEngine
+from repro.obs import NullTracer
+
+BENCH_SEED = 0
+
+
+def _config(tracing: str, flips: int, workers: int) -> InferenceConfig:
+    return InferenceConfig(
+        seed=BENCH_SEED,
+        max_flips=flips,
+        workers=workers,
+        parallel_backend="auto",
+        tracing=tracing,
+    )
+
+
+def measure_warm_rate(program, tracing: str, flips: int, workers: int, requests: int):
+    """(warm requests/sec, spans recorded per request) for one tracing mode.
+
+    The first request pays the cold pipeline (ground + MRF + components +
+    pool launch); only the warm repeats are timed.  The best of three
+    timed batches is reported so a single scheduler hiccup cannot flip
+    the comparison.
+    """
+    with TuffyEngine(program, _config(tracing, flips, workers)) as engine:
+        reference = engine.run_map()
+        best_rate = 0.0
+        for _batch in range(3):
+            started = time.perf_counter()
+            for _request in range(requests):
+                result = engine.run_map()
+            seconds = max(time.perf_counter() - started, 1e-9)
+            best_rate = max(best_rate, requests / seconds)
+        assert result.assignment == reference.assignment, (
+            "warm request diverged under tracing=" + tracing
+        )
+        span_count = len(engine.tracer.spans()) if engine.tracer.enabled else 0
+        request_count = engine.stats.requests
+    spans_per_request = span_count / request_count if request_count else 0.0
+    return best_rate, spans_per_request
+
+
+def measure_null_span_seconds(samples: int = 200_000) -> float:
+    """Seconds per NullTracer ``span`` enter/exit pair (best of three)."""
+    tracer = NullTracer()
+    best = float("inf")
+    for _round in range(3):
+        started = time.perf_counter()
+        for _sample in range(samples):
+            with tracer.span("x"):
+                pass
+        best = min(best, (time.perf_counter() - started) / samples)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload and budgets (for scripts/check.sh)",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="pool workers")
+    parser.add_argument("--flips", type=int, default=None, help="flip budget per request")
+    parser.add_argument(
+        "--requests", type=int, default=None, help="timed requests per batch"
+    )
+    parser.add_argument(
+        "--assert-null-overhead",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="exit non-zero if the accounted NullTracer cost exceeds this "
+        "fraction of a request (the check target is 0.02)",
+    )
+    parser.add_argument(
+        "--assert-full-overhead",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="exit non-zero if full tracing slows warm requests/sec by more "
+        "than this fraction (the check target is 0.10; skipped when the "
+        "machine has fewer CPUs than workers)",
+    )
+    from benchmarks.harness import (
+        add_json_out_argument,
+        emit,
+        emit_json,
+        fresh_dataset,
+        render_table,
+    )
+
+    add_json_out_argument(parser)
+    args = parser.parse_args(argv)
+
+    flips = args.flips if args.flips is not None else (10_000 if args.quick else 50_000)
+    requests = args.requests if args.requests is not None else (4 if args.quick else 8)
+    factor = 0.3 if args.quick else 1.0
+    cpus = os.cpu_count() or 1
+
+    dataset = fresh_dataset("IE", factor)
+    off_rps, _ = measure_warm_rate(
+        dataset.program, "off", flips, args.workers, requests
+    )
+    on_rps, spans_per_request = measure_warm_rate(
+        dataset.program, "on", flips, args.workers, requests
+    )
+
+    # NullTracer accounting: spans/request (from the recorded run) times
+    # the measured cost of one no-op span, over the off-mode request time.
+    null_span_seconds = measure_null_span_seconds()
+    off_request_seconds = 1.0 / off_rps
+    null_fraction = (spans_per_request * null_span_seconds) / off_request_seconds
+    full_fraction = max(0.0, (off_rps - on_rps) / off_rps)
+
+    table = render_table(
+        "Observability overhead — warm requests/sec on one session (IE)",
+        ["tracing", "warm req/s", "spans/req", "overhead"],
+        [
+            ("off (NullTracer)", f"{off_rps:.2f}", 0, f"{null_fraction:.2%} (accounted)"),
+            ("on (recording)", f"{on_rps:.2f}", f"{spans_per_request:.1f}", f"{full_fraction:.2%}"),
+        ],
+    )
+    table += (
+        f"\n\nNullTracer span enter/exit: {null_span_seconds * 1e9:.0f} ns"
+        f"  ->  {spans_per_request:.1f} spans/req costs "
+        f"{spans_per_request * null_span_seconds * 1e6:.1f} us of a "
+        f"{off_request_seconds * 1e3:.1f} ms request"
+    )
+    emit("obs_overhead_quick" if args.quick else "obs_overhead", table)
+    if args.json_out:
+        emit_json(
+            "obs",
+            [
+                {
+                    "workload": "IE",
+                    "mode": "off",
+                    "workers": args.workers,
+                    "warm_requests_per_sec": off_rps,
+                    "null_span_seconds": null_span_seconds,
+                    "null_overhead_fraction": null_fraction,
+                },
+                {
+                    "workload": "IE",
+                    "mode": "on",
+                    "workers": args.workers,
+                    "warm_requests_per_sec": on_rps,
+                    "spans_per_request": spans_per_request,
+                    "full_overhead_fraction": full_fraction,
+                },
+            ],
+            path=args.json_out,
+            metadata={
+                "quick": args.quick,
+                "cpus": cpus,
+                "flips": flips,
+                "requests": requests,
+                "ie_factor": factor,
+            },
+        )
+
+    if args.assert_null_overhead is not None:
+        if null_fraction > args.assert_null_overhead:
+            print(
+                f"FAIL: accounted NullTracer overhead {null_fraction:.2%} exceeds "
+                f"{args.assert_null_overhead:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: NullTracer costs {null_fraction:.2%} of a warm request "
+            f"(limit {args.assert_null_overhead:.0%})"
+        )
+
+    if args.assert_full_overhead is not None:
+        if cpus < args.workers:
+            print(
+                f"SKIP --assert-full-overhead: {cpus} CPU(s) < {args.workers} workers"
+            )
+            return 0
+        if full_fraction > args.assert_full_overhead:
+            print(
+                f"FAIL: full tracing slows warm requests/sec by "
+                f"{full_fraction:.2%} (limit {args.assert_full_overhead:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: full tracing costs {full_fraction:.2%} of warm throughput "
+            f"(limit {args.assert_full_overhead:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,4 +82,38 @@ else
   PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_session.py --quick --json-out benchmarks/results/BENCH_session.json
 fi
 
+# Observability: the obs-purity rule alone (fast re-run over the obs
+# layer), an end-to-end traced run on IE whose Chrome trace must pass
+# the structural validator, and the overhead benchmark.  The NullTracer
+# <=2% bound is an accounting (spans/request x measured no-op span cost)
+# so it always asserts; the full-tracing <=10% throughput bound needs
+# real cores and skips itself on starved machines.
+echo "== obs-purity rule (observability layer static gate) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.analysis src --select obs-purity --no-baseline
+OBS_TRACE="$(mktemp -t obs_trace_XXXXXX.json)"
+OBS_METRICS="$(mktemp -t obs_metrics_XXXXXX.json)"
+trap 'rm -f "${OBS_TRACE}" "${OBS_METRICS}"' EXIT
+echo "== traced IE run + Chrome trace validation =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro.cli dataset IE --scale 0.3 \
+  --max-flips 2000 --workers 2 --session-requests 4 --session-concurrent 2 \
+  --trace-out "${OBS_TRACE}" --metrics-out "${OBS_METRICS}" >/dev/null
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "${OBS_TRACE}" "${OBS_METRICS}" <<'PYEOF'
+import json, sys
+from repro.obs import validate_chrome_trace
+payload = json.load(open(sys.argv[1]))
+problems = validate_chrome_trace(payload)
+if problems:
+    sys.exit("invalid Chrome trace:\n  " + "\n  ".join(problems))
+lanes = {e["tid"] for e in payload["traceEvents"]}
+if not {1, 2, 3, 4} <= lanes:
+    sys.exit(f"expected a lane per request, got tids {sorted(lanes)}")
+metrics = json.load(open(sys.argv[2]))
+if metrics["counters"].get("session.requests") != 4.0:
+    sys.exit(f"metrics dump missing session.requests=4: {metrics['counters']}")
+print(f"trace OK: {len(payload['traceEvents'])} events across request lanes {sorted(lanes)}")
+PYEOF
+echo "== observability overhead benchmark (quick; ${CPUS} CPU(s)) =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_obs_overhead.py --quick \
+  --assert-null-overhead 0.02 --assert-full-overhead 0.10 --json-out benchmarks/results/BENCH_obs.json
+
 echo "== check.sh OK =="

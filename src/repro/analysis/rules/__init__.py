@@ -8,9 +8,11 @@ Importing this package registers every rule with
 * :mod:`repro.analysis.rules.concurrency` — fork-safety of the parallel
   backend (module state, shared-memory publication, pool task closures);
 * :mod:`repro.analysis.rules.seams` — structural conformance of the
-  kernel/execution/parallel backend seams across files.
+  kernel/execution/parallel backend seams across files;
+* :mod:`repro.analysis.rules.obs` — purity of the observability layer
+  (no randomness, no session-state reach-back, no clock mutation).
 """
 
-from repro.analysis.rules import concurrency, determinism, seams
+from repro.analysis.rules import concurrency, determinism, obs, seams
 
-__all__ = ["concurrency", "determinism", "seams"]
+__all__ = ["concurrency", "determinism", "obs", "seams"]

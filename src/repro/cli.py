@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from repro.baselines import AlchemyEngine
 from repro.core import InferenceConfig, MLNProgram, TuffyEngine
 from repro.datasets import DATASET_NAMES, DatasetScale, load_dataset
+from repro.obs import write_chrome_trace, write_metrics
 from repro.utils.timer import Stopwatch
 
 
@@ -146,8 +147,29 @@ def _add_inference_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="submit the --session-requests requests through the session's "
         "admission queue with N in flight at a time (implies "
-        "--max-inflight-requests N) and print aggregate requests/sec "
+        "--max-inflight-requests N) and print a metrics summary table "
         "instead of per-request timings",
+    )
+    parser.add_argument(
+        "--tracing",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="span tracing mode (auto records iff --trace-out is given; "
+        "tracing is non-perturbing — results are bit-identical on or off)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the recorded span tree as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="dump the session metrics registry (JSON when PATH ends in "
+        ".json, text otherwise)",
     )
 
 
@@ -170,6 +192,9 @@ def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
             getattr(arguments, "session_concurrent", 1),
             1,
         ),
+        tracing=getattr(arguments, "tracing", "auto"),
+        trace_out=getattr(arguments, "trace_out", None),
+        metrics_out=getattr(arguments, "metrics_out", None),
     )
 
 
@@ -232,6 +257,14 @@ def _run_inference(program: MLNProgram, arguments: argparse.Namespace, stream) -
             )
         elif requests > 1:
             _print_session_summary(engine, request_seconds, stream)
+        trace_out = getattr(arguments, "trace_out", None)
+        if trace_out:
+            write_chrome_trace(engine.tracer, trace_out)
+            print(f"# trace written to {trace_out}", file=stream)
+        metrics_out = getattr(arguments, "metrics_out", None)
+        if metrics_out:
+            write_metrics(engine.metrics_snapshot(), metrics_out)
+            print(f"# metrics written to {metrics_out}", file=stream)
     return 0
 
 
@@ -252,7 +285,12 @@ def _print_session_summary(engine: TuffyEngine, request_seconds, stream) -> None
 def _print_concurrent_summary(
     engine: TuffyEngine, requests: int, concurrent: int, batch_seconds, stream
 ) -> None:
-    """Aggregate throughput of a ``--session-concurrent`` batch run."""
+    """Metrics-registry summary of a ``--session-concurrent`` batch run.
+
+    Aggregate throughput first, then the registry's shipping/steal
+    counters, then one table row per finished request (phase seconds,
+    result-shipping split, steals) from the session's request log.
+    """
     print("# session (concurrent)", file=stream)
     print(f"{'requests':>20}: {requests}", file=stream)
     print(f"{'in-flight':>20}: {concurrent}", file=stream)
@@ -261,9 +299,37 @@ def _print_concurrent_summary(
         print(
             f"{'aggregate req/sec':>20}: {requests / batch_seconds:.2f}", file=stream
         )
-    stats = engine.stats
-    print(f"{'ground runs':>20}: {stats.ground_runs}", file=stream)
-    print(f"{'pool launches':>20}: {stats.pool_launches}", file=stream)
+    metrics = engine.metrics_snapshot()
+    print(f"{'ground runs':>20}: {metrics.counter('session.ground_runs'):g}", file=stream)
+    print(f"{'pool launches':>20}: {engine.stats.pool_launches}", file=stream)
+    print(
+        f"{'result shipping':>20}: "
+        f"shm={metrics.counter('pool.shm_shipped'):g} "
+        f"pickled={metrics.counter('pool.pickle_shipped'):g} "
+        f"shm_bytes={metrics.counter('pool.shm_bytes'):g}",
+        file=stream,
+    )
+    print(f"{'steals':>20}: {metrics.counter('scheduler.steals'):g}", file=stream)
+    log = engine.request_log()
+    if log:
+        print("# per-request", file=stream)
+        print(
+            f"{'req':>4} {'kind':>8} {'cost':>12} {'ground':>9} {'load':>9} "
+            f"{'search':>9} {'steals':>6} {'ship(shm/pkl)':>13}",
+            file=stream,
+        )
+        for entry in log:
+            phases = entry["phase_seconds"]
+            ship = f"{entry['shm_shipped']}/{entry['pickle_shipped']}"
+            print(
+                f"{entry['request_id']:>4} {entry['kind']:>8} "
+                f"{entry['cost']:>12.2f} "
+                f"{phases.get('grounding', 0.0):>9.4f} "
+                f"{phases.get('loading', 0.0):>9.4f} "
+                f"{phases.get('search', 0.0):>9.4f} "
+                f"{entry['steals']:>6} {ship:>13}",
+                file=stream,
+            )
 
 
 def _command_infer(arguments: argparse.Namespace, stream) -> int:

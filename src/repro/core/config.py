@@ -84,6 +84,17 @@ class InferenceConfig:
     bit-identical whether it runs alone or interleaved — concurrency
     only changes wall-clock time.  The default of 1 serializes requests
     (the pre-admission behavior).
+
+    Observability
+    -------------
+    ``tracing`` selects the session's tracer: ``"auto"`` (record iff
+    ``trace_out`` is set), ``"on"`` (always record), ``"off"`` (the no-op
+    ``NullTracer``).  Tracing is non-perturbing by contract — results are
+    bit-identical traced or not (the obs parity suite proves it).
+    ``trace_out`` writes the recorded span tree as Chrome trace-event
+    JSON (loadable in Perfetto) when the run finishes; ``metrics_out``
+    dumps the session's metrics registry (JSON when the path ends in
+    ``.json``, text otherwise).
     """
 
     seed: int = 0
@@ -114,6 +125,10 @@ class InferenceConfig:
     persistent_pool: bool = True
     delta_grounding: bool = True
     max_inflight_requests: int = 1
+    # Observability.
+    tracing: str = "auto"
+    trace_out: Optional[str] = None
+    metrics_out: Optional[str] = None
     # Cost model of the simulated clock.
     cost_model: CostModel = field(default_factory=CostModel)
 
@@ -156,3 +171,17 @@ class InferenceConfig:
             raise ConfigurationError("mcsat_samples must be positive")
         if self.max_inflight_requests <= 0:
             raise ConfigurationError("max_inflight_requests must be positive")
+        if self.tracing not in ("auto", "on", "off"):
+            raise ConfigurationError(
+                f"unknown tracing mode {self.tracing!r}; "
+                "expected one of ('auto', 'on', 'off')"
+            )
+
+    @property
+    def tracing_enabled(self) -> bool:
+        """Whether the session should record spans (vs the no-op tracer)."""
+        if self.tracing == "on":
+            return True
+        if self.tracing == "off":
+            return False
+        return self.trace_out is not None

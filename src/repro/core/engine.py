@@ -85,6 +85,24 @@ class TuffyEngine:
     def stats(self) -> SessionStats:
         return self.session.stats
 
+    @property
+    def tracer(self):
+        """The session's injected tracer (``NullTracer`` unless enabled)."""
+        return self.session.tracer
+
+    @property
+    def metrics(self):
+        """The session's metrics registry (always live)."""
+        return self.session.metrics
+
+    def request_log(self):
+        """Bounded summaries of recently finished requests."""
+        return self.session.request_log()
+
+    def metrics_snapshot(self):
+        """Refresh session/io gauges and return the metrics registry."""
+        return self.session.metrics_snapshot()
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -88,9 +88,10 @@ from __future__ import annotations
 import math
 import threading
 import weakref
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import InferenceConfig
 from repro.core.program import MLNProgram
@@ -109,6 +110,8 @@ from repro.inference.walksat import WalkSAT, WalkSATOptions
 from repro.mrf.components import ComponentDecomposition, connected_components
 from repro.mrf.cost import assignment_cost
 from repro.mrf.graph import MRF
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, RecordingTracer
 from repro.parallel import resolve_parallel_backend
 from repro.parallel.merge import gauss_seidel_refine
 from repro.parallel.pool import WorkerPool
@@ -285,6 +288,20 @@ class EngineSession:
         self.memory_model = MemoryModel()
         self.timer = Timer()
         self.stats = SessionStats()
+        #: Injected observability surfaces (never module-global).  The
+        #: tracer *reads* the simulated clock through a zero-arg callable
+        #: and never advances it; with tracing off every traced call site
+        #: pays one no-op method call on the shared ``NullTracer``
+        #: singletons, and results are bit-identical either way (the obs
+        #: parity suite proves it).
+        self.metrics = MetricsRegistry()
+        if self.config.tracing_enabled:
+            self.tracer = RecordingTracer(simulated_now=self.database.clock.now)
+        else:
+            self.tracer = NullTracer()
+        #: Bounded summaries of recently finished requests (telemetry
+        #: only — nothing in here feeds back into inference).
+        self._request_log: Deque[Dict[str, object]] = deque(maxlen=64)
         self.grounding_result: Optional[GroundingResult] = None
         self.mrf: Optional[MRF] = None
         self.components: Optional[ComponentDecomposition] = None
@@ -406,7 +423,9 @@ class EngineSession:
             config = self.config
             is_delta = self.grounding_result is not None
             clauses = self.program.clauses()
-            with self.timer.measure("grounding"):
+            with self.timer.measure("grounding"), self.tracer.span(
+                "ground", delta=is_delta, strategy=config.grounding_strategy
+            ):
                 if config.grounding_strategy == "bottom-up":
                     result = self._bottom_up_grounder().ground(clauses, registry)
                     self.last_ground_report = self._bottom_up_grounder().last_report
@@ -431,8 +450,20 @@ class EngineSession:
             self._ground_version = registry.version
             self._ground_clock_mark = self.database.clock.now()
             self.stats.ground_runs += 1
+            self.metrics.increment("session.ground_runs")
             if is_delta:
                 self.stats.delta_ground_runs += 1
+                self.metrics.increment("session.delta_ground_runs")
+            report = self.last_ground_report
+            if report is not None:
+                # Replay-cache effectiveness: clauses replayed from cache
+                # vs relational queries actually re-executed.
+                self.metrics.increment(
+                    "grounding.replay_hits", report.clauses_replayed
+                )
+                self.metrics.increment(
+                    "grounding.replay_misses", report.queries_executed
+                )
             self._invalidate_derived()
             return result
 
@@ -441,7 +472,8 @@ class EngineSession:
         with self._lock:
             grounding = self.ground()
             if self.mrf is None:
-                self.mrf = MRF.from_store(grounding.clauses)
+                with self.tracer.span("build-mrf"):
+                    self.mrf = MRF.from_store(grounding.clauses)
             return self.mrf
 
     def detect_components(self) -> ComponentDecomposition:
@@ -449,7 +481,9 @@ class EngineSession:
         with self._lock:
             mrf = self.build_mrf()
             if self.components is None:
-                with self.timer.measure("component_detection"):
+                with self.timer.measure("component_detection"), self.tracer.span(
+                    "component-detection"
+                ):
                     decomposition = connected_components(mrf)
                 self._adopt_components(decomposition)
                 self.components = decomposition
@@ -469,7 +503,7 @@ class EngineSession:
         overrides ``config.deadline_seconds`` for this request only.
         """
         return self._admission_executor().submit(
-            self._serve_map, seed, deadline_seconds
+            self._serve_map, seed, deadline_seconds, self.tracer.now()
         )
 
     def submit_marginal(
@@ -477,7 +511,7 @@ class EngineSession:
     ) -> "Future[InferenceResult]":
         """Admit one MC-SAT marginal request; returns a future."""
         return self._admission_executor().submit(
-            self._serve_marginal, seed, sampler_factory
+            self._serve_marginal, seed, sampler_factory, self.tracer.now()
         )
 
     def run_map(
@@ -501,41 +535,62 @@ class EngineSession:
     # ------------------------------------------------------------------
 
     def _serve_map(
-        self, seed: Optional[int], deadline_seconds: Optional[float]
+        self,
+        seed: Optional[int],
+        deadline_seconds: Optional[float],
+        submitted_at: float = 0.0,
     ) -> InferenceResult:
-        """One MAP request: serialized setup, then search outside the lock."""
-        with self._lock:
-            grounding = self.ground()
-            mrf = self.build_mrf()
-            request = self._begin_request(seed, "map", deadline_seconds)
-            if self.config.use_partitioning:
-                plan = self._prepare_partitioned(mrf, request)
-                search = self._search_partitioned
-            else:
-                plan = self._prepare_monolithic(mrf, request)
-                search = self._search_monolithic
-            self._snapshot_session_phases(request)
-            self._enter_search()
-        try:
-            return search(plan, mrf, grounding, request)
-        finally:
-            self._finish_request(plan)
+        """One MAP request: serialized setup, then search outside the lock.
+
+        ``submitted_at`` is the tracer timestamp :meth:`submit_map`
+        captured at admission — the gap to serve start is recorded as the
+        request's ``admission`` span (queue wait behind other in-flight
+        requests).
+        """
+        with self.tracer.span("request", kind="map") as root:
+            if submitted_at:
+                self.tracer.record_span("admission", submitted_at, self.tracer.now())
+            with self._lock:
+                with self.tracer.span("setup"):
+                    grounding = self.ground()
+                    mrf = self.build_mrf()
+                    request = self._begin_request(seed, "map", deadline_seconds)
+                    root.annotate(request_id=request.request_id)
+                    if self.config.use_partitioning:
+                        plan = self._prepare_partitioned(mrf, request)
+                        search = self._search_partitioned
+                    else:
+                        plan = self._prepare_monolithic(mrf, request)
+                        search = self._search_monolithic
+                self._snapshot_session_phases(request)
+                self._enter_search()
+            try:
+                with self.tracer.span("search"):
+                    return search(plan, mrf, grounding, request)
+            finally:
+                self._finish_request(plan)
 
     def _serve_marginal(
-        self, seed: Optional[int], sampler_factory
+        self, seed: Optional[int], sampler_factory, submitted_at: float = 0.0
     ) -> InferenceResult:
         """One marginal request: serialized setup, then search outside the lock."""
-        with self._lock:
-            grounding = self.ground()
-            mrf = self.build_mrf()
-            request = self._begin_request(seed, "marginal", None)
-            plan = self._prepare_marginal(request, sampler_factory)
-            self._snapshot_session_phases(request)
-            self._enter_search()
-        try:
-            return self._search_marginal(plan, mrf, grounding, request)
-        finally:
-            self._finish_request(plan)
+        with self.tracer.span("request", kind="marginal") as root:
+            if submitted_at:
+                self.tracer.record_span("admission", submitted_at, self.tracer.now())
+            with self._lock:
+                with self.tracer.span("setup"):
+                    grounding = self.ground()
+                    mrf = self.build_mrf()
+                    request = self._begin_request(seed, "marginal", None)
+                    root.annotate(request_id=request.request_id)
+                    plan = self._prepare_marginal(request, sampler_factory)
+                self._snapshot_session_phases(request)
+                self._enter_search()
+            try:
+                with self.tracer.span("search"):
+                    return self._search_marginal(plan, mrf, grounding, request)
+            finally:
+                self._finish_request(plan)
 
     def _prepare_partitioned(self, mrf: MRF, request: InferenceRequest) -> _RequestPlan:
         """Assemble a partitioned-MAP plan (runs under the session lock)."""
@@ -552,7 +607,9 @@ class EngineSession:
 
         # Batch loading of the in-budget components (I/O accounting only) —
         # charged to the request, like every per-request database access.
-        with request.timer.measure("loading"):
+        with request.timer.measure("loading"), self.tracer.span(
+            "loading", components=len(small_components)
+        ):
             if small_components:
                 budget = size_bound if size_bound is not None else float(mrf.size() + 1)
                 loader = BatchLoader(self.database, budget, self.memory_model)
@@ -561,7 +618,8 @@ class EngineSession:
                 request.db_simulated += self.database.clock.now() - mark
 
         if small_components:
-            plan.pool = self._pool_for(small_components)
+            with self.tracer.span("pool-checkout"):
+                plan.pool = self._pool_for(small_components)
             plan.options = WalkSATOptions(
                 max_flips=config.max_flips,
                 max_tries=config.max_tries,
@@ -579,6 +637,8 @@ class EngineSession:
                 cost_model=config.cost_model,
                 parallel_backend=config.parallel_backend,
                 dispatch=config.parallel_dispatch,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             resolved = resolve_parallel_backend(
                 config.parallel_backend,
@@ -590,18 +650,22 @@ class EngineSession:
                 # requests via the lease; the processes backend keeps the
                 # equivalent cache inside each pool worker.
                 key = ("components", config.kernel_backend)
-                states = self._state_lease.checkout(
-                    key,
-                    lambda: [
-                        make_search_state(component, backend=config.kernel_backend)
-                        for component in small_components
-                    ],
-                )
-                if len(states) != len(small_components):
-                    states = [
-                        make_search_state(component, backend=config.kernel_backend)
-                        for component in small_components
-                    ]
+                with self.tracer.span(
+                    "lease-checkout", backend=config.kernel_backend
+                ) as lease_span:
+                    states = self._state_lease.checkout(
+                        key,
+                        lambda: [
+                            make_search_state(component, backend=config.kernel_backend)
+                            for component in small_components
+                        ],
+                    )
+                    if len(states) != len(small_components):
+                        states = [
+                            make_search_state(component, backend=config.kernel_backend)
+                            for component in small_components
+                        ]
+                    lease_span.annotate(states=len(states))
                 plan.lease_key = key
                 plan.leased_value = states
         return plan
@@ -667,6 +731,9 @@ class EngineSession:
         traces: List[TimeCostTrace] = []
         simulated_search_seconds = 0.0
         peak_state_units = 0
+        steals = 0
+        shm_shipped = 0
+        pickle_shipped = 0
 
         with request.timer.measure("search"):
             if plan.small:
@@ -680,6 +747,9 @@ class EngineSession:
                 assignment.update(component_outcome.best_assignment)
                 total_cost += component_outcome.best_cost
                 total_flips += component_outcome.flips
+                steals = component_outcome.steals
+                shm_shipped = component_outcome.shm_shipped
+                pickle_shipped = component_outcome.pickle_shipped
                 traces.append(component_outcome.trace)
                 simulated_search_seconds += (
                     component_outcome.parallel_simulated_seconds
@@ -733,7 +803,7 @@ class EngineSession:
 
         trace = merge_traces(traces, label="tuffy")
         trace.grounding_seconds = self._database_simulated(request)
-        return InferenceResult(
+        result = InferenceResult(
             label="tuffy",
             assignment=assignment,
             cost=total_cost,
@@ -748,6 +818,14 @@ class EngineSession:
             memory=self.memory_model.snapshot(),
             peak_memory_bytes=config.bytes_per_state_unit * max(peak_state_units, 1),
         )
+        self._log_request(
+            request,
+            result,
+            steals=steals,
+            shm_shipped=shm_shipped,
+            pickle_shipped=pickle_shipped,
+        )
+        return result
 
     def _search_monolithic(
         self,
@@ -765,7 +843,7 @@ class EngineSession:
         trace = outcome.trace
         trace.grounding_seconds = self._database_simulated(request)
         peak_state_bytes = config.bytes_per_state_unit * mrf.size()
-        return InferenceResult(
+        result = InferenceResult(
             label="tuffy-p",
             assignment=outcome.best_assignment,
             cost=outcome.best_cost + grounding.clauses.evidence_violation_cost,
@@ -779,6 +857,8 @@ class EngineSession:
             memory=self.memory_model.snapshot(),
             peak_memory_bytes=peak_state_bytes,
         )
+        self._log_request(request, result)
+        return result
 
     def _search_marginal(
         self,
@@ -799,6 +879,8 @@ class EngineSession:
                     pool=plan.pool,
                     dispatch=config.parallel_dispatch,
                     request_id=request.request_id,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
                 )
             else:
                 marginals = plan.sampler.run(mrf)
@@ -813,7 +895,7 @@ class EngineSession:
             component_count = self.components.component_count
         else:
             component_count = 1
-        return InferenceResult(
+        result = InferenceResult(
             label="tuffy-mcsat",
             assignment=assignment,
             cost=cost + grounding.clauses.evidence_violation_cost,
@@ -825,6 +907,8 @@ class EngineSession:
             memory=self.memory_model.snapshot(),
             marginals=marginals,
         )
+        self._log_request(request, result)
+        return result
 
     # ------------------------------------------------------------------
     # Session plumbing
@@ -855,10 +939,13 @@ class EngineSession:
         """Open a request context (runs under the session lock)."""
         request_seed = self.config.seed if seed is None else seed
         self.stats.requests += 1
+        self.metrics.increment("session.requests")
         if kind == "map":
             self.stats.map_requests += 1
+            self.metrics.increment("session.map_requests")
         else:
             self.stats.marginal_requests += 1
+            self.metrics.increment("session.marginal_requests")
         self._next_request_id += 1
         return InferenceRequest(
             seed=request_seed,
@@ -901,6 +988,69 @@ class EngineSession:
         with self._search_gate:
             while self._active_searches:
                 self._search_gate.wait()
+
+    def _log_request(
+        self,
+        request: InferenceRequest,
+        result: InferenceResult,
+        steals: int = 0,
+        shm_shipped: int = 0,
+        pickle_shipped: int = 0,
+    ) -> None:
+        """Fold one finished request into the log and the metrics registry.
+
+        Sanctioned plumbing for the request-scoped search methods: it
+        mutates only the bounded request log and the (thread-safe)
+        metrics registry — telemetry no other request ever reads back
+        into its inference path.
+        """
+        phases = dict(result.phase_seconds)
+        self._request_log.append(
+            {
+                "request_id": request.request_id,
+                "kind": request.kind,
+                "seed": request.seed,
+                "cost": result.cost,
+                "flips": result.flips,
+                "components": result.component_count,
+                "phase_seconds": phases,
+                "simulated_seconds": result.simulated_seconds,
+                "steals": steals,
+                "shm_shipped": shm_shipped,
+                "pickle_shipped": pickle_shipped,
+            }
+        )
+        for phase, seconds in phases.items():
+            self.metrics.observe(f"request.phase.{phase}", seconds)
+        self.metrics.observe("request.simulated_seconds", result.simulated_seconds)
+
+    def request_log(self) -> List[Dict[str, object]]:
+        """Summaries of recently finished requests, oldest first.
+
+        Bounded (the session keeps the last 64); each entry carries the
+        request's phase seconds, result-shipping split (shared-memory vs
+        pickled) and steal count — the rows behind the CLI's
+        ``--session-concurrent`` summary table.
+        """
+        return list(self._request_log)
+
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """Refresh the session/io gauges and return the metrics registry.
+
+        Counters and histograms accumulate live; the gauges mirror
+        session stats and the database's I/O statistics at call time.
+        """
+        stats = self.stats
+        self.metrics.set_gauge("session.pool_launches", float(stats.pool_launches))
+        self.metrics.set_gauge(
+            "session.components_adopted", float(stats.components_adopted)
+        )
+        self.metrics.set_gauge(
+            "session.components_rebuilt", float(stats.components_rebuilt)
+        )
+        for name, value in self.database.io_statistics().as_dict().items():
+            self.metrics.set_gauge(f"io.{name}", float(value))
+        return self.metrics
 
     def _database_simulated(self, request: InferenceRequest) -> float:
         """Simulated database seconds visible to this request.
@@ -1051,6 +1201,7 @@ class EngineSession:
             components,
             config.workers,
             result_banks=config.max_inflight_requests,
+            metrics=self.metrics,
         )
         self._pool_holder["pool"] = pool
         self.stats.pool_launches += 1

@@ -33,7 +33,7 @@ from repro.inference.scheduling import (
     weighted_flip_allocation,
 )
 from repro.inference.state import SearchState, make_search_state
-from repro.inference.tracing import TimeCostTrace
+from repro.inference.tracing import FlipRateMeter, TimeCostTrace
 from repro.inference.walksat import WalkSATOptions, WalkSATResult
 from repro.mrf.components import ComponentDecomposition, connected_components
 from repro.mrf.graph import MRF
@@ -71,9 +71,7 @@ class ComponentSearchResult:
 
     @property
     def flips_per_second(self) -> float:
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.flips / self.wall_seconds
+        return FlipRateMeter(self.flips, self.wall_seconds).flips_per_second
 
 
 class ComponentAwareWalkSAT:
@@ -87,13 +85,21 @@ class ComponentAwareWalkSAT:
         cost_model: Optional[CostModel] = None,
         parallel_backend: str = "auto",
         dispatch: str = "steal",
+        tracer=None,
+        metrics=None,
     ) -> None:
+        from repro.obs.tracer import NullTracer
+
         self.options = options or WalkSATOptions()
         self.rng = rng or RandomSource(0)
         self.workers = workers
         self.cost_model = cost_model or CostModel()
         self.parallel_backend = parallel_backend
         self.dispatch = dispatch
+        #: Injected observability (never module-global): read-side only,
+        #: so a recording tracer is bit-identical to the default no-op.
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics
         # State-reuse lifecycle: one kernel state per component, cached with
         # the decomposition and reset in place between rounds, instead of
         # rebuilding every buffer each run() call.  Keyed by the identity of
@@ -165,29 +171,35 @@ class ComponentAwareWalkSAT:
             )
             return ComponentOutcome(index, result, 0.0)
 
-        outcome: ParallelOutcome = run_components(
-            components,
-            tasks,
-            parallel_backend=self.parallel_backend,
-            workers=self.workers,
-            deadline_seconds=self.options.deadline_seconds,
-            # Lazy: built (and cached) only when the resolved backend runs
-            # in-process — the processes backend caches states per worker.
-            local_states=(
-                local_states
-                if local_states is not None
-                else lambda: self._component_states(components)
-            ),
-            placeholder=placeholder,
-            pool=pool,
-            dispatch=self.dispatch,
-            request_id=request_id,
-        )
+        with self.tracer.span(
+            "dispatch", components=len(components), mode=self.dispatch
+        ):
+            outcome: ParallelOutcome = run_components(
+                components,
+                tasks,
+                parallel_backend=self.parallel_backend,
+                workers=self.workers,
+                deadline_seconds=self.options.deadline_seconds,
+                # Lazy: built (and cached) only when the resolved backend runs
+                # in-process — the processes backend caches states per worker.
+                local_states=(
+                    local_states
+                    if local_states is not None
+                    else lambda: self._component_states(components)
+                ),
+                placeholder=placeholder,
+                pool=pool,
+                dispatch=self.dispatch,
+                request_id=request_id,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
 
         component_results: List[WalkSATResult] = list(outcome.results)  # type: ignore[arg-type]
-        best_assignment, best_cost, total_flips_done, trace = merge_walksat_results(
-            component_results, trace_label="tuffy"
-        )
+        with self.tracer.span("merge", components=len(component_results)):
+            best_assignment, best_cost, total_flips_done, trace = merge_walksat_results(
+                component_results, trace_label="tuffy"
+            )
         return ComponentSearchResult(
             best_assignment=best_assignment,
             best_cost=best_cost,

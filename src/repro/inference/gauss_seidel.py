@@ -121,7 +121,7 @@ class GaussSeidelSearch:
         )
         best_cost = global_state.cost
         best_assignment = dict(assignment)
-        trace.record(self.clock.now(), best_cost)
+        trace.record_improvement(self.clock.now(), best_cost)
         total_flips = 0
 
         flips_per_part = max(self.options.max_flips // max(len(partition_sets), 1), 1)
@@ -156,7 +156,7 @@ class GaussSeidelSearch:
                 if global_cost < best_cost:
                     best_cost = global_cost
                     best_assignment = dict(assignment)
-                    trace.record(self.clock.now(), best_cost, total_flips)
+                    trace.record_improvement(self.clock.now(), best_cost, total_flips)
 
         return GaussSeidelResult(
             best_assignment=best_assignment,

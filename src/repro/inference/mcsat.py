@@ -168,6 +168,8 @@ class MCSat:
         pool=None,
         dispatch: str = "steal",
         request_id: int = 0,
+        tracer=None,
+        metrics=None,
     ) -> MarginalResult:
         """Estimate marginals component by component, optionally in parallel.
 
@@ -202,6 +204,7 @@ class MCSat:
         outcome = dispatch_components(
             components, tasks, parallel_backend=parallel_backend, workers=workers,
             pool=pool, dispatch=dispatch, request_id=request_id,
+            tracer=tracer, metrics=metrics,
         )
         return merge_marginal_results(
             outcome.results, self.options.samples, self.options.burn_in

@@ -131,7 +131,7 @@ class RDBMSWalkSAT:
                 if cost < best_cost:
                     best_cost = cost
                     best_assignment = dict(assignment)
-                    trace.record(self.clock.now(), best_cost, flips)
+                    trace.record_improvement(self.clock.now(), best_cost, flips)
                 if options.target_cost is not None and best_cost <= options.target_cost:
                     break
                 if not state.has_violations():
@@ -166,7 +166,7 @@ class RDBMSWalkSAT:
         if state.cost < best_cost:
             best_cost = state.cost
             best_assignment = dict(assignment)
-            trace.record(self.clock.now(), best_cost, flips)
+            trace.record_improvement(self.clock.now(), best_cost, flips)
 
         return WalkSATResult(
             best_assignment=best_assignment,

@@ -299,7 +299,7 @@ class ReferenceWalkSAT:
             if state.cost < best_cost:
                 best_cost = state.cost
                 best_assignment = state.assignment_dict()
-                trace.record(self.clock.now(), best_cost, total_flips)
+                trace.record_improvement(self.clock.now(), best_cost, total_flips)
 
             for _flip in range(options.max_flips):
                 if not state.has_violations():
@@ -314,7 +314,7 @@ class ReferenceWalkSAT:
                 if state.cost < best_cost:
                     best_cost = state.cost
                     best_assignment = state.assignment_dict()
-                    trace.record(self.clock.now(), best_cost, total_flips)
+                    trace.record_improvement(self.clock.now(), best_cost, total_flips)
                     if (
                         hitting_time is None
                         and options.target_cost is not None

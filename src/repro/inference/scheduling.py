@@ -168,6 +168,8 @@ def run_components(
     dispatch: str = "steal",
     stall_worker: Optional[Tuple[int, float]] = None,
     request_id: int = 0,
+    tracer=None,
+    metrics=None,
 ):
     """Run one :class:`~repro.parallel.pool.ComponentTask` per component.
 
@@ -193,7 +195,9 @@ def run_components(
     slow-worker test hook, forwarded to the scheduler.  ``request_id``
     names the admitted session request this run serves — a shared
     persistent pool uses it to route completions back to the right
-    request when several are in flight.
+    request when several are in flight.  ``tracer`` / ``metrics`` are
+    the injected observability surfaces, forwarded to the scheduler
+    (no-ops when omitted; never consulted by the search itself).
     """
     from repro.parallel import resolve_parallel_backend
     from repro.parallel.scheduler import run_component_tasks
@@ -213,4 +217,6 @@ def run_components(
         dispatch=dispatch,
         stall_worker=stall_worker,
         request_id=request_id,
+        tracer=tracer,
+        metrics=metrics,
     )

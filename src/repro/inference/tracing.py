@@ -1,118 +1,34 @@
-"""Time-cost traces and flipping-rate measurement.
+"""Time-cost traces and flipping-rate measurement (compatibility surface).
 
 The paper's headline figures (Figures 3-6 and 8) are *time-cost plots*: the
-cost of the best solution found so far as a function of time.  A
-:class:`TimeCostTrace` records exactly those points, against whichever clock
-the experiment uses (wall clock or the deterministic simulated clock), and a
-:class:`FlipRateMeter` measures flips per second for Table 3.
+cost of the best solution found so far as a function of time.  The
+recording machinery now lives in :mod:`repro.obs.events`; this module keeps
+the historical names (``TimeCostTrace``, ``TracePoint``, ``FlipRateMeter``,
+``merge_traces``) as thin aliases so the Figure 3–8 benchmarks and every
+existing call site keep working unchanged.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Sequence
+
+from repro.obs.events import RateMeter, Series, SeriesPoint, merge_series
+
+TracePoint = SeriesPoint
 
 
-@dataclass
-class TracePoint:
-    """One sample of the best-so-far cost."""
-
-    time: float
-    cost: float
-    flips: int
+class TimeCostTrace(Series):
+    """Best-cost-so-far as a function of time (alias of :class:`Series`)."""
 
 
-@dataclass
-class TimeCostTrace:
-    """Best-cost-so-far as a function of time.
-
-    ``label`` names the system being traced (e.g. ``"tuffy"``, ``"alchemy"``)
-    so benchmark harnesses can overlay traces.
-    """
-
-    label: str = ""
-    points: List[TracePoint] = field(default_factory=list)
-    grounding_seconds: float = 0.0
-
-    def record(self, time: float, cost: float, flips: int = 0) -> None:
-        """Record a sample if it improves on (or starts) the trace."""
-        if not self.points or cost < self.points[-1].cost:
-            self.points.append(TracePoint(time, cost, flips))
-
-    def record_final(self, time: float, cost: float, flips: int = 0) -> None:
-        """Record the final observation even when it does not improve."""
-        self.points.append(TracePoint(time, cost, flips))
-
-    @property
-    def best_cost(self) -> float:
-        return min((point.cost for point in self.points), default=math.inf)
-
-    @property
-    def final_time(self) -> float:
-        return self.points[-1].time if self.points else 0.0
-
-    def cost_at(self, time: float) -> float:
-        """Best cost achieved at or before the given time (inf before start)."""
-        best = math.inf
-        for point in self.points:
-            if point.time + self.grounding_seconds <= time and point.cost < best:
-                best = point.cost
-        return best
-
-    def shifted(self, offset: float) -> "TimeCostTrace":
-        """A copy with every timestamp shifted (used to add grounding time)."""
-        copy = TimeCostTrace(self.label, grounding_seconds=self.grounding_seconds)
-        copy.points = [
-            TracePoint(point.time + offset, point.cost, point.flips) for point in self.points
-        ]
-        return copy
-
-    def as_rows(self) -> List[Tuple[float, float]]:
-        return [(point.time, point.cost) for point in self.points]
-
-
-@dataclass
-class FlipRateMeter:
-    """Counts flips against elapsed time to report flips/second."""
-
-    flips: int = 0
-    seconds: float = 0.0
-
-    def record(self, flips: int, seconds: float) -> None:
-        self.flips += flips
-        self.seconds += seconds
-
-    @property
-    def flips_per_second(self) -> float:
-        if self.seconds <= 0:
-            return 0.0
-        return self.flips / self.seconds
+class FlipRateMeter(RateMeter):
+    """Counts flips against elapsed time (alias of :class:`RateMeter`)."""
 
 
 def merge_traces(traces: Sequence[TimeCostTrace], label: str = "") -> TimeCostTrace:
-    """Merge per-component traces into one global best-cost trace.
-
-    Component searches run independently; at any time the global best cost is
-    the sum of each component's best cost so far.  The merged trace samples
-    the union of all component timestamps.
-    """
-    merged = TimeCostTrace(label)
-    if not traces:
-        return merged
-    timestamps = sorted({point.time for trace in traces for point in trace.points})
-    for timestamp in timestamps:
-        total = 0.0
-        defined = True
-        for trace in traces:
-            best = math.inf
-            for point in trace.points:
-                if point.time <= timestamp and point.cost < best:
-                    best = point.cost
-            if math.isinf(best):
-                defined = False
-                break
-            total += best
-        if defined:
-            merged.record_final(timestamp, total)
+    """Merge per-component traces into one global best-cost trace."""
+    merged = merge_series(traces, label=label, factory=TimeCostTrace)
     return merged
+
+
+__all__ = ["FlipRateMeter", "TimeCostTrace", "TracePoint", "merge_traces"]

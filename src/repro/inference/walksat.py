@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 from repro.inference.state import KERNEL_BACKENDS, SearchState, make_search_state
-from repro.inference.tracing import TimeCostTrace
+from repro.inference.tracing import FlipRateMeter, TimeCostTrace
 from repro.mrf.graph import MRF
 from repro.utils.clock import SimulatedClock, WallClock
 from repro.utils.rng import RandomSource
@@ -71,7 +71,7 @@ class WalkSATResult:
 
     @property
     def flips_per_second(self) -> float:
-        return self.flips / self.seconds if self.seconds > 0 else 0.0
+        return FlipRateMeter(self.flips, self.seconds).flips_per_second
 
 
 class WalkSAT:
@@ -154,7 +154,7 @@ class WalkSAT:
                 best_cost = state.cost
                 state.checkpoint()
                 try_improved = True
-                trace.record(self.clock.now(), best_cost, total_flips)
+                trace.record_improvement(self.clock.now(), best_cost, total_flips)
 
             if target is not None and best_cost <= target:
                 # A try whose starting state already meets the target is a
@@ -205,7 +205,7 @@ class WalkSAT:
                         best_cost = cost
                         state.checkpoint()
                         try_improved = True
-                        trace.record(clock.now(), best_cost, total_flips)
+                        trace.record_improvement(clock.now(), best_cost, total_flips)
                         if (
                             hitting_time is None
                             and target is not None

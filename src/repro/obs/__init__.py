@@ -1,0 +1,31 @@
+"""Observability: span tracing, metrics, time/cost series and exporters.
+
+Everything in this package is *non-perturbing* by contract: no RNG draws,
+no simulated-clock mutation, no session state — enforced by the
+``obs-purity`` analysis rule and the trace-on/trace-off parity suite.
+"""
+
+from repro.obs.events import RateMeter, Series, SeriesPoint, merge_series
+from repro.obs.export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, RecordingTracer, Span
+
+__all__ = [
+    "MetricsRegistry",
+    "NullTracer",
+    "RateMeter",
+    "RecordingTracer",
+    "Series",
+    "SeriesPoint",
+    "Span",
+    "chrome_trace_events",
+    "merge_series",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,146 @@
+"""Time/cost series and rate meters — the event model behind the Figure 3–8
+benchmarks.
+
+:class:`Series` is the generalised form of what ``inference/tracing.py``
+historically called ``TimeCostTrace``: a monotone-best cost-over-time curve
+sampled on the simulated clock.  ``inference.tracing`` now re-exports thin
+subclasses of these types for API compatibility; new code should import
+from here.
+
+Two recording entry points exist on purpose:
+
+* :meth:`Series.record` — gated, drops non-improving points.  The
+  defensive public API.
+* :meth:`Series.record_improvement` — ungated.  Hot search loops
+  (``walksat.py``, ``reference_kernel.py``, ``rdbms_walksat.py``,
+  ``gauss_seidel.py``) already test ``cost < best_cost`` before recording,
+  so the gate inside :meth:`record` was a duplicate comparison per
+  improvement; those paths call this instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Type
+
+
+@dataclass
+class SeriesPoint:
+    """One sample: simulated time, best cost so far, cumulative flips."""
+
+    time: float
+    cost: float
+    flips: int = 0
+
+
+@dataclass
+class Series:
+    """A monotone-best cost-over-time curve on the simulated clock.
+
+    ``label`` names the system being traced (e.g. ``"tuffy"``,
+    ``"alchemy"``) so benchmark harnesses can overlay curves.
+    """
+
+    label: str = ""
+    points: List[SeriesPoint] = field(default_factory=list)
+    grounding_seconds: float = 0.0
+
+    def record(self, time: float, cost: float, flips: int = 0) -> None:
+        """Record a sample if it improves on (or starts) the series."""
+        if not self.points or cost < self.points[-1].cost:
+            self.points.append(SeriesPoint(time, cost, flips))
+
+    def record_improvement(self, time: float, cost: float, flips: int = 0) -> None:
+        """Record a sample the caller has already established improves.
+
+        Skips the improvement gate of :meth:`record` — hot loops check
+        ``cost < best_cost`` themselves before calling.
+        """
+        self.points.append(SeriesPoint(time, cost, flips))
+
+    def record_final(self, time: float, cost: float, flips: int = 0) -> None:
+        """Record the final observation even when it does not improve."""
+        self.points.append(SeriesPoint(time, cost, flips))
+
+    @property
+    def best_cost(self) -> float:
+        return min((point.cost for point in self.points), default=math.inf)
+
+    @property
+    def final_time(self) -> float:
+        return self.points[-1].time if self.points else 0.0
+
+    def cost_at(self, time: float) -> float:
+        """Best cost achieved at or before the given time (inf before start)."""
+        best = math.inf
+        for point in self.points:
+            if point.time + self.grounding_seconds <= time and point.cost < best:
+                best = point.cost
+        return best
+
+    def shifted(self, offset: float) -> "Series":
+        """A copy with every timestamp shifted (used to add grounding time)."""
+        copy = type(self)(self.label, grounding_seconds=self.grounding_seconds)
+        copy.points = [
+            SeriesPoint(point.time + offset, point.cost, point.flips)
+            for point in self.points
+        ]
+        return copy
+
+    def as_rows(self) -> List[Tuple[float, float]]:
+        return [(point.time, point.cost) for point in self.points]
+
+
+@dataclass
+class RateMeter:
+    """Counts flips against elapsed time to report flips/second."""
+
+    flips: int = 0
+    seconds: float = 0.0
+
+    def record(self, flips: int, seconds: float) -> None:
+        self.flips += flips
+        self.seconds += seconds
+
+    @property
+    def flips_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.flips / self.seconds
+
+
+def merge_series(
+    traces: Sequence[Series],
+    label: str = "",
+    factory: Type[Series] = Series,
+) -> Series:
+    """Merge per-component series into one global best-cost curve.
+
+    Component searches run independently; at any time the global best cost
+    is the sum of each component's best cost so far.  The merged series
+    samples the union of all component timestamps and is undefined
+    (omitted) until every component has reported at least one point.
+    """
+    merged = factory(label)
+    if not traces:
+        return merged
+    timestamps = sorted({point.time for trace in traces for point in trace.points})
+    for timestamp in timestamps:
+        total = 0.0
+        defined = True
+        for trace in traces:
+            best = math.inf
+            for point in trace.points:
+                if point.time <= timestamp and point.cost < best:
+                    best = point.cost
+            if math.isinf(best):
+                defined = False
+                break
+            total += best
+        if defined:
+            merged.record_final(timestamp, total)
+    return merged
+
+
+__all__ = ["RateMeter", "Series", "SeriesPoint", "merge_series"]

@@ -1,0 +1,117 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and metrics dumps.
+
+The Chrome trace format is the `trace-event` JSON flavour understood by
+``chrome://tracing`` and https://ui.perfetto.dev: a ``traceEvents`` array of
+complete events (``"ph": "X"``) with microsecond timestamps.  Each request
+is mapped to its own ``tid`` row so a concurrent session renders as
+parallel per-request lanes under one process.
+
+``validate_chrome_trace`` is a stdlib-only structural check used by the
+``scripts/check.sh`` obs stage; it returns a list of problems (empty means
+valid) rather than raising, so callers can report all of them at once.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RecordingTracer, Span
+
+
+def chrome_trace_events(tracer: RecordingTracer) -> Dict[str, object]:
+    """Render a tracer's spans as a Chrome trace-event JSON payload.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the trace opens at t=0 in viewers.  ``tid`` is the resolved request id
+    (0 for spans outside any request), giving each request its own lane.
+    """
+    spans = tracer.spans()
+    if spans:
+        origin = min(span.wall_start for span in spans)
+    else:
+        origin = 0.0
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        request_id = tracer.request_id_of(span)
+        wall_end = span.wall_end if span.wall_end is not None else span.wall_start
+        args: Dict[str, object] = dict(span.attributes)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if request_id is not None:
+            args["request_id"] = request_id
+        args["simulated_start"] = span.simulated_start
+        if span.simulated_end is not None:
+            args["simulated_end"] = span.simulated_end
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.wall_start - origin) * 1e6,
+                "dur": max(0.0, (wall_end - span.wall_start) * 1e6),
+                "pid": 0,
+                "tid": request_id if request_id is not None else 0,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: RecordingTracer, path: str) -> None:
+    payload = chrome_trace_events(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def validate_chrome_trace(payload: object) -> List[str]:
+    """Structurally validate a Chrome trace payload; empty list means valid."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top-level payload is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing required key {key!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: name is not a string")
+        if event.get("ph") == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"{where}: complete event needs non-negative dur")
+        timestamp = event.get("ts")
+        if not isinstance(timestamp, (int, float)) or timestamp < 0:
+            problems.append(f"{where}: ts is not a non-negative number")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args is not an object")
+    return problems
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Dump a registry: JSON when the path ends in ``.json``, text otherwise."""
+    if str(path).endswith(".json"):
+        rendered = registry.render_json()
+    else:
+        rendered = registry.render_text()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+        handle.write("\n")
+
+
+__all__ = [
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

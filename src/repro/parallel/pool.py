@@ -43,6 +43,7 @@ pool refuses to start when the ``fork`` start method is unavailable
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_module
 import threading
@@ -54,9 +55,12 @@ from repro.inference.mcsat import MCSat, MCSatOptions
 from repro.inference.state import make_search_state
 from repro.inference.walksat import WalkSAT, WalkSATOptions
 from repro.mrf.graph import MRF
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.buffers import ComponentBufferSet, ResultBufferSet
-from repro.utils.clock import CostModel, SimulatedClock, wall_sleep
+from repro.utils.clock import CostModel, SimulatedClock, wall_now, wall_sleep
 from repro.utils.rng import RandomSource
+
+_logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -88,6 +92,12 @@ class ComponentTask:
     initial_assignment: Optional[Dict[int, bool]] = None
     request_id: int = 0
     result_bank: int = 0
+    #: When True, the worker timestamps its phases (state setup, kernel
+    #: search, result shipping) on the shared monotonic clock and ships
+    #: them on the completion token — bounded by
+    #: ``WORKER_TASK_EVENT_BUDGET`` — for the request's span tree.
+    #: Pure telemetry: never read by the search itself.
+    trace_events: bool = False
 
 
 @dataclass
@@ -140,6 +150,12 @@ WORKER_STATE_CACHE_LIMIT = 64
 SHIPPED_SHM = "shm"
 SHIPPED_PICKLE = "pickle"
 
+#: Upper bound on span/event records one task may ship on its completion
+#: token.  Worker tracing rides the same queue as completion tokens, so
+#: the budget keeps a traced task's token small and its cost bounded no
+#: matter what the worker instruments.
+WORKER_TASK_EVENT_BUDGET = 8
+
 
 class BoundedStateCache:
     """A small LRU map for worker-side kernel states."""
@@ -182,7 +198,9 @@ def _worker_main(
 
     A finished result is written into the ``(component, result bank)``
     shared-memory region the task names and acknowledged with a
-    ``(request_id, index, None, None, worker_id, "shm")`` token; when
+    ``(request_id, index, None, None, worker_id, "shm", events)`` token
+    (``events`` is the bounded per-task span list when the task asked to
+    be traced, else ``None``); when
     the region refuses it (result too large for the reservation) — or
     the task carries no bank (``result_bank < 0``) — the full outcome
     rides the queue instead, tagged ``"pickle"``.  The token is sent
@@ -201,6 +219,8 @@ def _worker_main(
             if stall_seconds > 0.0:
                 wall_sleep(stall_seconds)
             try:
+                traced = task.trace_events
+                setup_start = wall_now() if traced else 0.0
                 mrf = buffers.component(task.index)
                 state = None
                 if task.kind == "walksat":
@@ -209,24 +229,35 @@ def _worker_main(
                     if state is None:
                         state = make_search_state(mrf, backend=task.walksat.kernel_backend)
                         states.put(key, state)
+                search_start = wall_now() if traced else 0.0
                 outcome = execute_component_task(task, mrf, state)
-                if task.result_bank >= 0 and results.write_outcome(
+                search_end = wall_now() if traced else 0.0
+                shipped_shm = task.result_bank >= 0 and results.write_outcome(
                     task.index,
                     outcome.result,
                     outcome.simulated_seconds,
                     mrf.atom_ids,
                     bank=task.result_bank,
-                ):
+                )
+                events = None
+                if traced:
+                    ship_end = wall_now()
+                    events = [
+                        {"name": "state-setup", "start": setup_start, "end": search_start},
+                        {"name": "kernel-search", "start": search_start, "end": search_end},
+                        {"name": "ship-result", "start": search_end, "end": ship_end},
+                    ][:WORKER_TASK_EVENT_BUDGET]
+                if shipped_shm:
                     result_queue.put(
-                        (task.request_id, task.index, None, None, worker_id, SHIPPED_SHM)
+                        (task.request_id, task.index, None, None, worker_id, SHIPPED_SHM, events)
                     )
                 else:
                     result_queue.put(
-                        (task.request_id, task.index, outcome, None, worker_id, SHIPPED_PICKLE)
+                        (task.request_id, task.index, outcome, None, worker_id, SHIPPED_PICKLE, events)
                     )
             except BaseException as error:  # surface, don't hang the parent
                 result_queue.put(
-                    (task.request_id, task.index, None, repr(error), worker_id, None)
+                    (task.request_id, task.index, None, repr(error), worker_id, None, None)
                 )
     finally:
         buffers.close()
@@ -263,6 +294,7 @@ class WorkerPool:
         trace_capacity: Optional[int] = None,
         stall_worker: Optional[Tuple[int, float]] = None,
         result_banks: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         context = multiprocessing.get_context("fork")
         self.buffers = ComponentBufferSet.pack(components)
@@ -271,6 +303,10 @@ class WorkerPool:
         )
         self._packed: List[MRF] = list(components)
         self._closed = False
+        #: Dotted-name counters (``pool.*``) — shared with the owning
+        #: session's registry when one is injected, private otherwise so
+        #: the counters are always present for tests and summaries.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._processes: List[multiprocessing.process.BaseProcess] = []
         #: Shipping telemetry, cumulative over the pool's lifetime;
         #: per-request counters (see :meth:`finish_request`) are what the
@@ -291,6 +327,10 @@ class WorkerPool:
         self._bank_of: Dict[int, int] = {}
         self._free_banks: List[int] = list(range(max(1, result_banks)))
         self._request_shipping: Dict[int, List[int]] = {}
+        #: Worker-emitted span records, stashed per ``(request, index)``
+        #: until the scheduler stitches them (:meth:`take_task_events`).
+        self._task_events: Dict[Tuple[int, int], dict] = {}
+        self._pickle_warned: set = set()
         try:
             self._tasks = context.Queue()
             self._results = context.Queue()
@@ -350,14 +390,30 @@ class WorkerPool:
         The first task of a request checks out a private bank for the
         request's lifetime (returned by :meth:`finish_request`); when
         every bank is taken the task is tagged ``-1`` and its results
-        ride the pickled fallback — correct, just slower.
+        ride the pickled fallback — correct, just slower.  Exhaustion is
+        never silent: it counts ``pool.bank_exhausted`` and logs one
+        structured warning per starved request.
         """
+        checked_out = False
+        exhausted = False
         with self._route_lock:
             bank = self._bank_of.get(task.request_id)
             if bank is None:
                 bank = self._free_banks.pop(0) if self._free_banks else -1
                 self._bank_of[task.request_id] = bank
+                checked_out = bank >= 0
+                exhausted = bank < 0
             self._inflight[(task.request_id, task.index)] = task
+        if checked_out:
+            self.metrics.increment("pool.bank_checkouts")
+        elif exhausted:
+            self.metrics.increment("pool.bank_exhausted")
+            _logger.warning(
+                "result-bank exhaustion: request_id=%d has no free result bank "
+                "(banks=%d); results will ship via the pickled fallback",
+                task.request_id,
+                self.result_buffers.banks,
+            )
         task.result_bank = bank
         self._tasks.put(task)
 
@@ -372,9 +428,15 @@ class WorkerPool:
         completion stream it would see running alone.
         """
         token = self._route_token(request_id)
-        _, index, payload, error, worker_id, channel = token
+        _, index, payload, error, worker_id, channel, events = token
         with self._route_lock:
             task = self._inflight.pop((request_id, index), None)
+            if events is not None:
+                self._task_events[(request_id, index)] = {
+                    "worker": worker_id,
+                    "channel": channel,
+                    "events": events,
+                }
         if error is not None:
             self.shutdown()
             raise RuntimeError(f"parallel component task failed: component {index}: {error}")
@@ -402,10 +464,24 @@ class WorkerPool:
                 self.shm_bytes += nbytes
                 shipping[0] += 1
                 shipping[2] += nbytes
+            self.metrics.increment("pool.shm_shipped")
+            self.metrics.increment("pool.shm_bytes", nbytes)
             return ComponentOutcome(index, result, simulated_seconds), worker_id
         with self._route_lock:
             self.pickle_shipped += 1
             shipping[1] += 1
+            warn_fallback = request_id not in self._pickle_warned
+            if warn_fallback:
+                self._pickle_warned.add(request_id)
+        self.metrics.increment("pool.pickle_shipped")
+        if warn_fallback:
+            _logger.warning(
+                "pickled-fallback shipping: request_id=%d component=%d result "
+                "did not ship via shared memory (exhausted bank or oversized "
+                "result); falling back to the pickled queue",
+                request_id,
+                index,
+            )
         return payload, worker_id
 
     def _route_token(self, request_id: int) -> tuple:
@@ -423,17 +499,22 @@ class WorkerPool:
         exceptions into error replies.
         """
         while True:
+            claimed = None
             with self._route_cond:
                 while True:
                     parked = self._parked.get(request_id)
                     if parked:
-                        return parked.popleft()
+                        claimed = parked.popleft()
+                        break
                     if not self._drainer_busy:
                         self._drainer_busy = True
                         break
                     # Timed wait for liveness: if the drainer dies with an
                     # exception after the notify, someone must take over.
                     self._route_cond.wait(timeout=0.5)
+            if claimed is not None:
+                self.metrics.increment("pool.parked_token_wakeups")
+                return claimed
             token = None
             try:
                 try:
@@ -447,12 +528,16 @@ class WorkerPool:
                             f"(exit codes {[p.exitcode for p in dead]})"
                         )
             finally:
+                parked_for_other = False
                 with self._route_cond:
                     self._drainer_busy = False
                     if token is not None and token[0] != request_id:
                         self._parked.setdefault(token[0], deque()).append(token)
                         token = None
+                        parked_for_other = True
                     self._route_cond.notify_all()
+                if parked_for_other:
+                    self.metrics.increment("pool.parked_tokens")
             if token is not None:
                 return token
 
@@ -460,6 +545,21 @@ class WorkerPool:
         """The request's ``[shm, pickle, bytes]`` counters (created lazily)."""
         with self._route_lock:
             return self._request_shipping.setdefault(request_id, [0, 0, 0])
+
+    def take_task_events(self, request_id: int) -> Dict[int, dict]:
+        """Pop the worker-emitted span records of one request's tasks.
+
+        Returns ``{component index: {"worker", "channel", "events"}}`` —
+        the scheduler stitches these under the request's span tree in
+        deterministic component order.  Only populated for tasks that
+        asked to be traced (``ComponentTask.trace_events``).
+        """
+        with self._route_lock:
+            taken = {
+                key[1]: self._task_events.pop(key)
+                for key in [k for k in self._task_events if k[0] == request_id]
+            }
+        return taken
 
     def finish_request(self, request_id: int) -> Tuple[int, int, int]:
         """Close out one admitted request: return its bank and counters.
@@ -475,6 +575,9 @@ class WorkerPool:
                 self._free_banks.append(bank)
                 self._free_banks.sort()
             self._parked.pop(request_id, None)
+            self._pickle_warned.discard(request_id)
+            for key in [k for k in self._task_events if k[0] == request_id]:
+                del self._task_events[key]
             shm, pickled, nbytes = self._request_shipping.pop(request_id, (0, 0, 0))
         return shm, pickled, nbytes
 

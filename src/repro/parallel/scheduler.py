@@ -59,6 +59,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.inference.scheduling import ParallelOutcome, _list_schedule_makespan
 from repro.mrf.graph import MRF
+from repro.obs.tracer import NullTracer
 from repro.parallel import DISPATCH_MODES
 from repro.parallel.pool import (
     ComponentOutcome,
@@ -66,7 +67,7 @@ from repro.parallel.pool import (
     WorkerPool,
     execute_component_task,
 )
-from repro.utils.clock import wall_sleep
+from repro.utils.clock import wall_now, wall_sleep
 from repro.utils.timer import Stopwatch
 
 
@@ -177,6 +178,7 @@ class _StealState:
         self.costs: List[Optional[float]] = [None] * len(order)
         self.outcomes: List[Optional[ComponentOutcome]] = [None] * len(order)
         self.counts: Dict[int, int] = {}
+        self.workers_by_position: Dict[int, int] = {}
         self.error: Optional[BaseException] = None
 
     def claim(self) -> Optional[int]:
@@ -197,6 +199,7 @@ class _StealState:
             self.outcomes[position] = outcome
             self.costs[position] = outcome.simulated_seconds
             self.counts[worker_index] = self.counts.get(worker_index, 0) + 1
+            self.workers_by_position[position] = worker_index
 
     def fail(self, error: BaseException) -> None:
         with self.lock:
@@ -239,6 +242,8 @@ def run_component_tasks(
     dispatch: str = "steal",
     stall_worker: Optional[Tuple[int, float]] = None,
     request_id: int = 0,
+    tracer=None,
+    metrics=None,
 ) -> ScheduledOutcome:
     """Run one task per component, returning results in component order.
 
@@ -278,6 +283,15 @@ def run_component_tasks(
     derived per-component seeds, and the post-hoc counting rule are all
     per-request, an interleaved run's outcome is bit-identical to running
     the request alone.
+
+    ``tracer`` / ``metrics`` are the injected observability surfaces
+    (defaulting to no-ops).  With a recording tracer, every executed
+    task gets a post-hoc ``component[i]`` span — emitted from *this*
+    thread in dispatch order, so the merged order is deterministic even
+    though completion order is not — stitched with the worker-side
+    phase events shipped on the completion tokens, plus one ``ship``
+    span covering the result drain.  Pure read-side telemetry: no RNG,
+    no simulated-clock mutation, bit-identical results traced or not.
     """
     if len(tasks) != len(components):
         raise ValueError("one task per component is required")
@@ -297,13 +311,24 @@ def run_component_tasks(
         pool = None
         if callable(local_states):
             local_states = local_states()
+    if tracer is None:
+        tracer = NullTracer()
+    traced = tracer.enabled
     for task in tasks:
         task.request_id = request_id
+        task.trace_events = traced
     order = dispatch_order(components)
     position_of = {index: position for position, index in enumerate(order)}
     slots: List[Optional[ComponentOutcome]] = [None] * len(tasks)
     costs: List[Optional[float]] = [None] * len(order)
     worker_counts: Dict[int, int] = {}
+    #: component index -> (wall start, wall end) for in-process tasks
+    task_walls: List[Optional[Tuple[float, float]]] = [None] * len(tasks)
+    #: component index -> worker id, where attribution is known
+    worker_of: Dict[int, int] = {}
+    #: [first drain start, last drain end] on the processes backend
+    ship_window: List[Optional[float]] = [None, None]
+    task_event_map: Dict[int, dict] = {}
     executed = 0
     stopwatch = Stopwatch()
 
@@ -313,6 +338,15 @@ def run_component_tasks(
     def run_local(index: int) -> ComponentOutcome:
         state = local_states[index] if local_states is not None else None
         return execute_component_task(tasks[index], components[index], state)
+
+    if traced:
+        inner_run_local = run_local
+
+        def run_local(index: int) -> ComponentOutcome:
+            start = wall_now()
+            outcome = inner_run_local(index)
+            task_walls[index] = (start, wall_now())
+            return outcome
 
     def record(outcome: ComponentOutcome) -> None:
         slots[outcome.index] = outcome
@@ -337,12 +371,15 @@ def run_component_tasks(
                     outcome = run_local(index)
                     executed += 1
                     record(outcome)
+                    worker_of[index] = 0
                     spent += outcome.simulated_seconds
             elif dispatch == "steal":
                 if backend == "processes":
                     executed = _run_processes_steal(
                         order, tasks, pool, workers, deadline_seconds,
                         costs, slots, position_of, worker_counts, request_id,
+                        worker_of=worker_of,
+                        ship_window=ship_window if traced else None,
                     )
                 else:
                     state = _StealState(
@@ -362,6 +399,8 @@ def run_component_tasks(
                             record(outcome)
                             executed += 1
                     worker_counts.update(state.counts)
+                    for position, worker_index in state.workers_by_position.items():
+                        worker_of[order[position]] = worker_index
             else:  # dispatch == "wave": the legacy barrier scheduler
                 # Waves of ``workers`` tasks with a full barrier between
                 # them — the baseline the stealing loop is benchmarked
@@ -383,8 +422,14 @@ def run_component_tasks(
                             for index in wave:
                                 pool.submit(tasks[index])
                             for _ in wave:
+                                drain_start = wall_now() if traced else 0.0
                                 outcome, worker_id = pool.next_outcome(request_id)
+                                if traced:
+                                    if ship_window[0] is None:
+                                        ship_window[0] = drain_start
+                                    ship_window[1] = wall_now()
                                 record(outcome)
+                                worker_of[outcome.index] = worker_id
                                 worker_counts[worker_id] = (
                                     worker_counts.get(worker_id, 0) + 1
                                 )
@@ -414,9 +459,11 @@ def run_component_tasks(
 
             skipped: List[int] = []
             discarded = 0
+            discarded_indices: set = set()
             for index in order[len(counted):]:
                 if slots[index] is not None:
                     discarded += 1
+                    discarded_indices.add(index)
                 skipped.append(index)
                 if placeholder is None:
                     raise RuntimeError(
@@ -425,15 +472,46 @@ def run_component_tasks(
                 slots[index] = placeholder(index)
     finally:
         if backend == "processes" and pool is not None:
-            # Close out this request's admission: collect the shipping
-            # counters attributable to exactly this request and free its
-            # result bank for the next one.
+            # Pull the workers' span records before finish_request wipes
+            # the request's stash, then close out the admission: collect
+            # the shipping counters attributable to exactly this request
+            # and free its result bank for the next one.
+            if traced:
+                task_event_map = pool.take_task_events(request_id)
             shm_shipped, pickle_shipped, shm_bytes = pool.finish_request(request_id)
         if pool is not None and owns_pool:
             pool.shutdown()
 
+    if traced:
+        _emit_task_spans(
+            tracer,
+            order,
+            dispatch,
+            task_walls,
+            task_event_map,
+            worker_of,
+            costs,
+            discarded_indices,
+            ship_window,
+            backend,
+            shm_shipped,
+            pickle_shipped,
+            shm_bytes,
+        )
+
     durations = [slot.simulated_seconds for slot in slots]
     participating = len(worker_counts)
+    steals = (
+        max(0, executed - participating)
+        if dispatch == "steal" and participating
+        else 0
+    )
+    if metrics is not None:
+        metrics.increment("scheduler.tasks_executed", executed)
+        metrics.increment("scheduler.tasks_discarded", discarded)
+        metrics.increment("scheduler.tasks_skipped", len(skipped))
+        metrics.increment("scheduler.steals", steals)
+        metrics.observe("scheduler.dispatch_wall_seconds", stopwatch.total)
     return ScheduledOutcome(
         results=[slot.result for slot in slots],
         wall_seconds=stopwatch.total,
@@ -444,14 +522,84 @@ def run_component_tasks(
         dispatch=dispatch,
         executed=executed,
         discarded=discarded,
-        steals=(
-            max(0, executed - participating)
-            if dispatch == "steal" and participating
-            else 0
-        ),
+        steals=steals,
         worker_task_counts=worker_counts,
         shm_shipped=shm_shipped,
         pickle_shipped=pickle_shipped,
+        shm_bytes=shm_bytes,
+    )
+
+
+def _emit_task_spans(
+    tracer,
+    order: Sequence[int],
+    dispatch: str,
+    task_walls: List[Optional[Tuple[float, float]]],
+    task_event_map: Dict[int, dict],
+    worker_of: Dict[int, int],
+    costs: List[Optional[float]],
+    discarded_indices: set,
+    ship_window: List[Optional[float]],
+    backend: str,
+    shm_shipped: int,
+    pickle_shipped: int,
+    shm_bytes: int,
+) -> None:
+    """Stitch the run's task spans under the ambient (request) span.
+
+    Emitted post-hoc from the request's own thread, iterating dispatch
+    positions in order — the merged span order is deterministic no matter
+    which worker finished when.  Worker-side phase events (shipped on the
+    completion tokens) become child spans of their task's span.
+    """
+    for position, index in enumerate(order):
+        walls = task_walls[index]
+        info = task_event_map.get(index)
+        events = info["events"] if info else None
+        if walls is None and events:
+            walls = (events[0]["start"], events[-1]["end"])
+        if walls is None:
+            continue  # excluded by the deadline before anyone ran it
+        attributes = {
+            "component": index,
+            "position": position,
+            "dispatch": dispatch,
+            "backend": backend,
+        }
+        worker = worker_of.get(index, info["worker"] if info else None)
+        if worker is not None:
+            attributes["worker"] = worker
+        if info is not None:
+            attributes["channel"] = info["channel"]
+        cost = costs[position]
+        if cost is not None:
+            attributes["simulated_seconds"] = cost
+        if index in discarded_indices:
+            attributes["discarded"] = True
+        task_span = tracer.record_span(
+            f"component[{index}]", walls[0], walls[1], **attributes
+        )
+        if events:
+            for event in events:
+                tracer.record_span(
+                    event["name"],
+                    event["start"],
+                    event["end"],
+                    parent=task_span,
+                    worker=info["worker"],
+                )
+    if ship_window[0] is not None and ship_window[1] is not None:
+        ship_start, ship_end = ship_window[0], ship_window[1]
+    else:
+        now = tracer.now()
+        ship_start = ship_end = now
+    tracer.record_span(
+        "ship",
+        ship_start,
+        ship_end,
+        backend=backend,
+        shm=shm_shipped,
+        pickle=pickle_shipped,
         shm_bytes=shm_bytes,
     )
 
@@ -467,6 +615,8 @@ def _run_processes_steal(
     position_of: Dict[int, int],
     worker_counts: Dict[int, int],
     request_id: int = 0,
+    worker_of: Optional[Dict[int, int]] = None,
+    ship_window: Optional[List[Optional[float]]] = None,
 ) -> int:
     """The stealing loop on the forked pool.
 
@@ -495,9 +645,16 @@ def _run_processes_steal(
             submitted += 1
         if completed >= submitted:
             break
+        drain_start = wall_now() if ship_window is not None else 0.0
         outcome, worker_id = pool.next_outcome(request_id)
+        if ship_window is not None:
+            if ship_window[0] is None:
+                ship_window[0] = drain_start
+            ship_window[1] = wall_now()
         completed += 1
         slots[outcome.index] = outcome
         costs[position_of[outcome.index]] = outcome.simulated_seconds
         worker_counts[worker_id] = worker_counts.get(worker_id, 0) + 1
+        if worker_of is not None:
+            worker_of[outcome.index] = worker_id
     return completed

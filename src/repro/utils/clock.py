@@ -19,6 +19,18 @@ import time
 from dataclasses import dataclass, field
 
 
+def wall_now() -> float:
+    """The monotonic wall clock, as an absolute :func:`time.perf_counter` value.
+
+    The sanctioned wall-clock *read* for code under the ``det-wallclock``
+    analysis rule — used only by observability timestamps (span starts and
+    ends), never by anything that feeds results.  The value is on the
+    system-wide monotonic timeline, so timestamps taken in forked worker
+    processes stitch onto the parent's without translation.
+    """
+    return time.perf_counter()
+
+
 def wall_sleep(seconds: float) -> None:
     """Block the calling thread for ``seconds`` of real time.
 

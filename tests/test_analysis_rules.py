@@ -728,3 +728,73 @@ class TestSelect:
                 return list(set(xs))
             """}, select=["det-set-iter"])
         assert rules_fired(report) == ["det-set-iter"]
+
+
+class TestObsPurity:
+    def test_random_import_in_obs_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"repro/obs/tracer.py": """\
+            import random
+
+            def jitter():
+                return random.random()
+            """}, select=["obs-purity"])
+        assert rules_fired(report) == ["obs-purity"]
+        assert "randomness" in messages(report, "obs-purity")[0]
+
+    def test_rng_and_session_imports_fire(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"repro/obs/export.py": """\
+            from repro.utils.rng import RandomSource
+            from repro.core.session import EngineSession
+            """}, select=["obs-purity"])
+        fired = messages(report, "obs-purity")
+        assert len(fired) >= 2
+        assert any("RandomSource" in message for message in fired)
+        assert any("repro.core.session" in message for message in fired)
+
+    def test_clock_mutation_fires(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"repro/obs/tracer.py": """\
+            def finish(span, clock):
+                clock.advance(1.0)
+                clock.charge("scan", 4)
+            """}, select=["obs-purity"])
+        assert len(messages(report, "obs-purity")) == 2
+
+    def test_clean_obs_module_passes(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"repro/obs/tracer.py": """\
+            import threading
+
+            from repro.utils.clock import wall_now
+
+            class Tracer:
+                def __init__(self, simulated_now=None):
+                    self._lock = threading.Lock()
+                    self._simulated_now = simulated_now
+
+                def now(self):
+                    return wall_now()
+
+                def read_simulated(self):
+                    if self._simulated_now is None:
+                        return 0.0
+                    return self._simulated_now()
+            """}, select=["obs-purity"])
+        assert report.findings == []
+
+    def test_rule_is_scoped_to_obs_directory(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"repro/inference/walksat.py": """\
+            import random
+
+            def f():
+                return random.random()
+            """}, select=["obs-purity"])
+        assert report.findings == []
+
+    def test_suppression_comment_silences(self, tmp_path: Path) -> None:
+        report = analyze(tmp_path, {"repro/obs/debug.py": """\
+            import random  # repro: allow(obs-purity): debug-only sampler
+
+            def sample():
+                return random.random()
+            """}, select=["obs-purity"])
+        assert report.findings == []
+        assert report.suppressed

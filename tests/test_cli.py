@@ -240,3 +240,74 @@ class TestDatasetCommand:
             stream=output,
         )
         assert status == 0
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_outputs(self, program_files, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        program, evidence = program_files
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        output = io.StringIO()
+        status = main(
+            [
+                "infer", "-i", program, "-e", evidence, "--max-flips", "500",
+                "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
+            ],
+            stream=output,
+        )
+        assert status == 0
+        text = output.getvalue()
+        assert f"# trace written to {trace_path}" in text
+        assert f"# metrics written to {metrics_path}" in text
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert {"request", "setup", "search"} <= names
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["session.requests"] == 1.0
+        assert "io.page_reads" in metrics["gauges"]
+
+    def test_tracing_flag_validated_and_off_writes_empty_trace(
+        self, program_files, tmp_path
+    ):
+        import json
+
+        program, evidence = program_files
+        trace_path = tmp_path / "trace.json"
+        output = io.StringIO()
+        status = main(
+            [
+                "infer", "-i", program, "-e", evidence, "--max-flips", "200",
+                "--tracing", "off", "--trace-out", str(trace_path),
+            ],
+            stream=output,
+        )
+        assert status == 0
+        assert json.loads(trace_path.read_text())["traceEvents"] == []
+
+    def test_concurrent_summary_prints_metrics_table(self):
+        output = io.StringIO()
+        status = main(
+            [
+                "dataset", "RC", "--scale", "0.2", "--max-flips", "500",
+                "--session-requests", "3", "--session-concurrent", "3",
+            ],
+            stream=output,
+        )
+        assert status == 0
+        text = output.getvalue()
+        assert "# session (concurrent)" in text
+        assert "result shipping" in text
+        assert "steals" in text
+        assert "# per-request" in text
+        assert "ship(shm/pkl)" in text
+        # One table row per admitted request, tagged by request id.
+        for request_id in ("1", "2", "3"):
+            assert any(
+                line.split() and line.split()[0] == request_id
+                for line in text.splitlines()
+            ), request_id

@@ -206,7 +206,7 @@ class TestSessionGuards:
                 events.append(("shutdown", session._active_searches))
 
         class FreshPool:
-            def __init__(self, components, workers, result_banks=1):
+            def __init__(self, components, workers, result_banks=1, metrics=None):
                 events.append(("forked", len(components)))
 
             def shutdown(self):
